@@ -1,0 +1,62 @@
+//===- bench_scalability.cpp - Modular vs global scalability ---------------===//
+//
+// Paper Sections 1/3.4: the modular algorithm exists because whole-program
+// inference "lacks scalability, since the entire program must be analyzed
+// at once." This bench sweeps corpus size and times ANEK-INFER (one pass)
+// against the joint Definition 1 solve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "infer/GlobalInfer.h"
+#include "support/Timer.h"
+
+using namespace anek;
+
+int main() {
+  std::puts("Scalability: modular ANEK-INFER vs joint (Definition 1) solve");
+  rule();
+  std::printf("%8s %8s %9s | %10s %10s | %12s %10s\n", "classes",
+              "methods", "lines", "modular", "warnings", "joint-vars",
+              "joint");
+  rule();
+
+  for (unsigned Scale : {1u, 2u, 4u, 8u, 16u}) {
+    PmdConfig Config;
+    Config.Classes = 10 + 12 * Scale;
+    Config.Methods = 30 + 60 * Scale;
+    Config.Wrappers = 2 + Scale;
+    Config.FullSpecWrappers = 1;
+    Config.DirectSites = 4 * Scale;
+    Config.WrapperConsumerSites = 3 * Scale;
+    Config.BuggySites = 1;
+    Config.UnannotatedSetters = 2;
+    PmdCorpus Corpus = generatePmdCorpus(Config);
+    std::unique_ptr<Program> Prog = mustAnalyze(Corpus.Source);
+
+    // One worklist pass per method: the per-pass cost that must scale.
+    InferOptions Opts;
+    Opts.MaxIters =
+        static_cast<unsigned>(Prog->methodsWithBodies().size());
+    Timer ModularTimer;
+    InferResult Modular = runAnekInfer(*Prog, Opts);
+    double ModularSeconds = ModularTimer.seconds();
+    CheckResult Check = runChecker(*Prog, inferredProvider(Modular));
+
+    Timer GlobalTimer;
+    GlobalResult Global = runGlobalInfer(*Prog);
+    double GlobalSeconds = GlobalTimer.seconds();
+
+    std::printf("%8u %8u %9u | %9.3fs %10u | %12u %9.3fs\n",
+                Corpus.ClassCount, Corpus.MethodCount, Corpus.LineCount,
+                ModularSeconds, Check.warningCount(),
+                Global.TotalVariables, GlobalSeconds);
+  }
+  rule();
+  std::puts("Shape check: modular time grows roughly linearly with"
+            " program size, while the\njoint graph's size (and solve"
+            " cost) grows with the whole program at once —\nand the"
+            " deterministic variant of the joint solve is already DNF"
+            " (Table 2).");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- bug_tolerance.cpp - Inference in the face of conflicting evidence ---===//
+//
+// The paper's headline feature (Section 1): a traditional logical
+// inference fails on buggy programs because the constraints are
+// unsatisfiable; ANEK's probabilistic constraints let conflicting facts
+// coexist and resolve them by weight of evidence.
+//
+// This example shows the evidence for and against "createColIter's result
+// is in HASNEXT", the pooled verdict, and the deterministic solver giving
+// up on the same program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/ExampleSources.h"
+#include "infer/AnekInfer.h"
+#include "infer/GlobalInfer.h"
+#include "lang/Sema.h"
+
+#include <cstdio>
+
+using namespace anek;
+
+int main() {
+  std::string Source = iteratorApiSource() + spreadsheetSource();
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+
+  InferResult Inference = runAnekInfer(*Prog);
+
+  // Inspect the probabilistic summary of createColIter's result.
+  MethodDecl *Create = nullptr;
+  for (MethodDecl *M : Prog->methodsWithBodies())
+    if (M->Name == "createColIter")
+      Create = M;
+  const MethodSummary &Summary = Inference.Summaries.at(Create);
+  std::vector<double> P = Summary.Result->pooled();
+
+  std::puts("probabilistic summary of Row.createColIter's result:");
+  for (unsigned K = 0; K != NumPermKinds; ++K)
+    std::printf("  P(%-9s) = %.3f\n",
+                permKindName(static_cast<PermKind>(K)), P[K]);
+  const std::vector<std::string> &States = Summary.Result->states();
+  for (size_t S = 0; S != States.size(); ++S)
+    std::printf("  P(%-9s) = %.3f\n", States[S].c_str(),
+                P[NumPermKinds + S]);
+
+  std::puts("");
+  std::puts("evidence narrative (paper Section 1):");
+  std::puts("  - testParseCSV calls next() immediately: evidence FOR "
+            "HASNEXT,");
+  std::puts("  - copy/sumRow/countRow use the hasNext() guard: evidence "
+            "AGAINST,");
+  std::printf("  - pooled P(HASNEXT) = %.3f: the conflicting site is "
+              "outvoted.\n\n",
+              P[NumPermKinds + 1]);
+
+  const MethodSpec *Spec = Inference.specFor(Create);
+  std::printf("inferred spec: ensures \"%s\"\n\n",
+              printSpecSide(*Spec, false, Create->paramNames()).c_str());
+
+  // The deterministic alternative on the same program: DNF.
+  LogicalResult Logical = runLogicalInfer(*Prog);
+  std::printf("deterministic logical inference on the same program: %s\n",
+              Logical.Finished ? "finished (unexpected)" : "DNF");
+  if (!Logical.FailureReason.empty())
+    std::printf("  reason: %s\n", Logical.FailureReason.c_str());
+  return 0;
+}

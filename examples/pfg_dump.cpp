@@ -1,0 +1,53 @@
+//===- pfg_dump.cpp - Visualize the Permissions Flow Graph -----------------===//
+//
+// Builds the PFG (paper Section 3.1) for every method of a program —
+// either a .mjava file given on the command line or the paper's
+// spreadsheet by default — and emits GraphViz. Render with:
+//
+//   ./build/examples/pfg_dump > pfg.dot && dot -Tpdf pfg.dot -o pfg.pdf
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IrBuilder.h"
+#include "corpus/ExampleSources.h"
+#include "lang/Sema.h"
+#include "pfg/PfgBuilder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace anek;
+
+int main(int Argc, char **Argv) {
+  std::string Source;
+  if (Argc > 1) {
+    std::ifstream In(Argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "pfg_dump: cannot open '%s'\n", Argv[1]);
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  } else {
+    Source = iteratorApiSource() + spreadsheetSource();
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+
+  for (MethodDecl *M : Prog->methodsWithBodies()) {
+    MethodIr Ir = lowerToIr(*M);
+    Pfg G = buildPfg(Ir);
+    std::printf("// %s: %u nodes, %u edges, %zu call sites\n",
+                M->qualifiedName().c_str(), G.nodeCount(), G.edgeCount(),
+                G.CallSites.size());
+    std::printf("%s\n", G.dot().c_str());
+  }
+  return 0;
+}

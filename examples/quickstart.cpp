@@ -1,0 +1,59 @@
+//===- quickstart.cpp - Infer and check your first program -----------------===//
+//
+// The complete ANEK workflow from Section 2 of the paper, in one file:
+//
+//   1. An API owner annotates the iterator API with access permissions.
+//   2. A client writes code against it (the paper's spreadsheet).
+//   3. ANEK infers the client-side specifications.
+//   4. PLURAL checks the annotated program and reports protocol bugs.
+//
+// Build and run: ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/ExampleSources.h"
+#include "infer/AnekInfer.h"
+#include "lang/PrettyPrinter.h"
+#include "lang/Sema.h"
+#include "plural/Checker.h"
+
+#include <cstdio>
+
+using namespace anek;
+
+int main() {
+  // 1-2. The annotated API plus the client program (paper Figures 2-3).
+  std::string Source = iteratorApiSource() + spreadsheetSource();
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+
+  // 3. Infer client specifications (ANEK-INFER, paper Figure 9).
+  InferResult Inference = runAnekInfer(*Prog);
+  std::printf("inferred specs for %u methods (%u worklist picks, %.3fs "
+              "solving)\n\n",
+              Inference.inferredAnnotationCount(), Inference.WorklistPicks,
+              Inference.SolveSeconds);
+
+  // Print the program with inferred annotations applied (the paper's
+  // "Eclipse Applier" step).
+  PrintOptions Opts;
+  Opts.SpecFor = [&](const MethodDecl &M) { return *Inference.specFor(&M); };
+  std::printf("%s\n", printProgram(*Prog, Opts).c_str());
+
+  // 4. Check with PLURAL. The sound checker acts as the safety net: the
+  // unguarded next() calls in testParseCSV are flagged.
+  SpecProvider Specs = [&](const MethodDecl *M) {
+    return Inference.specFor(M);
+  };
+  CheckResult Check = runChecker(*Prog, Specs);
+  std::printf("PLURAL reports %u warning(s):\n", Check.warningCount());
+  for (const CheckWarning &W : Check.Warnings)
+    std::printf("  %s at %s: %s\n", W.InMethod->qualifiedName().c_str(),
+                W.Loc.str().c_str(), W.Message.c_str());
+  return 0;
+}

@@ -1,0 +1,158 @@
+//===- CallGraph.cpp - Static call graph over a Program --------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace anek;
+
+void CallGraph::addEdge(MethodDecl *Caller, MethodDecl *Callee) {
+  assert(Caller && Callee && "null call-graph edge endpoint");
+  std::vector<MethodDecl *> &Out = Callees[Caller];
+  if (std::find(Out.begin(), Out.end(), Callee) != Out.end())
+    return;
+  Out.push_back(Callee);
+  Callers[Callee].push_back(Caller);
+  ++NumEdges;
+}
+
+void CallGraph::scanExpr(MethodDecl *Caller, const Expr *E) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    scanExpr(Caller, Call->Base.get());
+    for (const ExprPtr &Arg : Call->Args)
+      scanExpr(Caller, Arg.get());
+    if (Call->Callee)
+      addEdge(Caller, Call->Callee);
+    return;
+  }
+  case Expr::Kind::New: {
+    const auto *New = cast<NewExpr>(E);
+    for (const ExprPtr &Arg : New->Args)
+      scanExpr(Caller, Arg.get());
+    if (New->Ctor)
+      addEdge(Caller, New->Ctor);
+    return;
+  }
+  case Expr::Kind::FieldRead:
+    scanExpr(Caller, cast<FieldReadExpr>(E)->Base.get());
+    return;
+  case Expr::Kind::Assign: {
+    const auto *Assign = cast<AssignExpr>(E);
+    scanExpr(Caller, Assign->Lhs.get());
+    scanExpr(Caller, Assign->Rhs.get());
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    scanExpr(Caller, Bin->Lhs.get());
+    scanExpr(Caller, Bin->Rhs.get());
+    return;
+  }
+  case Expr::Kind::Unary:
+    scanExpr(Caller, cast<UnaryExpr>(E)->Operand.get());
+    return;
+  default:
+    return;
+  }
+}
+
+void CallGraph::scanStmt(MethodDecl *Caller, const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Inner : cast<BlockStmt>(S)->Stmts)
+      scanStmt(Caller, Inner.get());
+    return;
+  case Stmt::Kind::VarDecl:
+    scanExpr(Caller, cast<VarDeclStmt>(S)->Init.get());
+    return;
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    scanExpr(Caller, If->Cond.get());
+    scanStmt(Caller, If->Then.get());
+    scanStmt(Caller, If->Else.get());
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    scanExpr(Caller, While->Cond.get());
+    scanStmt(Caller, While->Body.get());
+    return;
+  }
+  case Stmt::Kind::Return:
+    scanExpr(Caller, cast<ReturnStmt>(S)->Value.get());
+    return;
+  case Stmt::Kind::Assert:
+    scanExpr(Caller, cast<AssertStmt>(S)->Cond.get());
+    return;
+  case Stmt::Kind::Synchronized: {
+    const auto *Sync = cast<SynchronizedStmt>(S);
+    scanExpr(Caller, Sync->Target.get());
+    scanStmt(Caller, Sync->Body.get());
+    return;
+  }
+  case Stmt::Kind::ExprStmt:
+    scanExpr(Caller, cast<ExprStmt>(S)->E.get());
+    return;
+  }
+}
+
+CallGraph::CallGraph(const Program &Prog) {
+  for (const auto &Type : Prog.Types) {
+    for (const auto &Method : Type->Methods) {
+      AllMethods.push_back(Method.get());
+      if (Method->Body)
+        scanStmt(Method.get(), Method->Body.get());
+    }
+  }
+}
+
+const std::vector<MethodDecl *> &
+CallGraph::callees(const MethodDecl *Caller) const {
+  static const std::vector<MethodDecl *> Empty;
+  auto It = Callees.find(Caller);
+  return It != Callees.end() ? It->second : Empty;
+}
+
+const std::vector<MethodDecl *> &
+CallGraph::callers(const MethodDecl *Callee) const {
+  static const std::vector<MethodDecl *> Empty;
+  auto It = Callers.find(Callee);
+  return It != Callers.end() ? It->second : Empty;
+}
+
+std::vector<MethodDecl *> CallGraph::bottomUpOrder() const {
+  std::vector<MethodDecl *> Order;
+  std::set<const MethodDecl *> Visited;
+  // Iterative post-order DFS along callee edges.
+  for (MethodDecl *Root : AllMethods) {
+    if (Visited.count(Root))
+      continue;
+    std::vector<std::pair<MethodDecl *, size_t>> Stack;
+    Stack.push_back({Root, 0});
+    Visited.insert(Root);
+    while (!Stack.empty()) {
+      auto &[Method, NextChild] = Stack.back();
+      const std::vector<MethodDecl *> &Children = callees(Method);
+      if (NextChild < Children.size()) {
+        MethodDecl *Child = Children[NextChild++];
+        if (!Visited.count(Child)) {
+          Visited.insert(Child);
+          Stack.push_back({Child, 0});
+        }
+        continue;
+      }
+      if (Method->Body)
+        Order.push_back(Method);
+      Stack.pop_back();
+    }
+  }
+  return Order;
+}

@@ -1,0 +1,58 @@
+//===- CallGraph.h - Static call graph over a Program ------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static call graph used to order ANEK-INFER's worklist (callees
+/// before callers, so summaries exist before they are consumed) and by the
+/// corpus statistics. Edges follow Sema's resolved call targets; dynamic
+/// dispatch is approximated by the statically resolved method, exactly as
+/// the paper's modular analysis does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_ANALYSIS_CALLGRAPH_H
+#define ANEK_ANALYSIS_CALLGRAPH_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <vector>
+
+namespace anek {
+
+/// Call graph over all methods of a program.
+class CallGraph {
+public:
+  explicit CallGraph(const Program &Prog);
+
+  /// Methods \p Caller may invoke (deduplicated, deterministic order).
+  const std::vector<MethodDecl *> &callees(const MethodDecl *Caller) const;
+
+  /// Methods that may invoke \p Callee.
+  const std::vector<MethodDecl *> &callers(const MethodDecl *Callee) const;
+
+  /// All methods with bodies in bottom-up order (callees before callers
+  /// where the graph is acyclic; cycles are broken arbitrarily but
+  /// deterministically). This is ANEK-INFER's initial worklist order.
+  std::vector<MethodDecl *> bottomUpOrder() const;
+
+  /// Number of call edges (for statistics).
+  unsigned edgeCount() const { return NumEdges; }
+
+private:
+  void addEdge(MethodDecl *Caller, MethodDecl *Callee);
+  void scanExpr(MethodDecl *Caller, const Expr *E);
+  void scanStmt(MethodDecl *Caller, const Stmt *S);
+
+  std::vector<MethodDecl *> AllMethods;
+  std::map<const MethodDecl *, std::vector<MethodDecl *>> Callees;
+  std::map<const MethodDecl *, std::vector<MethodDecl *>> Callers;
+  unsigned NumEdges = 0;
+};
+
+} // namespace anek
+
+#endif // ANEK_ANALYSIS_CALLGRAPH_H

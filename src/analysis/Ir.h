@@ -1,0 +1,128 @@
+//===- Ir.h - Linearized permission-relevant IR ------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small control-flow-graph IR each method body is lowered into. Every
+/// action either moves object references between locals or is one of the
+/// permission-relevant events the paper's abstraction observes: method
+/// calls, allocations, field reads, field writes, returns, synchronized
+/// regions. Both the PFG builder (Section 3.1) and the PLURAL checker walk
+/// this IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_ANALYSIS_IR_H
+#define ANEK_ANALYSIS_IR_H
+
+#include "lang/Ast.h"
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// Index of a local slot in MethodIr::Locals.
+using LocalId = uint32_t;
+
+/// Sentinel for "no local" (e.g. a call whose result is unused).
+inline constexpr LocalId NoLocal = std::numeric_limits<LocalId>::max();
+
+/// Role of a local slot.
+enum class LocalKind { Receiver, Param, UserVar, Temp };
+
+/// One primitive action's operation.
+enum class ActionKind {
+  Alloc,      ///< Dst = new Class(Args...)
+  Call,       ///< Dst = Recv.Callee(Args...)
+  Copy,       ///< Dst = Src
+  FieldLoad,  ///< Dst = Recv.Field
+  FieldStore, ///< Recv.Field = Src
+  Return,     ///< return Src (Src may be NoLocal)
+  EnterSync,  ///< synchronized (Target) {
+  ExitSync,   ///< } end of synchronized
+  OpaqueUse,  ///< Dst defined from primitive computation (no perm flow)
+};
+
+/// Terminator shape of a basic block.
+enum class TermKind { Goto, CondBranch, Exit };
+
+/// One local slot: a parameter, the receiver, a user variable, or a
+/// compiler temporary introduced by expression lowering.
+struct LocalSlot {
+  LocalKind Kind = LocalKind::Temp;
+  std::string Name;
+  /// Class of the value when it is an object; null for primitives.
+  TypeDecl *Class = nullptr;
+  /// Parameter index when Kind == Param.
+  unsigned ParamIndex = 0;
+};
+
+/// One primitive action.
+struct Action {
+  ActionKind Kind = ActionKind::OpaqueUse;
+  LocalId Dst = NoLocal;
+  LocalId Recv = NoLocal; ///< Receiver/target for Call/Field*/EnterSync.
+  LocalId Src = NoLocal;  ///< Source for Copy/FieldStore/Return.
+  std::vector<LocalId> Args;
+  MethodDecl *Callee = nullptr;   ///< For Call; ctor for Alloc (may be null).
+  TypeDecl *AllocClass = nullptr; ///< For Alloc.
+  std::string FieldName;          ///< For FieldLoad/FieldStore.
+  SourceLocation Loc;
+};
+
+/// Information attached to a conditional branch whose condition was a
+/// direct dynamic state test such as `it.hasNext()` (possibly negated):
+/// PLURAL's branch sensitivity consumes this; ANEK deliberately does not
+/// (the paper names this as the source of its fourth PMD warning).
+struct StateTestInfo {
+  LocalId Subject = NoLocal;
+  MethodDecl *TestMethod = nullptr;
+  bool Negated = false;
+};
+
+/// Block terminator.
+struct Terminator {
+  TermKind Kind = TermKind::Exit;
+  /// Successor block ids: Goto uses Succs[0]; CondBranch uses Succs[0] for
+  /// the true edge and Succs[1] for the false edge.
+  std::vector<uint32_t> Succs;
+  /// Set only for CondBranch on a recognized dynamic state test.
+  std::optional<StateTestInfo> StateTest;
+};
+
+/// One basic block.
+struct BasicBlock {
+  std::vector<Action> Actions;
+  Terminator Term;
+};
+
+/// The lowered body of one method.
+struct MethodIr {
+  MethodDecl *Method = nullptr;
+  std::vector<LocalSlot> Locals;
+  std::vector<BasicBlock> Blocks;
+  /// Receiver slot (NoLocal for static methods).
+  LocalId ReceiverLocal = NoLocal;
+  /// Slot of each parameter, in order.
+  std::vector<LocalId> ParamLocals;
+
+  /// Entry block is always block 0.
+  static constexpr uint32_t EntryBlock = 0;
+
+  /// Predecessor lists, computable once blocks are final.
+  std::vector<std::vector<uint32_t>> predecessors() const;
+
+  /// Renders a readable listing of the IR (for tests and debugging).
+  std::string str() const;
+};
+
+} // namespace anek
+
+#endif // ANEK_ANALYSIS_IR_H

@@ -1,0 +1,22 @@
+//===- IrBuilder.h - Lower MiniJava ASTs to the action IR --------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_ANALYSIS_IRBUILDER_H
+#define ANEK_ANALYSIS_IRBUILDER_H
+
+#include "analysis/Ir.h"
+
+namespace anek {
+
+/// Lowers \p Method (which must have a body and be past Sema) into the
+/// action IR. Structured control flow becomes explicit blocks; nested
+/// expressions are flattened through temporaries; conditions that are
+/// direct dynamic state tests are recorded on the branch terminator.
+MethodIr lowerToIr(MethodDecl &Method);
+
+} // namespace anek
+
+#endif // ANEK_ANALYSIS_IRBUILDER_H

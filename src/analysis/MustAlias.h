@@ -1,0 +1,62 @@
+//===- MustAlias.h - Local must-alias analysis -------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "local must-alias analysis" of paper Section 3.1: a forward
+/// dataflow that partitions a method's locals into classes known to hold
+/// the same object, so permissions can be tracked across reassignments of
+/// local variables. Copies merge classes; allocations, calls and field
+/// loads give their destination a fresh value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_ANALYSIS_MUSTALIAS_H
+#define ANEK_ANALYSIS_MUSTALIAS_H
+
+#include "analysis/Ir.h"
+
+#include <vector>
+
+namespace anek {
+
+/// Must-alias facts for one method. The join at control-flow merges keeps
+/// two locals aliased only when they are aliased along every incoming
+/// path, so "must" is sound.
+class MustAliasAnalysis {
+public:
+  explicit MustAliasAnalysis(const MethodIr &Ir);
+
+  /// True when locals \p A and \p B definitely refer to the same object at
+  /// the program point *before* action \p ActionIndex of block \p Block
+  /// (ActionIndex may equal the action count: the point after the block).
+  bool mustAlias(uint32_t Block, uint32_t ActionIndex, LocalId A,
+                 LocalId B) const;
+
+  /// The value-number vector at the given point; equal numbers mean
+  /// must-aliased locals.
+  std::vector<uint32_t> valueNumbersAt(uint32_t Block,
+                                       uint32_t ActionIndex) const;
+
+private:
+  /// Applies one action's effect to a value-number vector.
+  void applyAction(const Action &A, std::vector<uint32_t> &Vn) const;
+
+  /// First fresh definition id for block \p Block. Fresh ids are stable
+  /// across fixpoint iterations and never collide with join-produced ids
+  /// (which are bounded by the local count).
+  uint32_t freshBaseFor(uint32_t Block) const;
+
+  const MethodIr &Ir;
+  /// Entry value numbers per block (fixpoint solution).
+  std::vector<std::vector<uint32_t>> EntryVn;
+  /// Prefix sums of per-block action counts, for freshBaseFor().
+  std::vector<uint32_t> ActionOffsets;
+  mutable uint32_t NextFresh = 0;
+};
+
+} // namespace anek
+
+#endif // ANEK_ANALYSIS_MUSTALIAS_H

@@ -1,0 +1,40 @@
+//===- ExampleSources.h - The paper's figure programs ------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJava renditions of the paper's running examples: the annotated
+/// iterator API (Figure 2), the spreadsheet client (Figures 3 and 5), the
+/// field-access program (Figure 7), and a classic file-protocol API used
+/// by the examples as a second domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_CORPUS_EXAMPLESOURCES_H
+#define ANEK_CORPUS_EXAMPLESOURCES_H
+
+#include <string>
+
+namespace anek {
+
+/// Figure 2: Iterator and Collection interfaces with access-permission
+/// specifications.
+std::string iteratorApiSource();
+
+/// Figures 3/5: the spreadsheet application (Row, copy, testParseCSV),
+/// including the bug pattern in testParseCSV. Concatenate after
+/// iteratorApiSource().
+std::string spreadsheetSource();
+
+/// Figure 7: the field-access program `accessFields`.
+std::string fieldExampleSource();
+
+/// A file open/read/close typestate API with annotated protocol plus
+/// client code with one conforming and one violating method.
+std::string fileProtocolSource();
+
+} // namespace anek
+
+#endif // ANEK_CORPUS_EXAMPLESOURCES_H

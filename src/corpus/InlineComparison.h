@@ -1,0 +1,43 @@
+//===- InlineComparison.h - Table 3 workload ---------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Table 3: "a small test program crafted for this experiment which
+/// contained numerous short methods", plus a second variant in which
+/// every method is inlined into one large method, so that ANEK's modular
+/// inference and PLURAL's Gaussian-elimination local inference "end up
+/// doing the same work". The program is ~400 lines with numerous
+/// control-flow branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_CORPUS_INLINECOMPARISON_H
+#define ANEK_CORPUS_INLINECOMPARISON_H
+
+#include <cstdint>
+#include <string>
+
+namespace anek {
+
+/// The two program variants of the Table 3 experiment.
+struct InlinePrograms {
+  /// Many short methods calling each other in a chain.
+  std::string Modular;
+  /// The same behaviour inlined into one large method.
+  std::string Inlined;
+  unsigned HelperMethods = 0;
+  unsigned ModularLines = 0;
+  unsigned InlinedLines = 0;
+};
+
+/// Generates the comparison pair. \p NumHelpers controls program size
+/// (the default lands near the paper's 400 lines).
+InlinePrograms generateInlineComparison(unsigned NumHelpers = 48,
+                                        uint64_t Seed = 7);
+
+} // namespace anek
+
+#endif // ANEK_CORPUS_INLINECOMPARISON_H

@@ -1,0 +1,356 @@
+//===- PmdGenerator.cpp - Synthetic PMD-scale corpus -----------------------===//
+
+#include "corpus/PmdGenerator.h"
+
+#include "corpus/ExampleSources.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace anek;
+
+namespace {
+
+/// Incremental builder for the corpus source and bookkeeping.
+class CorpusBuilder {
+public:
+  explicit CorpusBuilder(const PmdConfig &Config)
+      : Config(Config), Random(Config.Seed) {
+    Corpus.Config = Config;
+  }
+
+  PmdCorpus build();
+
+private:
+  std::string moduleName(unsigned I) const {
+    return formatStr("Pmd%u", I);
+  }
+  std::string wrapperName(unsigned I) const {
+    return formatStr("createIter%u", I);
+  }
+
+  /// Emits one bulk integer-arithmetic method (no permission content).
+  std::string bulkMethod(unsigned Id);
+
+  /// Methods that belong to module class \p Class, already rendered.
+  std::vector<std::string> &methodsOf(unsigned Class) {
+    return ModuleMethods[Class];
+  }
+
+  void addHandSpec(std::string ClassName, std::string MethodName,
+                   std::string Requires, std::string Ensures,
+                   std::string TrueInd = "", std::string FalseInd = "") {
+    Corpus.HandSpecs.push_back({std::move(ClassName), std::move(MethodName),
+                                std::move(Requires), std::move(Ensures),
+                                std::move(TrueInd), std::move(FalseInd)});
+  }
+
+  void planPatternMethods(unsigned NumModules);
+  std::string renderIterOps();
+  std::string renderStateClasses();
+
+  const PmdConfig &Config;
+  Rng Random;
+  PmdCorpus Corpus;
+  std::map<unsigned, std::vector<std::string>> ModuleMethods;
+  unsigned MethodsPlanned = 0;
+  unsigned BulkCounter = 0;
+};
+
+} // namespace
+
+std::string CorpusBuilder::bulkMethod(unsigned Id) {
+  unsigned Lines = static_cast<unsigned>(Random.range(2, 6));
+  std::string Out = formatStr("  int calc%u(int a, int b) {\n", Id);
+  Out += "    int r = a;\n";
+  for (unsigned L = 0; L != Lines; ++L) {
+    switch (Random.below(4)) {
+    case 0:
+      Out += formatStr("    r = r + b * %u;\n",
+                       unsigned(Random.range(1, 97)));
+      break;
+    case 1:
+      Out += formatStr("    if (r > %u) {\n      r = r - a;\n    }\n",
+                       unsigned(Random.range(10, 5000)));
+      break;
+    case 2:
+      Out += formatStr("    r = r %% %u + b;\n",
+                       unsigned(Random.range(2, 31)));
+      break;
+    default:
+      Out += formatStr("    b = b + %u;\n", unsigned(Random.range(1, 13)));
+      break;
+    }
+  }
+  Out += "    return r;\n  }\n";
+  return Out;
+}
+
+void CorpusBuilder::planPatternMethods(unsigned NumModules) {
+  auto Assign = [&](unsigned Class, std::string Body) {
+    methodsOf(Class % NumModules).push_back(std::move(Body));
+    ++MethodsPlanned;
+  };
+
+  // Wrapper methods (hand specs: the first FullSpecWrappers get
+  // full(result), the rest unique(result); ANEK infers unique for all,
+  // giving Table 4's "more restrictive" rows).
+  for (unsigned W = 0; W != Config.Wrappers; ++W) {
+    std::string Name = wrapperName(W);
+    Assign(W, formatStr("  Iterator<Integer> %s() {\n"
+                        "    return items.iterator();\n  }\n",
+                        Name.c_str()));
+    bool Full = W < Config.FullSpecWrappers;
+    addHandSpec(moduleName(W), Name, "",
+                Full ? "full(result)" : "unique(result)");
+  }
+
+  // Direct iterator loops: verified without any client annotation.
+  for (unsigned D = 0; D != Config.DirectSites; ++D) {
+    Assign(7 * D + 1,
+           formatStr("  int scan%u() {\n"
+                     "    int total = 0;\n"
+                     "    Iterator<Integer> it = items.iterator();\n"
+                     "    while (it.hasNext()) {\n"
+                     "      total = total + it.next();\n"
+                     "    }\n"
+                     "    return total;\n  }\n",
+                     D));
+    ++Corpus.NextCallCount;
+  }
+
+  // Guarded consumers of wrapper-produced iterators: these are why
+  // client annotations are needed at all.
+  for (unsigned C = 0; C != Config.WrapperConsumerSites; ++C) {
+    unsigned W = C % Config.Wrappers;
+    Assign(3 * C + 11,
+           formatStr("  int consume%u(%s src) {\n"
+                     "    int total = 0;\n"
+                     "    Iterator<Integer> it = src.%s();\n"
+                     "    while (it.hasNext()) {\n"
+                     "      total = total + it.next();\n"
+                     "    }\n"
+                     "    return total;\n  }\n",
+                     C, moduleName(W).c_str(), wrapperName(W).c_str()));
+    ++Corpus.NextCallCount;
+  }
+
+  // The three bug sites: next() without hasNext(). Like the paper's
+  // false positives, other program invariants make them safe at run time,
+  // but PLURAL cannot see that.
+  for (unsigned B = 0; B != Config.BuggySites; ++B) {
+    unsigned W = B % Config.Wrappers;
+    Assign(5 * B + 23,
+           formatStr("  int grabFirst%u(%s src) {\n"
+                     "    Iterator<Integer> it = src.%s();\n"
+                     "    return it.next();\n  }\n",
+                     B, moduleName(W).c_str(), wrapperName(W).c_str()));
+    ++Corpus.NextCallCount;
+  }
+
+  // takeNext callers: always guarded at the call site — the pattern ANEK
+  // cannot account for without branch sensitivity.
+  for (unsigned T = 0; T != 3; ++T) {
+    Assign(11 * T + 31,
+           formatStr("  int pick%u() {\n"
+                     "    Iterator<Integer> it = items.iterator();\n"
+                     "    int taken = 0;\n"
+                     "    if (it.hasNext()) {\n"
+                     "      taken = ops.takeNext(it);\n"
+                     "    }\n"
+                     "    return taken;\n  }\n",
+                     T));
+  }
+
+  // sumRest/countRest callers.
+  for (unsigned S = 0; S != 4; ++S) {
+    Assign(13 * S + 41,
+           formatStr("  int rest%u() {\n"
+                     "    return ops.%s(items.iterator());\n  }\n",
+                     S, S % 2 ? "countRest" : "sumRest"));
+  }
+
+  // Setters left unannotated: ANEK adds helpful full(this) specs.
+  for (unsigned S = 0; S != Config.UnannotatedSetters; ++S)
+    Assign(17 * S + 51, formatStr("  void setCount%u(int c) {\n"
+                                  "    count = c;\n  }\n",
+                                  S));
+
+  // A factory without the create prefix: H1 still yields unique(result)
+  // ("added helpful").
+  std::string MadeClass = moduleName(62 % NumModules);
+  Assign(61, formatStr("  %s makeNode() {\n"
+                       "    return new %s();\n  }\n",
+                       MadeClass.c_str(), MadeClass.c_str()));
+
+  // A method whose inferred spec demands a writing permission on its
+  // parameter: correct but burden-imposing on future callers ("added
+  // constraining"). The body verifies under the default permission, so
+  // Bierhoff reasonably left it unannotated.
+  Assign(63, "  void absorb(PmdUtil u) {\n"
+             "    u.mark();\n  }\n");
+}
+
+std::string CorpusBuilder::renderIterOps() {
+  std::string Out = "class IterOps {\n  int scratch;\n\n";
+
+  // Helpers taking iterators as parameters. Hand specs below.
+  Out += "  int sumRest(Iterator<Integer> it) {\n"
+         "    int total = 0;\n"
+         "    while (it.hasNext()) {\n"
+         "      total = total + it.next();\n"
+         "    }\n"
+         "    return total;\n  }\n\n";
+  ++Corpus.NextCallCount;
+  Out += "  int countRest(Iterator<Integer> it) {\n"
+         "    int count = 0;\n"
+         "    while (it.hasNext()) {\n"
+         "      it.next();\n"
+         "      count = count + 1;\n"
+         "    }\n"
+         "    return count;\n  }\n\n";
+  ++Corpus.NextCallCount;
+  // takeNext: every caller guards with hasNext(), so Bierhoff's
+  // annotation requires HASNEXT; branch-insensitive ANEK instead sees
+  // ALIVE evidence from the guarded call sites and infers the weaker
+  // (wrong) spec — the paper's fourth warning.
+  Out += "  int takeNext(Iterator<Integer> it) {\n"
+         "    return it.next();\n  }\n\n";
+  ++Corpus.NextCallCount;
+  addHandSpec("IterOps", "sumRest", "full(it)", "full(it)");
+  addHandSpec("IterOps", "countRest", "full(it)", "full(it)");
+  addHandSpec("IterOps", "takeNext", "full(it) in HASNEXT", "full(it)");
+
+  // Dynamic state tests: ANEK does not attempt to infer indicator
+  // annotations (Table 4 "removed"; immaterial because the supertype
+  // hasNext() spec takes precedence at all use sites).
+  for (unsigned H = 0; H != Config.StateTestHelpers; ++H) {
+    Out += formatStr("  boolean hasMore%u(Iterator<Integer> it) {\n"
+                     "    return it.hasNext();\n  }\n\n",
+                     H);
+    addHandSpec("IterOps", formatStr("hasMore%u", H), "pure(it)", "pure(it)",
+                "HASNEXT", "END");
+  }
+
+  MethodsPlanned += 3 + Config.StateTestHelpers;
+  Out += "}\n\n";
+  return Out;
+}
+
+std::string CorpusBuilder::renderStateClasses() {
+  // A bodiless, annotated utility API (like the iterator interfaces) for
+  // the "added constraining" pattern.
+  std::string Out = "class PmdUtil {\n"
+                    "  int tag;\n\n"
+                    "  @Perm(requires=\"share(this)\", "
+                    "ensures=\"share(this)\")\n"
+                    "  void mark();\n"
+                    "}\n\n";
+
+  // Two classes whose hand specs over-demand full permission where the
+  // bodies only read; ANEK infers the weaker pure — Table 4 "changed,
+  // wrong", harmless outright (verification is unaffected, matching the
+  // paper's "the other two did not affect verification at all").
+  for (unsigned I = 0; I != 2; ++I) {
+    std::string Name = formatStr("PmdState%u", I);
+    Out += formatStr("class %s {\n  int data;\n\n"
+                     "  int tally%u(Collection<Integer> c) {\n"
+                     "    return c.size();\n  }\n"
+                     "}\n\n",
+                     Name.c_str(), I);
+    addHandSpec(Name, formatStr("tally%u", I), "full(c)", "full(c)");
+    ++MethodsPlanned;
+  }
+  return Out;
+}
+
+PmdCorpus CorpusBuilder::build() {
+  // Class budget: modules + IterOps + PmdUtil + 2 tally classes + the two
+  // library interfaces (Iterator, Collection).
+  assert(Config.Classes > 7 && "class budget too small");
+  unsigned NumModules = Config.Classes - 6;
+  assert(Config.Wrappers <= NumModules &&
+         "wrapper count exceeds module classes");
+
+  planPatternMethods(NumModules);
+  std::string IterOpsSource = renderIterOps();
+  std::string StateSource = renderStateClasses();
+
+  // Top up with bulk methods, round-robin across module classes.
+  assert(Config.Methods >= MethodsPlanned && "method budget too small");
+  unsigned BulkNeeded = Config.Methods - MethodsPlanned;
+  for (unsigned B = 0; B != BulkNeeded; ++B)
+    methodsOf(B % NumModules).push_back(bulkMethod(BulkCounter++));
+
+  std::string Out = iteratorApiSource();
+  Out += "\n";
+  Out += IterOpsSource;
+  Out += StateSource;
+  for (unsigned M = 0; M != NumModules; ++M) {
+    Out += formatStr("class %s {\n"
+                     "  Collection<Integer> items;\n"
+                     "  int count;\n"
+                     "  IterOps ops;\n\n",
+                     moduleName(M).c_str());
+    for (const std::string &Method : methodsOf(M)) {
+      Out += Method;
+      Out += "\n";
+    }
+    Out += "}\n\n";
+  }
+
+  Corpus.Source = std::move(Out);
+  Corpus.MethodCount = Config.Methods;
+  Corpus.ClassCount = Config.Classes;
+  Corpus.LineCount = 0;
+  for (char C : Corpus.Source)
+    if (C == '\n')
+      ++Corpus.LineCount;
+  return std::move(Corpus);
+}
+
+PmdCorpus anek::generatePmdCorpus(const PmdConfig &Config) {
+  CorpusBuilder Builder(Config);
+  return Builder.build();
+}
+
+std::map<const MethodDecl *, MethodSpec>
+anek::resolveHandSpecs(const Program &Prog, const PmdCorpus &Corpus,
+                       unsigned *Unresolved) {
+  std::map<const MethodDecl *, MethodSpec> Out;
+  unsigned Failed = 0;
+  for (const HandSpec &Hand : Corpus.HandSpecs) {
+    TypeDecl *Type = Prog.findType(Hand.ClassName);
+    MethodDecl *Method = nullptr;
+    if (Type)
+      for (const auto &M : Type->Methods)
+        if (M->Name == Hand.MethodName)
+          Method = M.get();
+    if (!Method) {
+      ++Failed;
+      continue;
+    }
+    std::vector<std::string> ParamNames = Method->paramNames();
+    std::string Error;
+    auto Requires = parseSpecAtoms(Hand.Requires, ParamNames, Error);
+    auto Ensures = parseSpecAtoms(Hand.Ensures, ParamNames, Error);
+    if (!Requires || !Ensures) {
+      ++Failed;
+      continue;
+    }
+    std::optional<MethodSpec> Spec = buildMethodSpec(
+        *Requires, *Ensures, static_cast<unsigned>(Method->Params.size()),
+        Error);
+    if (!Spec) {
+      ++Failed;
+      continue;
+    }
+    Spec->TrueIndicates = Hand.TrueIndicates;
+    Spec->FalseIndicates = Hand.FalseIndicates;
+    Out.emplace(Method, std::move(*Spec));
+  }
+  if (Unresolved)
+    *Unresolved = Failed;
+  return Out;
+}

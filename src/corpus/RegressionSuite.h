@@ -1,0 +1,57 @@
+//===- RegressionSuite.h - One benchmark per constraint ----------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "small experiments": each benchmark consists of one or
+/// more classes designed to exercise one particular ANEK constraint or
+/// feature (Section 4.2). They double as a regression suite and as the
+/// training set for tuning the h parameters. Each case records what the
+/// inference is expected to conclude so tests and the heuristics-ablation
+/// bench can score configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_CORPUS_REGRESSIONSUITE_H
+#define ANEK_CORPUS_REGRESSIONSUITE_H
+
+#include "perm/PermKind.h"
+
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// What one regression case expects of the inference.
+struct RegressionExpectation {
+  /// Class and method the expectation is about.
+  std::string ClassName;
+  std::string MethodName;
+  /// Which target: "recv_pre", "recv_post", "param0_pre", "param0_post",
+  /// "result".
+  std::string Target;
+  /// Expected winning permission kind.
+  PermKind Kind = PermKind::Unique;
+  /// Expected state ("" = no state constraint).
+  std::string State;
+};
+
+/// One regression benchmark.
+struct RegressionCase {
+  std::string Name;
+  /// The constraint/feature under test, e.g. "H3" or "conflict".
+  std::string Feature;
+  std::string Source;
+  std::vector<RegressionExpectation> Expectations;
+  /// Expected number of PLURAL warnings after inference.
+  unsigned ExpectedWarnings = 0;
+};
+
+/// All regression cases (deterministic order).
+const std::vector<RegressionCase> &regressionSuite();
+
+} // namespace anek
+
+#endif // ANEK_CORPUS_REGRESSIONSUITE_H

@@ -1,0 +1,188 @@
+//===- SpecComparison.cpp - Table 4 spec-quality classifier ----------------===//
+
+#include "corpus/SpecComparison.h"
+
+#include "support/Format.h"
+
+#include <set>
+
+using namespace anek;
+
+const char *anek::specCategoryName(SpecCategory Category) {
+  switch (Category) {
+  case SpecCategory::Same:
+    return "Same";
+  case SpecCategory::AddedHelpful:
+    return "ANEK Added Helpful Spec.";
+  case SpecCategory::AddedConstraining:
+    return "ANEK Added Constraining Spec.";
+  case SpecCategory::Removed:
+    return "ANEK Removed Spec.";
+  case SpecCategory::MoreRestrictive:
+    return "ANEK Changed Spec., More Restrictive";
+  case SpecCategory::Wrong:
+    return "ANEK Changed Spec., Wrong";
+  }
+  return "?";
+}
+
+unsigned SpecComparisonTable::count(SpecCategory Category) const {
+  unsigned N = 0;
+  for (const SpecComparison &Item : Items)
+    N += Item.Category == Category;
+  return N;
+}
+
+std::string SpecComparisonTable::str() const {
+  std::string Out;
+  const SpecCategory All[] = {
+      SpecCategory::Same,          SpecCategory::AddedHelpful,
+      SpecCategory::AddedConstraining, SpecCategory::Removed,
+      SpecCategory::MoreRestrictive,   SpecCategory::Wrong,
+  };
+  for (SpecCategory Category : All)
+    Out += formatStr("%-40s %u\n", specCategoryName(Category),
+                     count(Category));
+  return Out;
+}
+
+namespace {
+
+/// Three-way atom relation.
+enum class AtomRel { Equal, Stronger, Weaker, Incomparable };
+
+/// Kind strength: unique > full > immutable > share > pure per the
+/// downgrade order.
+AtomRel relateKinds(PermKind A, PermKind B) {
+  if (A == B)
+    return AtomRel::Equal;
+  return canDowngrade(A, B) ? AtomRel::Stronger : AtomRel::Weaker;
+}
+
+/// Relates optional states: a named state is stronger than none.
+AtomRel relateStates(const std::string &A, const std::string &B) {
+  if (A == B)
+    return AtomRel::Equal;
+  if (B.empty())
+    return AtomRel::Stronger;
+  if (A.empty())
+    return AtomRel::Weaker;
+  return AtomRel::Incomparable;
+}
+
+AtomRel combine(AtomRel A, AtomRel B) {
+  if (A == AtomRel::Equal)
+    return B;
+  if (B == AtomRel::Equal)
+    return A;
+  if (A == B)
+    return A;
+  return AtomRel::Incomparable;
+}
+
+/// Relates inferred vs hand for one target slot.
+AtomRel relateAtoms(const std::optional<PermState> &Inferred,
+                    const std::optional<PermState> &Hand) {
+  if (!Inferred && !Hand)
+    return AtomRel::Equal;
+  if (Inferred && !Hand)
+    return AtomRel::Stronger; // A new obligation/guarantee appeared.
+  if (!Inferred && Hand)
+    return AtomRel::Weaker; // An obligation/guarantee was dropped.
+  return combine(relateKinds(Inferred->Kind, Hand->Kind),
+                 relateStates(Inferred->State, Hand->State));
+}
+
+/// Walks every target of two specs and combines the relations.
+AtomRel relateSpecs(const MethodSpec &Inferred, const MethodSpec &Hand) {
+  AtomRel Rel = AtomRel::Equal;
+  Rel = combine(Rel, relateAtoms(Inferred.ReceiverPre, Hand.ReceiverPre));
+  Rel = combine(Rel, relateAtoms(Inferred.ReceiverPost, Hand.ReceiverPost));
+  size_t Params = std::max(Inferred.ParamPre.size(), Hand.ParamPre.size());
+  auto At = [](const std::vector<std::optional<PermState>> &V, size_t I) {
+    return I < V.size() ? V[I] : std::optional<PermState>();
+  };
+  for (size_t I = 0; I != Params; ++I) {
+    Rel = combine(Rel, relateAtoms(At(Inferred.ParamPre, I),
+                                   At(Hand.ParamPre, I)));
+    Rel = combine(Rel, relateAtoms(At(Inferred.ParamPost, I),
+                                   At(Hand.ParamPost, I)));
+  }
+  Rel = combine(Rel, relateAtoms(Inferred.Result, Hand.Result));
+  return Rel;
+}
+
+/// True when an added spec may impose proof burdens on callers: a
+/// writing-permission or state requirement on a parameter.
+bool isConstraining(const MethodSpec &Spec) {
+  for (const auto &Pre : Spec.ParamPre) {
+    if (!Pre)
+      continue;
+    if (allowsWrite(Pre->Kind) || !Pre->State.empty())
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+SpecComparisonTable
+anek::compareSpecs(const std::map<const MethodDecl *, MethodSpec> &Hand,
+                   const std::map<const MethodDecl *, MethodSpec> &Inferred) {
+  SpecComparisonTable Table;
+  std::set<const MethodDecl *> AllMethods;
+  for (const auto &[M, S] : Hand)
+    AllMethods.insert(M);
+  for (const auto &[M, S] : Inferred)
+    AllMethods.insert(M);
+
+  for (const MethodDecl *M : AllMethods) {
+    auto HandIt = Hand.find(M);
+    auto InfIt = Inferred.find(M);
+    SpecComparison Item;
+    Item.Method = M;
+
+    if (HandIt == Hand.end()) {
+      bool Constraining = isConstraining(InfIt->second);
+      Item.Category = Constraining ? SpecCategory::AddedConstraining
+                                   : SpecCategory::AddedHelpful;
+      Item.Detail = "no hand annotation";
+      Table.Items.push_back(Item);
+      continue;
+    }
+    if (InfIt == Inferred.end()) {
+      Item.Category = SpecCategory::Removed;
+      Item.Detail = "hand annotation not inferred";
+      Table.Items.push_back(Item);
+      continue;
+    }
+
+    const MethodSpec &HandSpec = HandIt->second;
+    const MethodSpec &InfSpec = InfIt->second;
+
+    // ANEK does not infer dynamic state tests; losing an indicator drops
+    // the hand spec's essential content (paper: all three removed specs
+    // were dynamic state test methods).
+    if (!HandSpec.TrueIndicates.empty() && InfSpec.TrueIndicates.empty()) {
+      Item.Category = SpecCategory::Removed;
+      Item.Detail = "dynamic state test not inferred";
+      Table.Items.push_back(Item);
+      continue;
+    }
+
+    switch (relateSpecs(InfSpec, HandSpec)) {
+    case AtomRel::Equal:
+      Item.Category = SpecCategory::Same;
+      break;
+    case AtomRel::Stronger:
+      Item.Category = SpecCategory::MoreRestrictive;
+      break;
+    case AtomRel::Weaker:
+    case AtomRel::Incomparable:
+      Item.Category = SpecCategory::Wrong;
+      break;
+    }
+    Table.Items.push_back(Item);
+  }
+  return Table;
+}

@@ -1,0 +1,62 @@
+//===- SpecComparison.h - Table 4 spec-quality classifier --------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies ANEK's inferred specs against hand-written ones into the
+/// paper's Table 4 categories: Same, Added Helpful, Added Constraining,
+/// Removed, Changed (More Restrictive), Changed (Wrong).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_CORPUS_SPECCOMPARISON_H
+#define ANEK_CORPUS_SPECCOMPARISON_H
+
+#include "lang/Ast.h"
+#include "perm/Spec.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// Table 4 rows.
+enum class SpecCategory {
+  Same,
+  AddedHelpful,
+  AddedConstraining,
+  Removed,
+  MoreRestrictive,
+  Wrong,
+};
+
+/// Printable label matching the paper's wording.
+const char *specCategoryName(SpecCategory Category);
+
+/// One classified method.
+struct SpecComparison {
+  const MethodDecl *Method = nullptr;
+  SpecCategory Category = SpecCategory::Same;
+  std::string Detail;
+};
+
+/// Aggregate counts, indexable by SpecCategory.
+struct SpecComparisonTable {
+  std::vector<SpecComparison> Items;
+  unsigned count(SpecCategory Category) const;
+  /// Renders the Table 4 rows.
+  std::string str() const;
+};
+
+/// Compares per-method hand and inferred specs. Methods present in
+/// neither map are ignored.
+SpecComparisonTable
+compareSpecs(const std::map<const MethodDecl *, MethodSpec> &Hand,
+             const std::map<const MethodDecl *, MethodSpec> &Inferred);
+
+} // namespace anek
+
+#endif // ANEK_CORPUS_SPECCOMPARISON_H

@@ -1,0 +1,97 @@
+//===- FactorGraph.cpp - Boolean factor graphs -----------------------------===//
+
+#include "factor/FactorGraph.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace anek;
+
+double anek::clampProb(double P) {
+  constexpr double Eps = 1e-9;
+  if (P < Eps)
+    return Eps;
+  if (P > 1.0 - Eps)
+    return 1.0 - Eps;
+  return P;
+}
+
+VarId FactorGraph::addVariable(double Prior, std::string Name) {
+  Variable V;
+  V.Prior = clampProb(Prior);
+  V.Name = std::move(Name);
+  Vars.push_back(std::move(V));
+  IndexValid = false;
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+void FactorGraph::addFactor(std::vector<VarId> Scope,
+                            std::vector<double> Table) {
+  assert(!Scope.empty() && "factor with empty scope");
+  assert(Scope.size() <= MaxScope && "factor scope too large");
+  assert(Table.size() == (size_t{1} << Scope.size()) &&
+         "table size must be 2^|scope|");
+#ifndef NDEBUG
+  for (VarId V : Scope)
+    assert(V < Vars.size() && "factor names unknown variable");
+  for (double W : Table)
+    assert(W >= 0.0 && "negative factor weight");
+#endif
+  Factors.push_back({std::move(Scope), std::move(Table)});
+  IndexValid = false;
+}
+
+void FactorGraph::addPredicateFactor(
+    std::vector<VarId> Scope,
+    const std::function<bool(const std::vector<bool> &)> &Predicate,
+    double HighProb) {
+  assert(Scope.size() <= MaxScope && "factor scope too large");
+  const size_t N = Scope.size();
+  std::vector<double> Table(size_t{1} << N);
+  std::vector<bool> Assignment(N);
+  double Hi = clampProb(HighProb);
+  for (size_t Index = 0; Index != Table.size(); ++Index) {
+    for (size_t Bit = 0; Bit != N; ++Bit)
+      Assignment[Bit] = (Index >> Bit) & 1;
+    Table[Index] = Predicate(Assignment) ? Hi : 1.0 - Hi;
+  }
+  addFactor(std::move(Scope), std::move(Table));
+}
+
+void FactorGraph::addEqualityFactor(VarId A, VarId B, double HighProb) {
+  double Hi = clampProb(HighProb);
+  double Lo = 1.0 - Hi;
+  // Index bit 0 = A, bit 1 = B.
+  addFactor({A, B}, {Hi, Lo, Lo, Hi});
+}
+
+void FactorGraph::setPrior(VarId Var, double Prior) {
+  assert(Var < Vars.size() && "unknown variable");
+  Vars[Var].Prior = clampProb(Prior);
+}
+
+const std::vector<std::vector<uint32_t>> &FactorGraph::varToFactors() const {
+  if (!IndexValid) {
+    VarFactorIndex.assign(Vars.size(), {});
+    for (uint32_t F = 0; F != Factors.size(); ++F)
+      for (VarId V : Factors[F].Scope)
+        VarFactorIndex[V].push_back(F);
+    IndexValid = true;
+  }
+  return VarFactorIndex;
+}
+
+double FactorGraph::jointWeight(const std::vector<bool> &Assignment) const {
+  assert(Assignment.size() == Vars.size() && "assignment size mismatch");
+  double Weight = 1.0;
+  for (size_t V = 0; V != Vars.size(); ++V)
+    Weight *= Assignment[V] ? Vars[V].Prior : 1.0 - Vars[V].Prior;
+  for (const Factor &F : Factors) {
+    size_t Index = 0;
+    for (size_t Bit = 0; Bit != F.Scope.size(); ++Bit)
+      if (Assignment[F.Scope[Bit]])
+        Index |= size_t{1} << Bit;
+    Weight *= F.Table[Index];
+  }
+  return Weight;
+}

@@ -1,0 +1,98 @@
+//===- FactorGraph.h - Boolean factor graphs ---------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The probabilistic substrate replacing INFER.NET: a factor graph over
+/// Bernoulli variables. The joint distribution is the pointwise product of
+/// per-variable priors and factor tables (paper Eq. 5); constraint
+/// generation turns every logical/heuristic rule into a soft predicate
+/// factor (paper Eq. 6): h where the predicate holds, 1-h elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_FACTOR_FACTORGRAPH_H
+#define ANEK_FACTOR_FACTORGRAPH_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// Index of a Bernoulli variable within one FactorGraph.
+using VarId = uint32_t;
+
+/// A factor graph over Boolean variables.
+class FactorGraph {
+public:
+  /// One Bernoulli variable with its prior P(X = true).
+  struct Variable {
+    double Prior = 0.5;
+    std::string Name;
+  };
+
+  /// One factor: a non-negative table over the joint assignments of its
+  /// scope. Table index encoding: bit i set <=> Scope[i] is true.
+  struct Factor {
+    std::vector<VarId> Scope;
+    std::vector<double> Table;
+  };
+
+  /// Largest supported factor scope (table size stays cache-friendly and
+  /// message updates tractable).
+  static constexpr unsigned MaxScope = 16;
+
+  /// Adds a variable with prior \p Prior; \p Name aids debugging output.
+  VarId addVariable(double Prior, std::string Name = "");
+
+  /// Adds a tabular factor. Table must have size 2^|Scope|.
+  void addFactor(std::vector<VarId> Scope, std::vector<double> Table);
+
+  /// Adds a soft predicate factor (paper Eq. 6): weight \p HighProb when
+  /// \p Predicate holds of the assignment, 1 - HighProb otherwise.
+  /// The assignment passed to the predicate is indexed like Scope.
+  void addPredicateFactor(
+      std::vector<VarId> Scope,
+      const std::function<bool(const std::vector<bool> &)> &Predicate,
+      double HighProb);
+
+  /// Adds a soft equality factor between two variables.
+  void addEqualityFactor(VarId A, VarId B, double HighProb);
+
+  /// Sharpens/overrides the prior of a variable (used by summary
+  /// application, which re-seeds interface nodes each iteration).
+  void setPrior(VarId Var, double Prior);
+
+  unsigned variableCount() const {
+    return static_cast<unsigned>(Vars.size());
+  }
+  unsigned factorCount() const {
+    return static_cast<unsigned>(Factors.size());
+  }
+  const Variable &variable(VarId Id) const { return Vars[Id]; }
+  const Factor &factor(uint32_t Id) const { return Factors[Id]; }
+
+  /// Factors mentioning each variable (built lazily; invalidated by
+  /// addFactor).
+  const std::vector<std::vector<uint32_t>> &varToFactors() const;
+
+  /// Unnormalized joint weight of a full assignment (priors included).
+  double jointWeight(const std::vector<bool> &Assignment) const;
+
+private:
+  std::vector<Variable> Vars;
+  std::vector<Factor> Factors;
+  mutable std::vector<std::vector<uint32_t>> VarFactorIndex;
+  mutable bool IndexValid = false;
+};
+
+/// Clamps a probability away from 0 and 1 so message products stay finite.
+double clampProb(double P);
+
+} // namespace anek
+
+#endif // ANEK_FACTOR_FACTORGRAPH_H

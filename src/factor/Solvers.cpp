@@ -1,0 +1,273 @@
+//===- Solvers.cpp - Marginal inference over factor graphs -----------------===//
+
+#include "factor/Solvers.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace anek;
+
+//===----------------------------------------------------------------------===//
+// Loopy belief propagation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A Bernoulli message as P(true); P(false) = 1 - P(true).
+using Message = double;
+
+} // namespace
+
+Marginals SumProductSolver::solve(const FactorGraph &G,
+                                  Marginals *GraphLikelihood) const {
+  const unsigned NumVars = G.variableCount();
+  const unsigned NumFactors = G.factorCount();
+
+  // Edge layout: for each factor, one slot per scope position.
+  // VarToFactor[f][k] is the message Scope[k] -> factor f;
+  // FactorToVar[f][k] the reverse.
+  std::vector<std::vector<Message>> VarToFactor(NumFactors);
+  std::vector<std::vector<Message>> FactorToVar(NumFactors);
+  for (unsigned F = 0; F != NumFactors; ++F) {
+    size_t Degree = G.factor(F).Scope.size();
+    VarToFactor[F].assign(Degree, 0.5);
+    FactorToVar[F].assign(Degree, 0.5);
+  }
+
+  const auto &VarIndex = G.varToFactors();
+  // Positions of each variable within each adjacent factor's scope.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> Adjacency(NumVars);
+  for (unsigned F = 0; F != NumFactors; ++F) {
+    const auto &Scope = G.factor(F).Scope;
+    for (uint32_t K = 0; K != Scope.size(); ++K)
+      Adjacency[Scope[K]].push_back({F, K});
+  }
+  (void)VarIndex;
+
+  double Delta = 1.0;
+  unsigned Iter = 0;
+  for (; Iter != Opts.MaxIterations && Delta > Opts.Tolerance; ++Iter) {
+    Delta = 0.0;
+
+    // Variable -> factor messages: prior times incoming factor messages
+    // from all other adjacent factors.
+    for (unsigned V = 0; V != NumVars; ++V) {
+      for (auto [F, K] : Adjacency[V]) {
+        double True = G.variable(V).Prior;
+        double False = 1.0 - True;
+        for (auto [F2, K2] : Adjacency[V]) {
+          if (F2 == F && K2 == K)
+            continue;
+          True *= clampProb(FactorToVar[F2][K2]);
+          False *= clampProb(1.0 - FactorToVar[F2][K2]);
+        }
+        double Sum = True + False;
+        double NewMsg = Sum > 0 ? True / Sum : 0.5;
+        NewMsg = (1.0 - Opts.Damping) * NewMsg +
+                 Opts.Damping * VarToFactor[F][K];
+        Delta = std::max(Delta, std::fabs(NewMsg - VarToFactor[F][K]));
+        VarToFactor[F][K] = NewMsg;
+      }
+    }
+
+    // Factor -> variable messages: marginalize the table against incoming
+    // variable messages.
+    for (unsigned F = 0; F != NumFactors; ++F) {
+      const FactorGraph::Factor &Factor = G.factor(F);
+      const size_t Degree = Factor.Scope.size();
+      const size_t TableSize = Factor.Table.size();
+      for (uint32_t K = 0; K != Degree; ++K) {
+        double True = 0.0, False = 0.0;
+        for (size_t Index = 0; Index != TableSize; ++Index) {
+          double Weight = Factor.Table[Index];
+          if (Weight == 0.0)
+            continue;
+          for (uint32_t K2 = 0; K2 != Degree; ++K2) {
+            if (K2 == K)
+              continue;
+            bool Bit = (Index >> K2) & 1;
+            Weight *= Bit ? VarToFactor[F][K2]
+                          : 1.0 - VarToFactor[F][K2];
+          }
+          if ((Index >> K) & 1)
+            True += Weight;
+          else
+            False += Weight;
+        }
+        double Sum = True + False;
+        double NewMsg = Sum > 0 ? True / Sum : 0.5;
+        NewMsg = (1.0 - Opts.Damping) * NewMsg +
+                 Opts.Damping * FactorToVar[F][K];
+        Delta = std::max(Delta, std::fabs(NewMsg - FactorToVar[F][K]));
+        FactorToVar[F][K] = NewMsg;
+      }
+    }
+  }
+  LastIterations = Iter;
+
+  // Beliefs: prior times all incoming factor messages.
+  Marginals Result(NumVars, 0.5);
+  if (GraphLikelihood)
+    GraphLikelihood->assign(NumVars, 0.5);
+  for (unsigned V = 0; V != NumVars; ++V) {
+    double True = G.variable(V).Prior;
+    double False = 1.0 - True;
+    double GraphTrue = 1.0, GraphFalse = 1.0;
+    for (auto [F, K] : Adjacency[V]) {
+      True *= clampProb(FactorToVar[F][K]);
+      False *= clampProb(1.0 - FactorToVar[F][K]);
+      GraphTrue *= clampProb(FactorToVar[F][K]);
+      GraphFalse *= clampProb(1.0 - FactorToVar[F][K]);
+      // Renormalize as we go so long products stay in range.
+      double Scale = GraphTrue + GraphFalse;
+      GraphTrue /= Scale;
+      GraphFalse /= Scale;
+    }
+    double Sum = True + False;
+    Result[V] = Sum > 0 ? True / Sum : 0.5;
+    if (GraphLikelihood)
+      (*GraphLikelihood)[V] = GraphTrue;
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Exact enumeration
+//===----------------------------------------------------------------------===//
+
+Marginals ExactSolver::solve(const FactorGraph &G) const {
+  const unsigned NumVars = G.variableCount();
+  assert(NumVars <= MaxVariables && "graph too large for exact enumeration");
+  std::vector<double> TrueMass(NumVars, 0.0);
+  double Total = 0.0;
+  std::vector<bool> Assignment(NumVars);
+  const uint64_t Count = uint64_t{1} << NumVars;
+  for (uint64_t Index = 0; Index != Count; ++Index) {
+    for (unsigned V = 0; V != NumVars; ++V)
+      Assignment[V] = (Index >> V) & 1;
+    double Weight = G.jointWeight(Assignment);
+    Total += Weight;
+    for (unsigned V = 0; V != NumVars; ++V)
+      if (Assignment[V])
+        TrueMass[V] += Weight;
+  }
+  Marginals Result(NumVars, 0.5);
+  if (Total > 0)
+    for (unsigned V = 0; V != NumVars; ++V)
+      Result[V] = TrueMass[V] / Total;
+  return Result;
+}
+
+std::optional<uint64_t>
+ExactSolver::countSatisfying(const FactorGraph &G, unsigned VarLimit,
+                             double Threshold) const {
+  const unsigned NumVars = G.variableCount();
+  if (NumVars > VarLimit || NumVars > 62)
+    return std::nullopt; // The deterministic solver gives up: DNF.
+  uint64_t Satisfying = 0;
+  std::vector<bool> Assignment(NumVars);
+  const uint64_t Count = uint64_t{1} << NumVars;
+  for (uint64_t Index = 0; Index != Count; ++Index) {
+    for (unsigned V = 0; V != NumVars; ++V)
+      Assignment[V] = (Index >> V) & 1;
+    bool Ok = true;
+    for (uint32_t F = 0; F != G.factorCount() && Ok; ++F) {
+      const FactorGraph::Factor &Factor = G.factor(F);
+      size_t TableIndex = 0;
+      for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
+        if (Assignment[Factor.Scope[Bit]])
+          TableIndex |= size_t{1} << Bit;
+      Ok = Factor.Table[TableIndex] > Threshold;
+    }
+    Satisfying += Ok;
+  }
+  return Satisfying;
+}
+
+std::optional<Marginals>
+ExactSolver::solveLogical(const FactorGraph &G, unsigned VarLimit,
+                          double Threshold) const {
+  const unsigned NumVars = G.variableCount();
+  if (NumVars > VarLimit || NumVars > 62)
+    return std::nullopt; // Too large: the deterministic solver gives up.
+  uint64_t Satisfying = 0;
+  std::vector<uint64_t> TrueCounts(NumVars, 0);
+  std::vector<bool> Assignment(NumVars);
+  const uint64_t Count = uint64_t{1} << NumVars;
+  for (uint64_t Index = 0; Index != Count; ++Index) {
+    for (unsigned V = 0; V != NumVars; ++V)
+      Assignment[V] = (Index >> V) & 1;
+    bool Ok = true;
+    for (uint32_t F = 0; F != G.factorCount() && Ok; ++F) {
+      const FactorGraph::Factor &Factor = G.factor(F);
+      size_t TableIndex = 0;
+      for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
+        if (Assignment[Factor.Scope[Bit]])
+          TableIndex |= size_t{1} << Bit;
+      Ok = Factor.Table[TableIndex] > Threshold;
+    }
+    if (!Ok)
+      continue;
+    ++Satisfying;
+    for (unsigned V = 0; V != NumVars; ++V)
+      if (Assignment[V])
+        ++TrueCounts[V];
+  }
+  if (Satisfying == 0)
+    return std::nullopt; // Unsatisfiable: conflicting constraints.
+  Marginals Result(NumVars);
+  for (unsigned V = 0; V != NumVars; ++V)
+    Result[V] = static_cast<double>(TrueCounts[V]) /
+                static_cast<double>(Satisfying);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Gibbs sampling
+//===----------------------------------------------------------------------===//
+
+Marginals GibbsSolver::solve(const FactorGraph &G) const {
+  const unsigned NumVars = G.variableCount();
+  if (NumVars == 0)
+    return {};
+  Rng Random(Opts.Seed);
+  const auto &VarIndex = G.varToFactors();
+
+  // Initialize from priors.
+  std::vector<bool> State(NumVars);
+  for (unsigned V = 0; V != NumVars; ++V)
+    State[V] = Random.flip(G.variable(V).Prior);
+
+  std::vector<uint32_t> TrueCounts(NumVars, 0);
+  const unsigned Sweeps = Opts.BurnIn + Opts.Samples;
+  for (unsigned Sweep = 0; Sweep != Sweeps; ++Sweep) {
+    for (unsigned V = 0; V != NumVars; ++V) {
+      // Conditional weight of X_V = b given the rest.
+      double Weight[2];
+      for (int B = 0; B != 2; ++B) {
+        State[V] = B;
+        double W = B ? G.variable(V).Prior : 1.0 - G.variable(V).Prior;
+        for (uint32_t F : VarIndex[V]) {
+          const FactorGraph::Factor &Factor = G.factor(F);
+          size_t Index = 0;
+          for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
+            if (State[Factor.Scope[Bit]])
+              Index |= size_t{1} << Bit;
+          W *= Factor.Table[Index];
+        }
+        Weight[B] = W;
+      }
+      double Sum = Weight[0] + Weight[1];
+      State[V] = Sum > 0 ? Random.flip(Weight[1] / Sum) : Random.flip(0.5);
+    }
+    if (Sweep >= Opts.BurnIn)
+      for (unsigned V = 0; V != NumVars; ++V)
+        TrueCounts[V] += State[V];
+  }
+
+  Marginals Result(NumVars, 0.5);
+  for (unsigned V = 0; V != NumVars; ++V)
+    Result[V] = static_cast<double>(TrueCounts[V]) /
+                static_cast<double>(Opts.Samples);
+  return Result;
+}

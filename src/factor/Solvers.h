@@ -1,0 +1,115 @@
+//===- Solvers.h - Marginal inference over factor graphs --------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three marginal solvers over FactorGraph:
+///  - SumProductSolver: loopy belief propagation, the sum-product
+///    algorithm of the paper's reference [14]. ANEK's workhorse.
+///  - ExactSolver: marginalization by enumeration; ground truth for tests
+///    and the engine behind the deterministic "Anek Logical" mode.
+///  - GibbsSolver: seeded Gibbs sampling, the "sampling the marginal
+///    functions" alternative mentioned in Section 3.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_FACTOR_SOLVERS_H
+#define ANEK_FACTOR_SOLVERS_H
+
+#include "factor/FactorGraph.h"
+#include "support/Rng.h"
+
+#include <optional>
+#include <vector>
+
+namespace anek {
+
+/// Result of a marginal computation: P(X = true) per variable.
+using Marginals = std::vector<double>;
+
+/// Loopy belief propagation (sum-product) with a flooding schedule.
+class SumProductSolver {
+public:
+  struct Options {
+    unsigned MaxIterations = 40;
+    /// L-inf convergence threshold on message change.
+    double Tolerance = 1e-5;
+    /// Message damping in [0,1): new = (1-d)*new + d*old. Helps loopy
+    /// graphs converge.
+    double Damping = 0.15;
+  };
+
+  SumProductSolver() = default;
+  explicit SumProductSolver(Options Opts) : Opts(Opts) {}
+
+  /// Computes (approximate) marginals. Exact on trees; approximate on
+  /// loopy graphs, which is all the paper requires (Section 3.4).
+  ///
+  /// When \p GraphLikelihood is non-null it receives, per variable, the
+  /// normalized product of the incoming factor-to-variable messages with
+  /// the variable's own prior excluded: the belief the *graph* holds
+  /// about the variable. On trees this is the exact leave-the-prior-out
+  /// cavity marginal; ANEK's summary extraction uses it as the evidence
+  /// a method body or call site contributes.
+  Marginals solve(const FactorGraph &G,
+                  Marginals *GraphLikelihood = nullptr) const;
+
+  /// Iterations used by the last solve() call.
+  mutable unsigned LastIterations = 0;
+
+private:
+  Options Opts;
+};
+
+/// Exact marginals by enumerating all 2^n assignments. Only usable for
+/// small graphs; asserts n <= MaxVariables.
+class ExactSolver {
+public:
+  static constexpr unsigned MaxVariables = 24;
+
+  Marginals solve(const FactorGraph &G) const;
+
+  /// Interprets every factor as a hard constraint (weight > Threshold
+  /// means "satisfied") and counts satisfying assignments; the engine of
+  /// the deterministic "Anek Logical" configuration. Returns std::nullopt
+  /// when the variable count exceeds \p VarLimit — the deterministic
+  /// analogue of the paper's Logical run that "ran out of memory before a
+  /// fixed point was reached" (DNF).
+  std::optional<uint64_t> countSatisfying(const FactorGraph &G,
+                                          unsigned VarLimit,
+                                          double Threshold = 0.5) const;
+
+  /// Deterministic-solutions marginals: the fraction of *satisfying*
+  /// assignments (every factor weight > Threshold) in which each variable
+  /// is true. Returns std::nullopt when the graph exceeds \p VarLimit
+  /// (DNF) or no assignment satisfies all constraints (a buggy program
+  /// makes the logical system unsatisfiable — exactly the failure mode
+  /// the paper's probabilistic encoding exists to avoid).
+  std::optional<Marginals> solveLogical(const FactorGraph &G,
+                                        unsigned VarLimit,
+                                        double Threshold = 0.5) const;
+};
+
+/// Gibbs sampling with a deterministic seed.
+class GibbsSolver {
+public:
+  struct Options {
+    unsigned BurnIn = 200;
+    unsigned Samples = 2000;
+    uint64_t Seed = 1;
+  };
+
+  GibbsSolver() = default;
+  explicit GibbsSolver(Options Opts) : Opts(Opts) {}
+
+  Marginals solve(const FactorGraph &G) const;
+
+private:
+  Options Opts;
+};
+
+} // namespace anek
+
+#endif // ANEK_FACTOR_SOLVERS_H

@@ -1,0 +1,408 @@
+//===- AnekInfer.cpp - The modular ANEK-INFER algorithm --------------------===//
+
+#include "infer/AnekInfer.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/IrBuilder.h"
+#include "factor/Solvers.h"
+#include "pfg/PfgBuilder.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <set>
+
+using namespace anek;
+
+const MethodSpec *InferResult::specFor(const MethodDecl *Method) const {
+  static const MethodSpec Empty;
+  if (Method->HasDeclaredSpec)
+    return &Method->DeclaredSpec;
+  auto It = Inferred.find(Method);
+  if (It != Inferred.end())
+    return &It->second;
+  return &Empty;
+}
+
+namespace {
+
+/// Odds-ratio clamp: keeps evidence finite when marginals saturate.
+double oddsRatio(double Marginal, double AppliedPrior) {
+  double Ratio = probToOdds(Marginal) / probToOdds(AppliedPrior);
+  return std::clamp(Ratio, 1e-6, 1e6);
+}
+
+/// Rewrites a summary prior for call-site application.
+///
+/// Requirement side (call pre): a callee that requires K is satisfied by
+/// anything stronger, so kinds *stronger* than the winning kind must not
+/// be suppressed — the object flowing through may hold more than is lent.
+///
+/// Availability side (call post / result): a callee that returns K also
+/// makes every *weaker* kind available (unique can be downgraded to
+/// anything), and the caller's retained permission can reconstitute
+/// *stronger* kinds through merging (Section 2's borrow round trip), so
+/// no kind other than the named one may be suppressed at the site.
+std::vector<double> transformPrior(std::vector<double> P,
+                                   bool IsRequirement) {
+  if (P.size() < NumPermKinds)
+    return P;
+  unsigned Best = 0;
+  for (unsigned K = 1; K != NumPermKinds; ++K)
+    if (P[K] > P[Best])
+      Best = K;
+  if (P[Best] <= 0.6)
+    return P; // No confident kind: leave untouched.
+  if (IsRequirement) {
+    for (unsigned K = 0; K != Best; ++K)
+      P[K] = std::max(P[K], 0.5);
+  } else {
+    for (unsigned K = Best + 1; K != NumPermKinds; ++K)
+      P[K] = std::max(P[K], 0.5);
+  }
+  return P;
+}
+
+/// The engine behind runAnekInfer.
+class InferEngine {
+public:
+  InferEngine(Program &Prog, const InferOptions &Opts)
+      : Prog(Prog), Opts(Opts), Graph(Prog) {}
+
+  InferResult run();
+
+private:
+  struct MethodData {
+    MethodIr Ir;
+    Pfg G;
+  };
+
+  /// Solves one method's model; returns methods whose summary changed by
+  /// more than the tolerance.
+  std::set<MethodDecl *> analyzeOne(MethodDecl *M, InferResult &Result);
+
+  /// Per-target evidence update helper. Converts the graph-side cavity
+  /// beliefs into odds and writes them into \p Target. \p WeakenOnly caps
+  /// odds at 1 (call-site evidence on preconditions). Returns the
+  /// pooled-probability delta.
+  double updateEvidence(TargetSummary &Target,
+                        const std::vector<double> &Applied,
+                        const std::vector<double> &Marginals,
+                        const std::vector<double> &GraphBelief, bool IsSelf,
+                        bool WeakenOnly, CallSiteKey Site,
+                        const MethodDecl *DebugOwner = nullptr);
+
+  /// Runs the configured solver; fills \p GraphBelief with the per-node
+  /// cavity beliefs (for solvers without native support, approximated by
+  /// dividing the prior out of the marginal).
+  Marginals solveGraph(const FactorGraph &G, Marginals &GraphBelief);
+
+  Program &Prog;
+  const InferOptions &Opts;
+  CallGraph Graph;
+  std::map<MethodDecl *, MethodData> Data;
+  std::map<const MethodDecl *, MethodSummary> Summaries;
+  /// Declaration-order index: all iteration over method sets goes through
+  /// this so results do not depend on pointer values.
+  std::map<const MethodDecl *, unsigned> MethodIndex;
+};
+
+} // namespace
+
+double InferEngine::updateEvidence(TargetSummary &Target,
+                                   const std::vector<double> &Applied,
+                                   const std::vector<double> &Marginals,
+                                   const std::vector<double> &GraphBelief,
+                                   bool IsSelf, bool WeakenOnly,
+                                   CallSiteKey Site,
+                                   const MethodDecl *DebugOwner) {
+  // Two evidence channels, chosen by direction:
+  //
+  //  - Requirement-side call votes (WeakenOnly) use the graph-side cavity
+  //    belief (the node's applied prior excluded): a caller that knows
+  //    nothing about the object yields exactly 0.5 = neutral, so
+  //    ignorance never erodes an API spec, while genuine contradiction
+  //    (e.g. ALIVE evidence against a HASNEXT requirement) votes below.
+  //
+  //  - Everything else measures the solved marginal against the applied
+  //    prior: that integrates long equality chains strongly enough for
+  //    body evidence to clear the extraction threshold. A probability
+  //    deadband absorbs the attenuation a strong prior suffers from
+  //    merely-uninformed neighbors.
+  // The weaken deadband is wide: post-condition priors of *other* calls
+  // on the same chain can depress a cavity belief to ~0.4 without any
+  // real counter-evidence; genuine contradiction (a state test or a
+  // conflicting spec one hop away) lands near 0.1-0.2.
+  constexpr double WeakenDeadband = 0.2;
+  constexpr double BoostDeadband = 0.15;
+  constexpr double OddsCap = 9.0;
+
+  std::vector<double> Odds(Target.size(), 1.0);
+  for (size_t I = 0, E = std::min(Applied.size(), Marginals.size()); I != E;
+       ++I) {
+    if (I >= Odds.size())
+      break;
+    double Ratio = 1.0;
+    if (WeakenOnly) {
+      double Belief = I < GraphBelief.size() ? GraphBelief[I] : 0.5;
+      if (std::fabs(Belief - 0.5) < WeakenDeadband)
+        continue;
+      Ratio = std::min(probToOdds(Belief), 1.0);
+    } else {
+      if (std::fabs(Marginals[I] - Applied[I]) < BoostDeadband)
+        continue;
+      Ratio = oddsRatio(Marginals[I], Applied[I]);
+    }
+    Odds[I] = std::clamp(Ratio, 1.0 / OddsCap, OddsCap);
+  }
+  if (std::getenv("ANEK_DEBUG_EVIDENCE")) {
+    std::string Line = DebugOwner ? DebugOwner->qualifiedName() : "?";
+    Line += IsSelf ? " self" : " site";
+    if (!IsSelf && Site.first)
+      Line += " " + Site.first->qualifiedName() + "#" +
+              std::to_string(Site.second);
+    Line += WeakenOnly ? " [weaken]" : " [boost]";
+    for (size_t I = 0; I != Odds.size(); ++I)
+      if (Odds[I] != 1.0)
+        Line += " v" + std::to_string(I) + "=" +
+                std::to_string(Odds[I]);
+    std::fprintf(stderr, "evidence %s\n", Line.c_str());
+  }
+  return IsSelf ? Target.setSelfOdds(std::move(Odds))
+                : Target.setSiteOdds(Site, std::move(Odds));
+}
+
+Marginals InferEngine::solveGraph(const FactorGraph &G,
+                                  Marginals &GraphBelief) {
+  // For solvers without native cavity support, divide the prior out of
+  // the marginal (exact on trees, approximate on loops).
+  auto DividePriors = [&](const Marginals &M) {
+    GraphBelief.assign(M.size(), 0.5);
+    for (unsigned V = 0; V != M.size(); ++V)
+      GraphBelief[V] = oddsToProb(probToOdds(M[V]) /
+                                  probToOdds(G.variable(V).Prior));
+  };
+  switch (Opts.Solver) {
+  case SolverChoice::SumProduct:
+    return SumProductSolver().solve(G, &GraphBelief);
+  case SolverChoice::Gibbs: {
+    Marginals M = GibbsSolver().solve(G);
+    DividePriors(M);
+    return M;
+  }
+  case SolverChoice::Exact:
+    if (G.variableCount() <= ExactSolver::MaxVariables) {
+      Marginals M = ExactSolver().solve(G);
+      DividePriors(M);
+      return M;
+    }
+    // Too large for enumeration; fall back to belief propagation.
+    return SumProductSolver().solve(G, &GraphBelief);
+  }
+  return SumProductSolver().solve(G, &GraphBelief);
+}
+
+std::set<MethodDecl *> InferEngine::analyzeOne(MethodDecl *M,
+                                               InferResult &Result) {
+  MethodData &MD = Data.at(M);
+  const Pfg &G = MD.G;
+
+  FactorGraph FG;
+  PfgVarMap Vars(G, FG);
+  generateConstraints(G, FG, Vars, Opts.Constraints);
+
+  // Records of every prior application so evidence can be divided out.
+  struct Application {
+    PfgNodeId Node = NoPfgNode;
+    TargetSummary *Target = nullptr;
+    /// Method whose summary the target belongs to.
+    MethodDecl *SummaryOwner = nullptr;
+    std::vector<double> Applied;
+    bool IsSelf = false;
+    /// True for call-site precondition nodes: a site may only weaken a
+    /// requirement, never strengthen it (requirements come from bodies).
+    bool IsRequirement = false;
+    CallSiteKey Site{nullptr, 0};
+  };
+  std::vector<Application> Applications;
+
+  auto Apply = [&](PfgNodeId Node, TargetSummary *Target,
+                   MethodDecl *SummaryOwner, bool IsSelf, CallSiteKey Site,
+                   bool IsRequirement = false) {
+    if (Node == NoPfgNode || !Target)
+      return;
+    Application App;
+    App.Node = Node;
+    App.Target = Target;
+    App.SummaryOwner = SummaryOwner;
+    App.IsSelf = IsSelf;
+    App.Site = Site;
+    App.IsRequirement = IsRequirement;
+    App.Applied =
+        IsSelf ? Target->pooledWithoutSelf() : Target->pooledWithoutSite(Site);
+    if (!IsSelf)
+      App.Applied = transformPrior(std::move(App.Applied), IsRequirement);
+    setMarginalPriors(FG, Vars.node(Node), App.Applied);
+    Applications.push_back(std::move(App));
+  };
+
+  // The method's own interface nodes: prior = summary minus own evidence.
+  MethodSummary &Self = Summaries.at(M);
+  CallSiteKey NoSite{nullptr, 0};
+  Apply(G.ReceiverPre, Self.RecvPre ? &*Self.RecvPre : nullptr, M, true,
+        NoSite);
+  Apply(G.ReceiverPost, Self.RecvPost ? &*Self.RecvPost : nullptr, M, true,
+        NoSite);
+  for (size_t I = 0; I != G.ParamPre.size(); ++I) {
+    if (I < Self.ParamPre.size() && Self.ParamPre[I])
+      Apply(G.ParamPre[I], &*Self.ParamPre[I], M, true, NoSite);
+    if (I < Self.ParamPost.size() && Self.ParamPost[I])
+      Apply(G.ParamPost[I], &*Self.ParamPost[I], M, true, NoSite);
+  }
+  if (Self.Result)
+    Apply(G.ResultNode, &*Self.Result, M, true, NoSite);
+
+  // Call sites: cavity priors from callee summaries (APPLYSUMMARY).
+  for (uint32_t S = 0; S != G.CallSites.size(); ++S) {
+    const PfgCallSite &Site = G.CallSites[S];
+    if (!Site.Callee)
+      continue;
+    auto SumIt = Summaries.find(Site.Callee);
+    if (SumIt == Summaries.end())
+      continue;
+    MethodSummary &Callee = SumIt->second;
+    MethodDecl *D = Site.Callee;
+    CallSiteKey Key{M, S};
+    Apply(Site.RecvPre, Callee.RecvPre ? &*Callee.RecvPre : nullptr, D,
+          false, Key, /*IsRequirement=*/true);
+    Apply(Site.RecvPost, Callee.RecvPost ? &*Callee.RecvPost : nullptr, D,
+          false, Key);
+    for (size_t I = 0; I != Site.ArgPre.size(); ++I) {
+      if (I < Callee.ParamPre.size() && Callee.ParamPre[I])
+        Apply(Site.ArgPre[I], &*Callee.ParamPre[I], D, false, Key,
+              /*IsRequirement=*/true);
+      if (I < Callee.ParamPost.size() && Callee.ParamPost[I])
+        Apply(Site.ArgPost[I], &*Callee.ParamPost[I], D, false, Key);
+    }
+    if (Callee.Result)
+      Apply(Site.Result, &*Callee.Result, D, false, Key);
+  }
+
+  Timer SolveTimer;
+  Marginals GraphBelief;
+  Marginals Solution = solveGraph(FG, GraphBelief);
+  Result.SolveSeconds += SolveTimer.seconds();
+  Result.TotalVariables += FG.variableCount();
+  Result.TotalFactors += FG.factorCount();
+
+  // Push evidence back into summaries (UPDATESUMMARY).
+  std::set<MethodDecl *> Changed;
+  for (const Application &App : Applications) {
+    std::vector<double> NodeMarginals =
+        readMarginals(Vars.node(App.Node), Solution);
+    std::vector<double> NodeBelief =
+        readMarginals(Vars.node(App.Node), GraphBelief);
+    double Delta = updateEvidence(*App.Target, App.Applied, NodeMarginals,
+                                  NodeBelief, App.IsSelf,
+                                  !App.IsSelf && App.IsRequirement,
+                                  App.Site, App.SummaryOwner);
+    if (Delta > Opts.SummaryTolerance)
+      Changed.insert(App.SummaryOwner);
+  }
+  return Changed;
+}
+
+InferResult InferEngine::run() {
+  InferResult Result;
+
+  // Phase 1 (Figure 9 lines 2-6): initialize variables, models, worklist.
+  std::vector<MethodDecl *> Bodies = Prog.methodsWithBodies();
+  for (MethodDecl *M : Bodies) {
+    MethodData MD;
+    MD.Ir = lowerToIr(*M);
+    MD.G = buildPfg(MD.Ir);
+    Data.emplace(M, std::move(MD));
+  }
+  for (const auto &Type : Prog.Types)
+    for (const auto &M : Type->Methods) {
+      MethodIndex.emplace(M.get(),
+                          static_cast<unsigned>(MethodIndex.size()));
+      Summaries.emplace(M.get(),
+                        MethodSummary::forMethod(*M, Opts.SpecHi,
+                                                 Opts.SpecLo));
+    }
+
+  std::deque<MethodDecl *> Worklist;
+  std::set<MethodDecl *> InWorklist;
+  for (MethodDecl *M : Graph.bottomUpOrder()) {
+    if (!Data.count(M))
+      continue;
+    Worklist.push_back(M);
+    InWorklist.insert(M);
+  }
+
+  unsigned MaxIters =
+      Opts.MaxIters ? Opts.MaxIters
+                    : static_cast<unsigned>(3 * Bodies.size());
+
+  // Phase 2 (lines 8-21): bounded worklist iteration.
+  while (!Worklist.empty() && Result.WorklistPicks < MaxIters) {
+    MethodDecl *M = Worklist.front();
+    Worklist.pop_front();
+    InWorklist.erase(M);
+    ++Result.WorklistPicks;
+
+    std::set<MethodDecl *> ChangedSet = analyzeOne(M, Result);
+    // Iterate in declaration order, not pointer order: the requeue order
+    // must be deterministic across runs and processes.
+    std::vector<MethodDecl *> Changed(ChangedSet.begin(), ChangedSet.end());
+    std::sort(Changed.begin(), Changed.end(),
+              [&](const MethodDecl *A, const MethodDecl *B) {
+                return MethodIndex.at(A) < MethodIndex.at(B);
+              });
+
+    // A changed summary invalidates the models that consume it: the
+    // method itself and its callers (they applied the stale summary).
+    for (MethodDecl *C : Changed) {
+      auto Enqueue = [&](MethodDecl *Target) {
+        if (!Data.count(Target) || InWorklist.count(Target))
+          return;
+        Worklist.push_back(Target);
+        InWorklist.insert(Target);
+      };
+      Enqueue(C);
+      for (MethodDecl *Caller : Graph.callers(C))
+        Enqueue(Caller);
+    }
+  }
+  Result.MethodsAnalyzed = static_cast<unsigned>(Bodies.size());
+
+  // Phase 3 (lines 22-29): extract deterministic specifications.
+  for (MethodDecl *M : Bodies) {
+    if (Opts.RespectDeclared && M->HasDeclaredSpec)
+      continue;
+    MethodSpec Spec =
+        extractSpec(Summaries.at(M),
+                    static_cast<unsigned>(M->Params.size()), Opts.Threshold);
+    if (M->IsCtor && Spec.Result) {
+      // A constructor's "result" is its receiver after construction.
+      if (!Spec.ReceiverPost)
+        Spec.ReceiverPost = Spec.Result;
+      Spec.Result.reset();
+    }
+    if (!Spec.isEmpty())
+      Result.Inferred.emplace(M, std::move(Spec));
+  }
+
+  for (auto &[M, Summary] : Summaries)
+    Result.Summaries.emplace(M, Summary);
+  return Result;
+}
+
+InferResult anek::runAnekInfer(Program &Prog, const InferOptions &Opts) {
+  InferEngine Engine(Prog, Opts);
+  return Engine.run();
+}

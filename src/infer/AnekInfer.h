@@ -1,0 +1,78 @@
+//===- AnekInfer.h - The modular ANEK-INFER algorithm ------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ANEK-INFER worklist algorithm of paper Figure 9: per-method
+/// probabilistic models are solved one at a time; probabilistic summaries
+/// placed at method boundaries carry information across methods; the loop
+/// runs a bounded number of iterations instead of to a fixpoint; a final
+/// thresholding step extracts deterministic specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_INFER_ANEKINFER_H
+#define ANEK_INFER_ANEKINFER_H
+
+#include "constraints/ConstraintGen.h"
+#include "infer/Summary.h"
+#include "lang/Ast.h"
+
+#include <map>
+#include <memory>
+
+namespace anek {
+
+/// Which marginal solver ANEK-INFER's SOLVE step uses.
+enum class SolverChoice { SumProduct, Gibbs, Exact };
+
+/// Tunables of the inference (paper Sections 3.3-3.4).
+struct InferOptions {
+  /// Worklist picks (Figure 9's MaxIters). 0 means 3 passes over the
+  /// methods with bodies.
+  unsigned MaxIters = 0;
+  /// Extraction threshold t in [0.5, 1).
+  double Threshold = 0.7;
+  /// A summary change below this does not requeue dependents.
+  double SummaryTolerance = 0.02;
+  SolverChoice Solver = SolverChoice::SumProduct;
+  ConstraintOptions Constraints;
+  /// Spec-prior strengths (Section 3.2).
+  double SpecHi = 0.9;
+  double SpecLo = 0.1;
+  /// Keep explicitly declared specs instead of inferred ones.
+  bool RespectDeclared = true;
+};
+
+/// Outcome of a run.
+struct InferResult {
+  /// Inferred specs for methods that had none declared (non-empty only).
+  std::map<const MethodDecl *, MethodSpec> Inferred;
+  /// Final summaries (for inspection/benches).
+  std::map<const MethodDecl *, MethodSummary> Summaries;
+
+  // Statistics.
+  unsigned WorklistPicks = 0;
+  unsigned MethodsAnalyzed = 0;
+  unsigned TotalVariables = 0;
+  unsigned TotalFactors = 0;
+  double SolveSeconds = 0.0;
+
+  /// The spec to use for \p Method: declared when present, else inferred,
+  /// else an empty spec.
+  const MethodSpec *specFor(const MethodDecl *Method) const;
+
+  /// Number of methods that received a non-empty inferred spec.
+  unsigned inferredAnnotationCount() const {
+    return static_cast<unsigned>(Inferred.size());
+  }
+};
+
+/// Runs ANEK-INFER over every method with a body in \p Prog.
+InferResult runAnekInfer(Program &Prog, const InferOptions &Opts = {});
+
+} // namespace anek
+
+#endif // ANEK_INFER_ANEKINFER_H

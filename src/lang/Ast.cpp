@@ -1,0 +1,104 @@
+//===- Ast.cpp - MiniJava abstract syntax trees ----------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace anek;
+
+// Out-of-line virtual anchors keep the vtables in one object file.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+std::string TypeRef::str() const {
+  switch (Kind) {
+  case Tag::Void:
+    return "void";
+  case Tag::Int:
+    return "int";
+  case Tag::Boolean:
+    return "boolean";
+  case Tag::Class:
+    break;
+  }
+  std::string Out = Name;
+  if (!Args.empty()) {
+    Out += "<";
+    for (size_t I = 0, E = Args.size(); I != E; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Args[I].str();
+    }
+    Out += ">";
+  }
+  return Out;
+}
+
+const std::string &RawAnnotation::arg(const std::string &Key) const {
+  static const std::string Empty;
+  auto It = Args.find(Key);
+  return It != Args.end() ? It->second : Empty;
+}
+
+std::vector<std::string> MethodDecl::paramNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Params.size());
+  for (const ParamDecl &P : Params)
+    Names.push_back(P.Name);
+  return Names;
+}
+
+std::string MethodDecl::qualifiedName() const {
+  std::string Out = Owner ? Owner->Name : std::string("<unknown>");
+  Out += ".";
+  Out += Name;
+  return Out;
+}
+
+const FieldDecl *TypeDecl::findField(const std::string &Name) const {
+  for (const FieldDecl &F : Fields)
+    if (F.Name == Name)
+      return &F;
+  if (Super)
+    return Super->findField(Name);
+  return nullptr;
+}
+
+MethodDecl *TypeDecl::findMethod(const std::string &Name,
+                                 unsigned Arity) const {
+  for (const auto &M : Methods)
+    if (!M->IsCtor && M->Name == Name && M->Params.size() == Arity)
+      return M.get();
+  if (Super)
+    if (MethodDecl *M = Super->findMethod(Name, Arity))
+      return M;
+  for (TypeDecl *Iface : Interfaces)
+    if (MethodDecl *M = Iface->findMethod(Name, Arity))
+      return M;
+  return nullptr;
+}
+
+bool TypeDecl::isSubtypeOf(const TypeDecl *Other) const {
+  if (this == Other)
+    return true;
+  if (Super && Super->isSubtypeOf(Other))
+    return true;
+  for (const TypeDecl *Iface : Interfaces)
+    if (Iface->isSubtypeOf(Other))
+      return true;
+  return false;
+}
+
+TypeDecl *Program::findType(const std::string &Name) const {
+  for (const auto &T : Types)
+    if (T->Name == Name)
+      return T.get();
+  return nullptr;
+}
+
+std::vector<MethodDecl *> Program::methodsWithBodies() const {
+  std::vector<MethodDecl *> Result;
+  for (const auto &T : Types)
+    for (const auto &M : T->Methods)
+      if (M->Body)
+        Result.push_back(M.get());
+  return Result;
+}

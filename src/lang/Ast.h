@@ -1,0 +1,523 @@
+//===- Ast.h - MiniJava abstract syntax trees --------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the MiniJava dialect: the Java subset the paper's abstraction
+/// reads (classes, interfaces, fields, methods, locals, calls, `new`,
+/// field access, structured control flow, `synchronized`) plus PLURAL's
+/// annotation vocabulary. Semantic links (resolved callees, declared
+/// specs, state spaces) are filled in by Sema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_LANG_AST_H
+#define ANEK_LANG_AST_H
+
+#include "perm/Spec.h"
+#include "perm/StateSpace.h"
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+class TypeDecl;
+class MethodDecl;
+
+//===----------------------------------------------------------------------===//
+// Types and annotations
+//===----------------------------------------------------------------------===//
+
+/// A syntactic type reference. Generic arguments are parsed but erased for
+/// analysis purposes (`Iterator<Integer>` behaves as `Iterator`).
+struct TypeRef {
+  enum class Tag { Void, Int, Boolean, Class } Kind = Tag::Void;
+  /// Class name when Kind == Class.
+  std::string Name;
+  /// Generic arguments (kept for pretty-printing only).
+  std::vector<TypeRef> Args;
+  SourceLocation Loc;
+
+  /// Resolved declaration when Kind == Class (set by Sema); null for
+  /// unresolved or non-class types.
+  TypeDecl *Decl = nullptr;
+
+  static TypeRef voidTy() { return TypeRef{}; }
+  static TypeRef intTy() {
+    TypeRef T;
+    T.Kind = Tag::Int;
+    return T;
+  }
+  static TypeRef boolTy() {
+    TypeRef T;
+    T.Kind = Tag::Boolean;
+    return T;
+  }
+  static TypeRef classTy(std::string Name) {
+    TypeRef T;
+    T.Kind = Tag::Class;
+    T.Name = std::move(Name);
+    return T;
+  }
+
+  bool isClass() const { return Kind == Tag::Class; }
+  bool isVoid() const { return Kind == Tag::Void; }
+  bool isBoolean() const { return Kind == Tag::Boolean; }
+
+  /// Renders as source syntax, e.g. "Iterator<Integer>".
+  std::string str() const;
+};
+
+/// An annotation as parsed: name plus named string arguments and/or a list
+/// of strings, e.g. @Perm(requires="...", ensures="...") or
+/// @States({"HASNEXT","END"}).
+struct RawAnnotation {
+  std::string Name;
+  std::map<std::string, std::string> Args;
+  std::vector<std::string> ListArgs;
+  SourceLocation Loc;
+
+  /// Returns the value of argument \p Key or "" when absent.
+  const std::string &arg(const std::string &Key) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Static type of an expression after Sema: either a primitive tag or a
+/// resolved class.
+struct ExprType {
+  TypeRef::Tag Kind = TypeRef::Tag::Void;
+  TypeDecl *Decl = nullptr; // Non-null only for class-typed expressions.
+
+  bool isClass() const { return Kind == TypeRef::Tag::Class; }
+  bool isBoolean() const { return Kind == TypeRef::Tag::Boolean; }
+};
+
+/// Base class of all expressions.
+class Expr {
+public:
+  enum class Kind {
+    VarRef,
+    This,
+    FieldRead,
+    Call,
+    New,
+    Assign,
+    IntLit,
+    BoolLit,
+    StringLit,
+    NullLit,
+    Binary,
+    Unary,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLocation getLoc() const { return Loc; }
+
+  /// Static type, available after Sema.
+  ExprType Type;
+
+  virtual ~Expr();
+
+protected:
+  Expr(Kind TheKind, SourceLocation Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLocation Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// How an unqualified identifier resolved.
+enum class VarRefBinding { Unresolved, Local, Param, FieldOfThis };
+
+/// A reference to a local variable, parameter, or (after resolution)
+/// an implicit field of `this`.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLocation Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  std::string Name;
+  VarRefBinding Binding = VarRefBinding::Unresolved;
+  /// Parameter index when Binding == Param.
+  unsigned ParamIndex = 0;
+  /// Declaring statement when Binding == Local.
+  class VarDeclStmt *LocalDecl = nullptr;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+};
+
+/// The receiver reference `this`.
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(SourceLocation Loc) : Expr(Kind::This, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::This; }
+};
+
+/// A field read `base.f`.
+class FieldReadExpr : public Expr {
+public:
+  FieldReadExpr(ExprPtr Base, std::string FieldName, SourceLocation Loc)
+      : Expr(Kind::FieldRead, Loc), Base(std::move(Base)),
+        FieldName(std::move(FieldName)) {}
+
+  ExprPtr Base;
+  std::string FieldName;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::FieldRead;
+  }
+};
+
+/// A method call `base.m(args)`; Base is null for unqualified calls on the
+/// implicit receiver.
+class CallExpr : public Expr {
+public:
+  CallExpr(ExprPtr Base, std::string MethodName, std::vector<ExprPtr> Args,
+           SourceLocation Loc)
+      : Expr(Kind::Call, Loc), Base(std::move(Base)),
+        MethodName(std::move(MethodName)), Args(std::move(Args)) {}
+
+  ExprPtr Base;
+  std::string MethodName;
+  std::vector<ExprPtr> Args;
+
+  /// Resolved callee (set by Sema); null when unresolvable.
+  MethodDecl *Callee = nullptr;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+};
+
+/// An object allocation `new C(args)`.
+class NewExpr : public Expr {
+public:
+  NewExpr(TypeRef ClassType, std::vector<ExprPtr> Args, SourceLocation Loc)
+      : Expr(Kind::New, Loc), ClassType(std::move(ClassType)),
+        Args(std::move(Args)) {}
+
+  TypeRef ClassType;
+  std::vector<ExprPtr> Args;
+
+  /// Resolved constructor (may be null: implicit default constructor).
+  MethodDecl *Ctor = nullptr;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::New; }
+};
+
+/// An assignment `lhs = rhs`. The LHS is a VarRefExpr (local/param) or a
+/// FieldReadExpr (then this is a field write).
+class AssignExpr : public Expr {
+public:
+  AssignExpr(ExprPtr Lhs, ExprPtr Rhs, SourceLocation Loc)
+      : Expr(Kind::Assign, Loc), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assign; }
+};
+
+/// Integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(long Value, SourceLocation Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  long Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+};
+
+/// Boolean literal.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLocation Loc)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+  bool Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::BoolLit; }
+};
+
+/// String literal.
+class StringLitExpr : public Expr {
+public:
+  StringLitExpr(std::string Value, SourceLocation Loc)
+      : Expr(Kind::StringLit, Loc), Value(std::move(Value)) {}
+  std::string Value;
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::StringLit;
+  }
+};
+
+/// The null literal.
+class NullLitExpr : public Expr {
+public:
+  explicit NullLitExpr(SourceLocation Loc) : Expr(Kind::NullLit, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::NullLit; }
+};
+
+/// Binary operators.
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  And,
+  Or,
+};
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLocation Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+};
+
+/// Unary operators.
+enum class UnaryOp { Not, Neg };
+
+/// A unary expression.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLocation Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp Op;
+  ExprPtr Operand;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all statements.
+class Stmt {
+public:
+  enum class Kind {
+    Block,
+    VarDecl,
+    If,
+    While,
+    Return,
+    Assert,
+    Synchronized,
+    ExprStmt,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLocation getLoc() const { return Loc; }
+
+  virtual ~Stmt();
+
+protected:
+  Stmt(Kind TheKind, SourceLocation Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLocation Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// `{ stmts }`
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLocation Loc)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+  std::vector<StmtPtr> Stmts;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Block; }
+};
+
+/// `T x = init;` (init optional).
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(TypeRef Type, std::string Name, ExprPtr Init,
+              SourceLocation Loc)
+      : Stmt(Kind::VarDecl, Loc), Type(std::move(Type)),
+        Name(std::move(Name)), Init(std::move(Init)) {}
+  TypeRef Type;
+  std::string Name;
+  ExprPtr Init; // May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::VarDecl; }
+};
+
+/// `if (cond) then else els`
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLocation Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+};
+
+/// `while (cond) body`
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLocation Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+};
+
+/// `return e;` (value optional).
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLocation Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+  ExprPtr Value; // May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+};
+
+/// `assert e;`
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(ExprPtr Cond, SourceLocation Loc)
+      : Stmt(Kind::Assert, Loc), Cond(std::move(Cond)) {}
+  ExprPtr Cond;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assert; }
+};
+
+/// `synchronized (e) { ... }` — heuristic H5 reads these.
+class SynchronizedStmt : public Stmt {
+public:
+  SynchronizedStmt(ExprPtr Target, StmtPtr Body, SourceLocation Loc)
+      : Stmt(Kind::Synchronized, Loc), Target(std::move(Target)),
+        Body(std::move(Body)) {}
+  ExprPtr Target;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::Synchronized;
+  }
+};
+
+/// An expression evaluated for effect (calls, assignments).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLocation Loc)
+      : Stmt(Kind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::ExprStmt; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A method parameter.
+struct ParamDecl {
+  TypeRef Type;
+  std::string Name;
+  SourceLocation Loc;
+};
+
+/// A field declaration.
+struct FieldDecl {
+  TypeRef Type;
+  std::string Name;
+  SourceLocation Loc;
+};
+
+/// A method (or constructor) declaration.
+class MethodDecl {
+public:
+  std::vector<RawAnnotation> Annotations;
+  bool IsStatic = false;
+  bool IsCtor = false;
+  TypeRef ReturnType;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body; // Null for interface methods.
+  SourceLocation Loc;
+
+  /// Enclosing type (set by Sema).
+  TypeDecl *Owner = nullptr;
+
+  /// Declared spec from @Perm/@Spec annotations (set by Sema); empty spec
+  /// when unannotated.
+  MethodSpec DeclaredSpec;
+  /// True when an explicit @Perm/@Spec annotation was present.
+  bool HasDeclaredSpec = false;
+  /// True when annotated @Test.
+  bool IsTest = false;
+
+  /// Parameter names in order (for spec parsing/printing).
+  std::vector<std::string> paramNames() const;
+
+  /// "Owner.name" for diagnostics.
+  std::string qualifiedName() const;
+};
+
+/// A class or interface declaration.
+class TypeDecl {
+public:
+  std::vector<RawAnnotation> Annotations;
+  bool IsInterface = false;
+  std::string Name;
+  /// Generic parameter names (erased, kept for printing).
+  std::vector<std::string> TypeParams;
+  std::string SuperName; // Empty when none.
+  std::vector<std::string> InterfaceNames;
+  std::vector<FieldDecl> Fields;
+  std::vector<std::unique_ptr<MethodDecl>> Methods;
+  SourceLocation Loc;
+
+  /// Resolved supertype links (set by Sema).
+  TypeDecl *Super = nullptr;
+  std::vector<TypeDecl *> Interfaces;
+
+  /// Typestate hierarchy from @States annotations (set by Sema).
+  StateSpace States;
+
+  /// Looks up a field in this type or a supertype.
+  const FieldDecl *findField(const std::string &Name) const;
+
+  /// Looks up a method by name and arity in this type or a supertype.
+  MethodDecl *findMethod(const std::string &Name, unsigned Arity) const;
+
+  /// True if this type equals or transitively extends/implements \p Other.
+  bool isSubtypeOf(const TypeDecl *Other) const;
+};
+
+/// A whole MiniJava program (one compilation unit for our purposes).
+class Program {
+public:
+  std::vector<std::unique_ptr<TypeDecl>> Types;
+
+  /// Finds a type by name; null when absent.
+  TypeDecl *findType(const std::string &Name) const;
+
+  /// All methods that have bodies, in declaration order.
+  std::vector<MethodDecl *> methodsWithBodies() const;
+};
+
+} // namespace anek
+
+#endif // ANEK_LANG_AST_H

@@ -1,0 +1,45 @@
+//===- Lexer.h - MiniJava lexer ----------------------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_LANG_LEXER_H
+#define ANEK_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// Turns a MiniJava source buffer into tokens. Comments (// and /* */) and
+/// whitespace are skipped. The token stream always ends with EndOfFile.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer. On a lexical error a diagnostic is emitted
+  /// and the offending character skipped.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  void skipTrivia();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLocation here() const { return SourceLocation(Line, Column); }
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace anek
+
+#endif // ANEK_LANG_LEXER_H

@@ -1,0 +1,616 @@
+//===- Parser.cpp - MiniJava recursive-descent parser ----------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+
+using namespace anek;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must end with EOF");
+}
+
+std::unique_ptr<Program> Parser::parse(const std::string &Source,
+                                       DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseProgram();
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // EOF token.
+  return Tokens[Index];
+}
+
+Token Parser::advance() {
+  Token Tok = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return Tok;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(current().Loc,
+              std::string("expected ") + tokenKindName(Kind) + " in " +
+                  Context + ", got " + tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::skipToMemberBoundary() {
+  unsigned Depth = 0;
+  while (!check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::LBrace)) {
+      ++Depth;
+    } else if (check(TokenKind::RBrace)) {
+      if (Depth == 0)
+        return;
+      --Depth;
+    } else if (Depth == 0 && check(TokenKind::Semi)) {
+      advance();
+      return;
+    }
+    advance();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Annotations
+//===----------------------------------------------------------------------===//
+
+RawAnnotation Parser::parseAnnotation() {
+  RawAnnotation Annot;
+  Annot.Loc = current().Loc;
+  expect(TokenKind::At, "annotation");
+  if (check(TokenKind::Identifier))
+    Annot.Name = advance().Text;
+  else
+    Diags.error(current().Loc, "expected annotation name after '@'");
+  if (!match(TokenKind::LParen))
+    return Annot; // Marker annotation like @Test.
+
+  // Either named args (ident = "..."), a positional string, or a string
+  // list { "...", ... }.
+  while (!check(TokenKind::RParen) && !check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Assign)) {
+      std::string Key = advance().Text;
+      advance(); // '='
+      if (check(TokenKind::StringLiteral))
+        Annot.Args[Key] = advance().Text;
+      else
+        Diags.error(current().Loc, "expected string annotation value");
+    } else if (check(TokenKind::StringLiteral)) {
+      Annot.Args["value"] = advance().Text;
+    } else if (match(TokenKind::LBrace)) {
+      while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+        if (check(TokenKind::StringLiteral))
+          Annot.ListArgs.push_back(advance().Text);
+        else {
+          Diags.error(current().Loc, "expected string in annotation list");
+          advance();
+        }
+        if (!match(TokenKind::Comma))
+          break;
+      }
+      expect(TokenKind::RBrace, "annotation list");
+    } else {
+      Diags.error(current().Loc, "malformed annotation argument");
+      advance();
+    }
+    if (!match(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RParen, "annotation");
+  return Annot;
+}
+
+std::vector<RawAnnotation> Parser::parseAnnotations() {
+  std::vector<RawAnnotation> Annots;
+  while (check(TokenKind::At))
+    Annots.push_back(parseAnnotation());
+  return Annots;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TypeRef Parser::parseType() {
+  TypeRef Type;
+  Type.Loc = current().Loc;
+  if (match(TokenKind::KwVoid)) {
+    Type.Kind = TypeRef::Tag::Void;
+    return Type;
+  }
+  if (match(TokenKind::KwInt)) {
+    Type.Kind = TypeRef::Tag::Int;
+    return Type;
+  }
+  if (match(TokenKind::KwBoolean)) {
+    Type.Kind = TypeRef::Tag::Boolean;
+    return Type;
+  }
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected a type name");
+    Type.Kind = TypeRef::Tag::Void;
+    return Type;
+  }
+  Type.Kind = TypeRef::Tag::Class;
+  Type.Name = advance().Text;
+  if (match(TokenKind::Lt)) {
+    while (!check(TokenKind::Gt) && !check(TokenKind::EndOfFile)) {
+      Type.Args.push_back(parseType());
+      if (!match(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::Gt, "generic argument list");
+  }
+  return Type;
+}
+
+std::vector<ParamDecl> Parser::parseParams() {
+  std::vector<ParamDecl> Params;
+  expect(TokenKind::LParen, "parameter list");
+  while (!check(TokenKind::RParen) && !check(TokenKind::EndOfFile)) {
+    ParamDecl Param;
+    Param.Loc = current().Loc;
+    Param.Type = parseType();
+    if (check(TokenKind::Identifier))
+      Param.Name = advance().Text;
+    else
+      Diags.error(current().Loc, "expected parameter name");
+    Params.push_back(std::move(Param));
+    if (!match(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RParen, "parameter list");
+  return Params;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto Prog = std::make_unique<Program>();
+  while (!check(TokenKind::EndOfFile)) {
+    std::vector<RawAnnotation> Annots = parseAnnotations();
+    if (check(TokenKind::KwClass) || check(TokenKind::KwInterface)) {
+      if (auto Type = parseTypeDecl(std::move(Annots)))
+        Prog->Types.push_back(std::move(Type));
+      continue;
+    }
+    Diags.error(current().Loc, "expected a class or interface declaration");
+    advance();
+  }
+  return Prog;
+}
+
+std::unique_ptr<TypeDecl>
+Parser::parseTypeDecl(std::vector<RawAnnotation> Annots) {
+  auto Type = std::make_unique<TypeDecl>();
+  Type->Annotations = std::move(Annots);
+  Type->Loc = current().Loc;
+  Type->IsInterface = check(TokenKind::KwInterface);
+  advance(); // class/interface keyword.
+  if (check(TokenKind::Identifier))
+    Type->Name = advance().Text;
+  else
+    Diags.error(current().Loc, "expected type name");
+
+  if (match(TokenKind::Lt)) {
+    while (check(TokenKind::Identifier)) {
+      Type->TypeParams.push_back(advance().Text);
+      if (!match(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::Gt, "type parameter list");
+  }
+
+  if (match(TokenKind::KwExtends)) {
+    TypeRef Super = parseType();
+    if (Type->IsInterface) {
+      // Interfaces may extend several interfaces.
+      Type->InterfaceNames.push_back(Super.Name);
+      while (match(TokenKind::Comma))
+        Type->InterfaceNames.push_back(parseType().Name);
+    } else {
+      Type->SuperName = Super.Name;
+    }
+  }
+  if (match(TokenKind::KwImplements)) {
+    Type->InterfaceNames.push_back(parseType().Name);
+    while (match(TokenKind::Comma))
+      Type->InterfaceNames.push_back(parseType().Name);
+  }
+
+  expect(TokenKind::LBrace, "type body");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile))
+    parseMember(*Type);
+  expect(TokenKind::RBrace, "type body");
+  return Type;
+}
+
+void Parser::parseMember(TypeDecl &Type) {
+  std::vector<RawAnnotation> Annots = parseAnnotations();
+  bool IsStatic = match(TokenKind::KwStatic);
+  SourceLocation Loc = current().Loc;
+
+  // Constructor: ClassName '(' ... without a preceding return type.
+  if (check(TokenKind::Identifier) && current().Text == Type.Name &&
+      peek(1).is(TokenKind::LParen)) {
+    auto Method = std::make_unique<MethodDecl>();
+    Method->Annotations = std::move(Annots);
+    Method->IsStatic = false;
+    Method->IsCtor = true;
+    Method->ReturnType = TypeRef::classTy(Type.Name);
+    Method->Name = advance().Text;
+    Method->Params = parseParams();
+    Method->Loc = Loc;
+    if (check(TokenKind::LBrace))
+      Method->Body = parseBlock();
+    else
+      expect(TokenKind::Semi, "constructor declaration");
+    Type.Methods.push_back(std::move(Method));
+    return;
+  }
+
+  TypeRef DeclType = parseType();
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected member name");
+    skipToMemberBoundary();
+    return;
+  }
+  std::string Name = advance().Text;
+
+  if (check(TokenKind::LParen)) {
+    auto Method = std::make_unique<MethodDecl>();
+    Method->Annotations = std::move(Annots);
+    Method->IsStatic = IsStatic;
+    Method->ReturnType = std::move(DeclType);
+    Method->Name = std::move(Name);
+    Method->Params = parseParams();
+    Method->Loc = Loc;
+    if (check(TokenKind::LBrace))
+      Method->Body = parseBlock();
+    else
+      expect(TokenKind::Semi, "method declaration");
+    Type.Methods.push_back(std::move(Method));
+    return;
+  }
+
+  // Field. Initializers are not supported (the paper's subset has none).
+  FieldDecl Field;
+  Field.Type = std::move(DeclType);
+  Field.Name = std::move(Name);
+  Field.Loc = Loc;
+  if (!Annots.empty())
+    Diags.warning(Loc, "annotations on fields are ignored");
+  expect(TokenKind::Semi, "field declaration");
+  Type.Fields.push_back(std::move(Field));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::LBrace, "block");
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    size_t Before = Pos;
+    Stmts.push_back(parseStmt());
+    if (Pos == Before) // Defensive: guarantee progress on bad input.
+      advance();
+  }
+  expect(TokenKind::RBrace, "block");
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+size_t Parser::scanGenericArgs(size_t I) const {
+  assert(peek(I).is(TokenKind::Lt) && "scanGenericArgs expects '<'");
+  unsigned Depth = 0;
+  size_t Limit = I + 32; // Generic arg lists are short; bound the scan.
+  while (I < Limit) {
+    const Token &Tok = peek(I);
+    if (Tok.is(TokenKind::EndOfFile))
+      return 0;
+    if (Tok.is(TokenKind::Lt))
+      ++Depth;
+    else if (Tok.is(TokenKind::Gt)) {
+      --Depth;
+      if (Depth == 0)
+        return I + 1;
+    } else if (!Tok.is(TokenKind::Identifier) && !Tok.is(TokenKind::Comma) &&
+               !Tok.is(TokenKind::KwInt) && !Tok.is(TokenKind::KwBoolean)) {
+      return 0; // Not a generic argument list after all.
+    }
+    ++I;
+  }
+  return 0;
+}
+
+bool Parser::looksLikeVarDecl() const {
+  if (check(TokenKind::KwInt) || check(TokenKind::KwBoolean))
+    return peek(1).is(TokenKind::Identifier);
+  if (!check(TokenKind::Identifier))
+    return false;
+  // `Foo x ...`
+  if (peek(1).is(TokenKind::Identifier))
+    return true;
+  // `Foo<T> x ...` — distinguish from `a < b`.
+  if (peek(1).is(TokenKind::Lt)) {
+    size_t After = scanGenericArgs(1);
+    return After != 0 && peek(static_cast<unsigned>(After))
+                             .is(TokenKind::Identifier);
+  }
+  return false;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLocation Loc = current().Loc;
+
+  if (check(TokenKind::LBrace))
+    return parseBlock();
+
+  if (match(TokenKind::KwIf)) {
+    expect(TokenKind::LParen, "if statement");
+    ExprPtr Cond = parseExpr();
+    expect(TokenKind::RParen, "if statement");
+    StmtPtr Then = parseStmt();
+    StmtPtr Else;
+    if (match(TokenKind::KwElse))
+      Else = parseStmt();
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Loc);
+  }
+
+  if (match(TokenKind::KwWhile)) {
+    expect(TokenKind::LParen, "while statement");
+    ExprPtr Cond = parseExpr();
+    expect(TokenKind::RParen, "while statement");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+  }
+
+  if (match(TokenKind::KwReturn)) {
+    ExprPtr Value;
+    if (!check(TokenKind::Semi))
+      Value = parseExpr();
+    expect(TokenKind::Semi, "return statement");
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+
+  if (match(TokenKind::KwAssert)) {
+    // Accept both `assert e;` and `assert(e);`.
+    bool Paren = match(TokenKind::LParen);
+    ExprPtr Cond = parseExpr();
+    if (Paren)
+      expect(TokenKind::RParen, "assert statement");
+    expect(TokenKind::Semi, "assert statement");
+    return std::make_unique<AssertStmt>(std::move(Cond), Loc);
+  }
+
+  if (match(TokenKind::KwSynchronized)) {
+    expect(TokenKind::LParen, "synchronized statement");
+    ExprPtr Target = parseExpr();
+    expect(TokenKind::RParen, "synchronized statement");
+    StmtPtr Body = parseBlock();
+    return std::make_unique<SynchronizedStmt>(std::move(Target),
+                                              std::move(Body), Loc);
+  }
+
+  if (looksLikeVarDecl()) {
+    TypeRef Type = parseType();
+    std::string Name = advance().Text;
+    ExprPtr Init;
+    if (match(TokenKind::Assign))
+      Init = parseExpr();
+    expect(TokenKind::Semi, "variable declaration");
+    return std::make_unique<VarDeclStmt>(std::move(Type), std::move(Name),
+                                         std::move(Init), Loc);
+  }
+
+  ExprPtr E = parseExpr();
+  expect(TokenKind::Semi, "expression statement");
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr Lhs = parseBinary(0);
+  if (!check(TokenKind::Assign))
+    return Lhs;
+  SourceLocation Loc = current().Loc;
+  advance();
+  ExprPtr Rhs = parseAssignment(); // Right-associative.
+  if (!isa<VarRefExpr>(Lhs.get()) && !isa<FieldReadExpr>(Lhs.get()))
+    Diags.error(Loc, "assignment target must be a variable or field");
+  return std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs), Loc);
+}
+
+/// Binding strengths for binary operators; higher binds tighter.
+static int binaryPrec(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::OrOr:
+    return 1;
+  case TokenKind::AndAnd:
+    return 2;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq:
+    return 3;
+  case TokenKind::Lt:
+  case TokenKind::Gt:
+  case TokenKind::Le:
+  case TokenKind::Ge:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return -1;
+  }
+}
+
+static BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::OrOr:
+    return BinaryOp::Or;
+  case TokenKind::AndAnd:
+    return BinaryOp::And;
+  case TokenKind::EqEq:
+    return BinaryOp::Eq;
+  case TokenKind::NotEq:
+    return BinaryOp::Ne;
+  case TokenKind::Lt:
+    return BinaryOp::Lt;
+  case TokenKind::Gt:
+    return BinaryOp::Gt;
+  case TokenKind::Le:
+    return BinaryOp::Le;
+  case TokenKind::Ge:
+    return BinaryOp::Ge;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  case TokenKind::Slash:
+    return BinaryOp::Div;
+  case TokenKind::Percent:
+    return BinaryOp::Rem;
+  default:
+    assert(false && "not a binary operator");
+    return BinaryOp::Add;
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  while (true) {
+    int Prec = binaryPrec(current().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return Lhs;
+    Token Op = advance();
+    ExprPtr Rhs = parseBinary(Prec + 1);
+    Lhs = std::make_unique<BinaryExpr>(binaryOpFor(Op.Kind), std::move(Lhs),
+                                       std::move(Rhs), Op.Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLocation Loc = current().Loc;
+  if (match(TokenKind::Not))
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  if (match(TokenKind::Minus))
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  return parsePostfix();
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  expect(TokenKind::LParen, "argument list");
+  while (!check(TokenKind::RParen) && !check(TokenKind::EndOfFile)) {
+    Args.push_back(parseExpr());
+    if (!match(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RParen, "argument list");
+  return Args;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (check(TokenKind::Dot)) {
+    SourceLocation Loc = current().Loc;
+    advance();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected member name after '.'");
+      return E;
+    }
+    std::string Name = advance().Text;
+    if (check(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args = parseArgs();
+      E = std::make_unique<CallExpr>(std::move(E), std::move(Name),
+                                     std::move(Args), Loc);
+    } else {
+      E = std::make_unique<FieldReadExpr>(std::move(E), std::move(Name), Loc);
+    }
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLocation Loc = current().Loc;
+
+  if (match(TokenKind::KwThis))
+    return std::make_unique<ThisExpr>(Loc);
+
+  if (match(TokenKind::KwNew)) {
+    TypeRef Type = parseType();
+    std::vector<ExprPtr> Args = parseArgs();
+    return std::make_unique<NewExpr>(std::move(Type), std::move(Args), Loc);
+  }
+
+  if (check(TokenKind::IntLiteral)) {
+    long Value = std::stol(advance().Text);
+    return std::make_unique<IntLitExpr>(Value, Loc);
+  }
+  if (match(TokenKind::KwTrue))
+    return std::make_unique<BoolLitExpr>(true, Loc);
+  if (match(TokenKind::KwFalse))
+    return std::make_unique<BoolLitExpr>(false, Loc);
+  if (match(TokenKind::KwNull))
+    return std::make_unique<NullLitExpr>(Loc);
+  if (check(TokenKind::StringLiteral))
+    return std::make_unique<StringLitExpr>(advance().Text, Loc);
+
+  if (match(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "parenthesized expression");
+    return E;
+  }
+
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (check(TokenKind::LParen)) {
+      // Unqualified call: implicit `this` receiver (or a static method of
+      // the enclosing class; Sema decides).
+      std::vector<ExprPtr> Args = parseArgs();
+      return std::make_unique<CallExpr>(nullptr, std::move(Name),
+                                        std::move(Args), Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+
+  Diags.error(Loc, std::string("expected an expression, got ") +
+                       tokenKindName(current().Kind));
+  advance();
+  return std::make_unique<NullLitExpr>(Loc);
+}

@@ -1,0 +1,80 @@
+//===- Parser.h - MiniJava recursive-descent parser --------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_LANG_PARSER_H
+#define ANEK_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace anek {
+
+/// Parses MiniJava source into a Program. Error recovery is per-member:
+/// a malformed member emits a diagnostic and skips to the next plausible
+/// member boundary.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses the whole token stream. Always returns a Program; callers
+  /// should check Diags.hasErrors().
+  std::unique_ptr<Program> parseProgram();
+
+  /// Convenience: lex and parse \p Source in one step.
+  static std::unique_ptr<Program> parse(const std::string &Source,
+                                        DiagnosticEngine &Diags);
+
+private:
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool match(TokenKind Kind);
+  /// Consumes a token of \p Kind or reports an error naming \p Context.
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToMemberBoundary();
+
+  // Declarations.
+  std::unique_ptr<TypeDecl> parseTypeDecl(std::vector<RawAnnotation> Annots);
+  void parseMember(TypeDecl &Type);
+  std::vector<RawAnnotation> parseAnnotations();
+  RawAnnotation parseAnnotation();
+  TypeRef parseType();
+  std::vector<ParamDecl> parseParams();
+
+  // Statements.
+  StmtPtr parseStmt();
+  std::unique_ptr<BlockStmt> parseBlock();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  /// True when statement position starts a local variable declaration.
+  bool looksLikeVarDecl() const;
+  /// Skips a generic argument list starting at offset \p I (which must
+  /// point at '<'); returns the offset one past the matching '>', or 0 on
+  /// mismatch.
+  size_t scanGenericArgs(size_t I) const;
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace anek
+
+#endif // ANEK_LANG_PARSER_H

@@ -1,0 +1,34 @@
+//===- Sema.h - MiniJava semantic analysis -----------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves the parsed Program: links type references and the class
+/// hierarchy, builds per-class state spaces from @States annotations,
+/// parses @Perm/@Spec annotations into MethodSpec objects, binds names in
+/// method bodies (locals, parameters, implicit fields), resolves call
+/// targets, and computes static expression types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_LANG_SEMA_H
+#define ANEK_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace anek {
+
+/// Runs all semantic analysis passes over \p Prog. Returns true when no
+/// errors were produced (warnings are fine).
+bool runSema(Program &Prog, DiagnosticEngine &Diags);
+
+/// Convenience: lex + parse + sema. Returns null when any error occurred.
+std::unique_ptr<Program> parseAndAnalyze(const std::string &Source,
+                                         DiagnosticEngine &Diags);
+
+} // namespace anek
+
+#endif // ANEK_LANG_SEMA_H

@@ -1,0 +1,85 @@
+//===- Token.h - MiniJava lexical tokens -------------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_LANG_TOKEN_H
+#define ANEK_LANG_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace anek {
+
+/// Token kinds for the MiniJava dialect.
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwClass,
+  KwInterface,
+  KwExtends,
+  KwImplements,
+  KwStatic,
+  KwVoid,
+  KwInt,
+  KwBoolean,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwNew,
+  KwThis,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwAssert,
+  KwSynchronized,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Dot,
+  At,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Not,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+};
+
+/// Printable name of a token kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text carries the identifier spelling, literal value
+/// text, or string literal contents (without quotes).
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  SourceLocation Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace anek
+
+#endif // ANEK_LANG_TOKEN_H

@@ -1,0 +1,59 @@
+//===- FracPerm.cpp - Fractional access permissions ------------------------===//
+
+#include "perm/FracPerm.h"
+
+using namespace anek;
+
+std::string FracPerm::str() const {
+  std::string Out = permKindName(Kind);
+  if (!(Frac == Rational(1))) {
+    Out += "{";
+    Out += Frac.str();
+    Out += "}";
+  }
+  return Out;
+}
+
+std::optional<LendResult> anek::lend(const FracPerm &Have, PermKind Needed) {
+  if (!canDowngrade(Have.Kind, Needed))
+    return std::nullopt;
+  if (Have.Frac.isZero())
+    return std::nullopt;
+
+  LendResult Result;
+  if (Have.Kind == Needed && isDuplicable(Needed)) {
+    // Duplicable same-kind lend: split the fraction in half.
+    Rational Half = Have.Frac * Rational(1, 2);
+    Result.Lent = FracPerm(Needed, Half);
+    Result.Residue = FracPerm(Needed, Half);
+    return Result;
+  }
+
+  Result.Lent = FracPerm(Needed, Have.Frac);
+  std::optional<PermKind> ResidueKind = residueAfterLending(Have.Kind, Needed);
+  if (ResidueKind)
+    Result.Residue = FracPerm(*ResidueKind, Have.Frac);
+  return Result;
+}
+
+FracPerm anek::mergeAfterCall(const FracPerm &Original, PermKind Lent,
+                              const FracPerm &Returned,
+                              const std::optional<FracPerm> &Residue) {
+  // The callee returned at least what it borrowed: the split is undone
+  // and the original permission reappears (fractional merging).
+  if (canDowngrade(Returned.Kind, Lent))
+    return Original;
+  // A weakening callee post: combine the stronger of the residue and the
+  // returned permission.
+  if (Residue)
+    return FracPerm(strongerKind(Residue->Kind, Returned.Kind),
+                    Original.Frac);
+  return Returned;
+}
+
+FracPerm anek::joinPerms(const FracPerm &A, const FracPerm &B) {
+  FracPerm Result;
+  Result.Kind = weakerKind(A.Kind, B.Kind);
+  Result.Frac = A.Frac <= B.Frac ? A.Frac : B.Frac;
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- FracPerm.h - Fractional access permissions ----------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A permission kind paired with an exact fraction (Boyland [7], paper
+/// Section 2): weaker permissions carry fractions of a whole so that
+/// merging can restore stronger ones. The PLURAL checker threads these
+/// through method bodies; split/lend/merge are the only operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_PERM_FRACPERM_H
+#define ANEK_PERM_FRACPERM_H
+
+#include "perm/PermKind.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <string>
+
+namespace anek {
+
+/// A fraction of a permission of some kind. Fraction 1 of an exclusive
+/// kind is the whole permission; duplicable kinds circulate in halves,
+/// quarters, and so on.
+struct FracPerm {
+  PermKind Kind = PermKind::Pure;
+  Rational Frac = Rational(1);
+
+  FracPerm() = default;
+  FracPerm(PermKind Kind, Rational Frac) : Kind(Kind), Frac(Frac) {}
+
+  /// A whole permission of \p Kind.
+  static FracPerm whole(PermKind Kind) { return FracPerm(Kind, Rational(1)); }
+
+  bool operator==(const FracPerm &Other) const = default;
+
+  /// Renders as "kind" or "kind{n/d}".
+  std::string str() const;
+};
+
+/// The outcome of lending permission at a call site: what the callee
+/// receives and what the caller retains for the duration of the call.
+struct LendResult {
+  FracPerm Lent;
+  /// Empty when the whole permission was handed over.
+  std::optional<FracPerm> Residue;
+};
+
+/// Attempts to lend a permission of kind \p Needed out of \p Have.
+/// Returns std::nullopt if \p Have cannot be downgraded to \p Needed.
+/// Duplicable kinds split their fraction in half; exclusive kinds follow
+/// the residue table of residueAfterLending().
+std::optional<LendResult> lend(const FracPerm &Have, PermKind Needed);
+
+/// Merges permission returned from a callee with the caller's residue
+/// (paper Section 2, "merging"). \p Lent is what the callee borrowed. If
+/// the callee returned at least what it borrowed, the split is undone and
+/// \p Original reappears; otherwise the result combines the residue with
+/// what came back (sound: we never fabricate write ability, both sides
+/// co-existed).
+FracPerm mergeAfterCall(const FracPerm &Original, PermKind Lent,
+                        const FracPerm &Returned,
+                        const std::optional<FracPerm> &Residue);
+
+/// The join of two permissions for the same object on two control-flow
+/// paths: the weaker kind with the smaller fraction (sound approximation).
+FracPerm joinPerms(const FracPerm &A, const FracPerm &B);
+
+} // namespace anek
+
+#endif // ANEK_PERM_FRACPERM_H

@@ -1,0 +1,99 @@
+//===- PermKind.cpp - The five access permission kinds --------------------===//
+
+#include "perm/PermKind.h"
+
+#include <cassert>
+
+using namespace anek;
+
+const char *anek::permKindName(PermKind Kind) {
+  switch (Kind) {
+  case PermKind::Unique:
+    return "unique";
+  case PermKind::Full:
+    return "full";
+  case PermKind::Immutable:
+    return "immutable";
+  case PermKind::Share:
+    return "share";
+  case PermKind::Pure:
+    return "pure";
+  }
+  assert(false && "unknown permission kind");
+  return "unknown";
+}
+
+std::optional<PermKind> anek::parsePermKind(const std::string &Text) {
+  for (PermKind Kind : AllPermKinds)
+    if (Text == permKindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
+bool anek::allowsWrite(PermKind Kind) {
+  return Kind == PermKind::Unique || Kind == PermKind::Full ||
+         Kind == PermKind::Share;
+}
+
+bool anek::othersMayWrite(PermKind Kind) {
+  return Kind == PermKind::Share || Kind == PermKind::Pure;
+}
+
+bool anek::canDowngrade(PermKind From, PermKind To) {
+  return static_cast<unsigned>(From) <= static_cast<unsigned>(To);
+}
+
+bool anek::isDuplicable(PermKind Kind) {
+  return Kind == PermKind::Share || Kind == PermKind::Immutable ||
+         Kind == PermKind::Pure;
+}
+
+std::optional<PermKind>
+anek::residueAfterLending(PermKind Have, PermKind Lent) {
+  assert(canDowngrade(Have, Lent) && "illegal lend");
+  switch (Have) {
+  case PermKind::Unique:
+    switch (Lent) {
+    case PermKind::Unique:
+      return std::nullopt; // Everything is lent.
+    case PermKind::Full:
+      return PermKind::Pure; // Callee has exclusive write; we may observe.
+    case PermKind::Immutable:
+      return PermKind::Immutable;
+    case PermKind::Share:
+      return PermKind::Share;
+    case PermKind::Pure:
+      return PermKind::Full; // We keep the exclusive write side.
+    }
+    break;
+  case PermKind::Full:
+    switch (Lent) {
+    case PermKind::Full:
+      return std::nullopt;
+    case PermKind::Immutable:
+    case PermKind::Share:
+      return PermKind::Pure;
+    case PermKind::Pure:
+      return PermKind::Full;
+    default:
+      break;
+    }
+    break;
+  case PermKind::Immutable:
+    // Immutable duplicates freely (fractions shrink).
+    return PermKind::Immutable;
+  case PermKind::Share:
+    return PermKind::Share;
+  case PermKind::Pure:
+    return PermKind::Pure;
+  }
+  return std::nullopt;
+}
+
+PermKind anek::strongerKind(PermKind A, PermKind B) {
+  return canDowngrade(A, B) ? A : B;
+}
+
+PermKind anek::weakerKind(PermKind A, PermKind B) {
+  return canDowngrade(A, B) ? B : A;
+}

@@ -1,0 +1,88 @@
+//===- PermKind.h - The five access permission kinds -------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five access permission kinds of Bierhoff & Aldrich's PLURAL system
+/// (paper Figure 4), the downgrade (splitting) order used by constraint L1
+/// (paper Eq. 2), and the residue table used by the checker when permission
+/// is lent across a call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_PERM_PERMKIND_H
+#define ANEK_PERM_PERMKIND_H
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace anek {
+
+/// A permission kind. The enumerator order is the downgrade order of the
+/// paper's splitting constraint (Eq. 2): a permission of kind K may appear
+/// on a split edge as any kind with ordinal >= K's ordinal.
+enum class PermKind : unsigned {
+  Unique = 0,    ///< No other references exist.
+  Full = 1,      ///< Exclusive write; others may read.
+  Immutable = 2, ///< This and all others read-only.
+  Share = 3,     ///< This and others may read and write.
+  Pure = 4,      ///< Read-only; others may read and write.
+};
+
+/// Number of permission kinds (used to size per-kind variable arrays).
+inline constexpr unsigned NumPermKinds = 5;
+
+/// All kinds in downgrade order, for iteration.
+inline constexpr std::array<PermKind, NumPermKinds> AllPermKinds = {
+    PermKind::Unique, PermKind::Full, PermKind::Immutable, PermKind::Share,
+    PermKind::Pure};
+
+/// The lowercase annotation keyword for \p Kind ("unique", "full", ...).
+const char *permKindName(PermKind Kind);
+
+/// Parses a permission keyword; returns std::nullopt on unknown text.
+std::optional<PermKind> parsePermKind(const std::string &Text);
+
+/// True if a reference with \p Kind may write through itself
+/// (unique, full, share).
+bool allowsWrite(PermKind Kind);
+
+/// True if other aliases may write while \p Kind is held (share, pure).
+bool othersMayWrite(PermKind Kind);
+
+/// True if \p From may be (soundly) downgraded to \p To along a split
+/// edge, per the order of the paper's Eq. 2:
+///   unique -> {unique, full, immutable, share, pure}
+///   full -> {full, immutable, share, pure}
+///   immutable -> {immutable, share, pure}
+///   share -> {share, pure}
+///   pure -> {pure}
+bool canDowngrade(PermKind From, PermKind To);
+
+/// True if \p Kind may be duplicated without destroying it (share,
+/// immutable, pure coexist with copies of themselves); unique and full are
+/// exclusive.
+bool isDuplicable(PermKind Kind);
+
+/// The strongest permission a caller can retain while lending \p Lent out
+/// of a permission of kind \p Have. Returns std::nullopt when nothing can
+/// be retained (the whole permission is lent), and is only defined when
+/// canDowngrade(Have, Lent).
+std::optional<PermKind> residueAfterLending(PermKind Have, PermKind Lent);
+
+/// The strongest kind obtainable by merging permissions \p A and \p B for
+/// the same object (fractional merging, paper Section 2). Merging two
+/// halves of an exclusive permission restores it; our checker approximates
+/// with the strongest of the two sides unless fractions prove more.
+PermKind strongerKind(PermKind A, PermKind B);
+
+/// The weaker (more permissive to aliases) of two kinds; used as the join
+/// in the checker's dataflow lattice.
+PermKind weakerKind(PermKind A, PermKind B);
+
+} // namespace anek
+
+#endif // ANEK_PERM_PERMKIND_H

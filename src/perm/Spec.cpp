@@ -1,0 +1,214 @@
+//===- Spec.cpp - Access permission method specifications ------------------===//
+
+#include "perm/Spec.h"
+
+#include "perm/StateSpace.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace anek;
+
+void MethodSpec::resizeParams(unsigned NumParams) {
+  if (ParamPre.size() < NumParams)
+    ParamPre.resize(NumParams);
+  if (ParamPost.size() < NumParams)
+    ParamPost.resize(NumParams);
+}
+
+bool MethodSpec::isEmpty() const {
+  if (ReceiverPre || ReceiverPost || Result)
+    return false;
+  for (const auto &P : ParamPre)
+    if (P)
+      return false;
+  for (const auto &P : ParamPost)
+    if (P)
+      return false;
+  return TrueIndicates.empty() && FalseIndicates.empty();
+}
+
+unsigned MethodSpec::atomCount() const {
+  unsigned Count = 0;
+  Count += ReceiverPre ? 1 : 0;
+  Count += ReceiverPost ? 1 : 0;
+  Count += Result ? 1 : 0;
+  for (const auto &P : ParamPre)
+    Count += P ? 1 : 0;
+  for (const auto &P : ParamPost)
+    Count += P ? 1 : 0;
+  return Count;
+}
+
+/// Parses a single atom "kind(target) [in STATE]".
+static std::optional<SpecAtom>
+parseAtom(const std::string &Piece, const std::vector<std::string> &ParamNames,
+          std::string &Error) {
+  size_t Open = Piece.find('(');
+  size_t Close = Piece.find(')');
+  if (Open == std::string::npos || Close == std::string::npos ||
+      Close < Open) {
+    Error = "malformed spec atom '" + Piece + "'";
+    return std::nullopt;
+  }
+  std::string KindText = trim(Piece.substr(0, Open));
+  std::optional<PermKind> Kind = parsePermKind(KindText);
+  if (!Kind) {
+    Error = "unknown permission kind '" + KindText + "'";
+    return std::nullopt;
+  }
+
+  SpecAtom Atom;
+  Atom.Kind = *Kind;
+
+  std::string TargetText = trim(Piece.substr(Open + 1, Close - Open - 1));
+  if (TargetText == "this") {
+    Atom.Target = SpecTarget::receiver();
+  } else if (TargetText == "result") {
+    Atom.Target = SpecTarget::result();
+  } else if (!TargetText.empty() && TargetText[0] == '#') {
+    Atom.Target = SpecTarget::param(
+        static_cast<unsigned>(std::stoul(TargetText.substr(1))));
+  } else {
+    bool Found = false;
+    for (unsigned I = 0, E = static_cast<unsigned>(ParamNames.size()); I != E;
+         ++I) {
+      if (ParamNames[I] == TargetText) {
+        Atom.Target = SpecTarget::param(I);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found) {
+      Error = "unknown spec target '" + TargetText + "'";
+      return std::nullopt;
+    }
+  }
+
+  std::string Rest = trim(Piece.substr(Close + 1));
+  if (!Rest.empty()) {
+    if (!startsWith(Rest, "in")) {
+      Error = "expected 'in STATE' after target, got '" + Rest + "'";
+      return std::nullopt;
+    }
+    Atom.State = trim(Rest.substr(2));
+    if (Atom.State.empty()) {
+      Error = "missing state name after 'in'";
+      return std::nullopt;
+    }
+    if (Atom.State == AliveStateName)
+      Atom.State.clear(); // ALIVE is the unconstrained root.
+  }
+  return Atom;
+}
+
+std::optional<std::vector<SpecAtom>>
+anek::parseSpecAtoms(const std::string &Text,
+                     const std::vector<std::string> &ParamNames,
+                     std::string &Error) {
+  std::vector<SpecAtom> Atoms;
+  // Atoms are separated by '*' (linear conjunction) or ','.
+  std::string Normalized = Text;
+  for (char &C : Normalized)
+    if (C == ',')
+      C = '*';
+  for (const std::string &Piece : splitAndTrim(Normalized, '*')) {
+    std::optional<SpecAtom> Atom = parseAtom(Piece, ParamNames, Error);
+    if (!Atom)
+      return std::nullopt;
+    Atoms.push_back(*Atom);
+  }
+  return Atoms;
+}
+
+/// Stores \p Atom into the right slot of \p Spec; duplicate targets on one
+/// side are an error.
+static bool placeAtom(MethodSpec &Spec, const SpecAtom &Atom, bool IsRequires,
+                      std::string &Error) {
+  PermState PS{Atom.Kind, Atom.State};
+  std::optional<PermState> *Slot = nullptr;
+  switch (Atom.Target.Kind) {
+  case SpecTargetKind::Receiver:
+    Slot = IsRequires ? &Spec.ReceiverPre : &Spec.ReceiverPost;
+    break;
+  case SpecTargetKind::Param:
+    if (Atom.Target.ParamIndex >= Spec.ParamPre.size()) {
+      Error = "spec names parameter #" +
+              std::to_string(Atom.Target.ParamIndex) + " which does not exist";
+      return false;
+    }
+    Slot = IsRequires ? &Spec.ParamPre[Atom.Target.ParamIndex]
+                      : &Spec.ParamPost[Atom.Target.ParamIndex];
+    break;
+  case SpecTargetKind::Result:
+    if (IsRequires) {
+      Error = "'result' may only appear in ensures";
+      return false;
+    }
+    Slot = &Spec.Result;
+    break;
+  }
+  if (*Slot) {
+    Error = "duplicate spec atom for one target";
+    return false;
+  }
+  *Slot = PS;
+  return true;
+}
+
+std::optional<MethodSpec>
+anek::buildMethodSpec(const std::vector<SpecAtom> &Requires,
+                      const std::vector<SpecAtom> &Ensures, unsigned NumParams,
+                      std::string &Error) {
+  MethodSpec Spec;
+  Spec.resizeParams(NumParams);
+  for (const SpecAtom &Atom : Requires)
+    if (!placeAtom(Spec, Atom, /*IsRequires=*/true, Error))
+      return std::nullopt;
+  for (const SpecAtom &Atom : Ensures)
+    if (!placeAtom(Spec, Atom, /*IsRequires=*/false, Error))
+      return std::nullopt;
+  return Spec;
+}
+
+std::string anek::printPermState(const PermState &PS) {
+  std::string Result = permKindName(PS.Kind);
+  if (!PS.State.empty()) {
+    Result += " in ";
+    Result += PS.State;
+  }
+  return Result;
+}
+
+/// Renders "kind(name) [in STATE]".
+static std::string printAtom(const PermState &PS, const std::string &Name) {
+  std::string Out = permKindName(PS.Kind);
+  Out += "(";
+  Out += Name;
+  Out += ")";
+  if (!PS.State.empty()) {
+    Out += " in ";
+    Out += PS.State;
+  }
+  return Out;
+}
+
+std::string anek::printSpecSide(const MethodSpec &Spec, bool IsRequires,
+                                const std::vector<std::string> &ParamNames) {
+  std::vector<std::string> Parts;
+  const std::optional<PermState> &Recv =
+      IsRequires ? Spec.ReceiverPre : Spec.ReceiverPost;
+  if (Recv)
+    Parts.push_back(printAtom(*Recv, "this"));
+  const auto &Params = IsRequires ? Spec.ParamPre : Spec.ParamPost;
+  for (unsigned I = 0, E = static_cast<unsigned>(Params.size()); I != E; ++I) {
+    if (!Params[I])
+      continue;
+    std::string Name =
+        I < ParamNames.size() ? ParamNames[I] : "#" + std::to_string(I);
+    Parts.push_back(printAtom(*Params[I], Name));
+  }
+  if (!IsRequires && Spec.Result)
+    Parts.push_back(printAtom(*Spec.Result, "result"));
+  return join(Parts, " * ");
+}

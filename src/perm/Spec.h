@@ -1,0 +1,121 @@
+//===- Spec.h - Access permission method specifications ----------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Method specifications in the PLURAL style (paper Figure 2):
+///
+///   @Perm(requires = "full(this) in HASNEXT * pure(x)",
+///         ensures  = "full(this) in ALIVE * unique(result)")
+///
+/// A spec atom names a permission kind, a target (receiver, a parameter, or
+/// the result), and optionally an abstract state. This module owns both the
+/// in-memory representation and the textual parse/print used by the
+/// frontend and by the spec applier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_PERM_SPEC_H
+#define ANEK_PERM_SPEC_H
+
+#include "perm/PermKind.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// What a spec atom refers to.
+enum class SpecTargetKind { Receiver, Param, Result };
+
+/// The subject of one spec atom.
+struct SpecTarget {
+  SpecTargetKind Kind = SpecTargetKind::Receiver;
+  /// Parameter index when Kind == Param.
+  unsigned ParamIndex = 0;
+
+  static SpecTarget receiver() { return {SpecTargetKind::Receiver, 0}; }
+  static SpecTarget param(unsigned Index) {
+    return {SpecTargetKind::Param, Index};
+  }
+  static SpecTarget result() { return {SpecTargetKind::Result, 0}; }
+
+  bool operator==(const SpecTarget &Other) const = default;
+};
+
+/// One atom: "kind(target) [in STATE]". An empty State means no state
+/// requirement beyond ALIVE.
+struct SpecAtom {
+  PermKind Kind = PermKind::Pure;
+  SpecTarget Target;
+  std::string State;
+
+  bool operator==(const SpecAtom &Other) const = default;
+};
+
+/// Permission and state on one side (pre or post) for one target.
+struct PermState {
+  PermKind Kind = PermKind::Pure;
+  /// Empty string means ALIVE / unconstrained.
+  std::string State;
+
+  bool operator==(const PermState &Other) const = default;
+};
+
+/// Complete specification of a method: per-target pre and post permission
+/// plus the dynamic-state-test annotations.
+struct MethodSpec {
+  std::optional<PermState> ReceiverPre;
+  std::optional<PermState> ReceiverPost;
+  std::vector<std::optional<PermState>> ParamPre;
+  std::vector<std::optional<PermState>> ParamPost;
+  std::optional<PermState> Result;
+
+  /// @TrueIndicates / @FalseIndicates state names (dynamic state tests on
+  /// the receiver); empty when absent.
+  std::string TrueIndicates;
+  std::string FalseIndicates;
+
+  /// Ensures the ParamPre/ParamPost vectors cover \p NumParams entries.
+  void resizeParams(unsigned NumParams);
+
+  /// True if no atom and no indicator is present.
+  bool isEmpty() const;
+
+  /// Number of spec atoms present across both sides (annotation count used
+  /// by the Table 2 metric).
+  unsigned atomCount() const;
+
+  bool operator==(const MethodSpec &Other) const = default;
+};
+
+/// Parses a requires/ensures string into atoms. Atoms are separated by '*'
+/// or ','. \p ParamNames maps names to parameter indices; "this" and
+/// "result" are always understood. On failure returns std::nullopt and
+/// sets \p Error.
+std::optional<std::vector<SpecAtom>>
+parseSpecAtoms(const std::string &Text,
+               const std::vector<std::string> &ParamNames,
+               std::string &Error);
+
+/// Assembles a MethodSpec from parsed requires and ensures atoms.
+/// "result" atoms are only legal on the ensures side.
+std::optional<MethodSpec>
+buildMethodSpec(const std::vector<SpecAtom> &Requires,
+                const std::vector<SpecAtom> &Ensures, unsigned NumParams,
+                std::string &Error);
+
+/// Prints one side back to the annotation syntax, e.g.
+/// "full(this) in HASNEXT * pure(x)". \p ParamNames supplies the names.
+std::string printSpecSide(const MethodSpec &Spec, bool IsRequires,
+                          const std::vector<std::string> &ParamNames);
+
+/// Renders a PermState as "kind" or "kind in STATE".
+std::string printPermState(const PermState &PS);
+
+} // namespace anek
+
+#endif // ANEK_PERM_SPEC_H

@@ -1,0 +1,38 @@
+//===- StateSpace.cpp - Typestate hierarchies per class -------------------===//
+
+#include "perm/StateSpace.h"
+
+using namespace anek;
+
+StateSpace::StateSpace() {
+  Names.push_back(AliveStateName);
+  Parents.push_back(AliveId);
+}
+
+StateId StateSpace::addState(const std::string &Name, StateId Parent) {
+  assert(Parent < Names.size() && "unknown parent state");
+  if (std::optional<StateId> Existing = find(Name))
+    return *Existing;
+  Names.push_back(Name);
+  Parents.push_back(Parent);
+  return static_cast<StateId>(Names.size() - 1);
+}
+
+std::optional<StateId> StateSpace::find(const std::string &Name) const {
+  for (StateId Id = 0, E = static_cast<StateId>(Names.size()); Id != E; ++Id)
+    if (Names[Id] == Name)
+      return Id;
+  return std::nullopt;
+}
+
+bool StateSpace::refines(StateId Sub, StateId Super) const {
+  assert(Sub < Names.size() && Super < Names.size() && "state out of range");
+  StateId Cur = Sub;
+  while (true) {
+    if (Cur == Super)
+      return true;
+    if (Cur == AliveId)
+      return false;
+    Cur = Parents[Cur];
+  }
+}

@@ -1,0 +1,72 @@
+//===- StateSpace.h - Typestate hierarchies per class ------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract-state hierarchy a class declares (paper Section 2). Every
+/// space is rooted at ALIVE ("the root of the state hierarchy" in the
+/// PLURAL methodology); refinements like HASNEXT/END hang below it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_PERM_STATESPACE_H
+#define ANEK_PERM_STATESPACE_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// Index of a state within its StateSpace.
+using StateId = uint32_t;
+
+/// Distinguished root state present in every space.
+inline constexpr const char *AliveStateName = "ALIVE";
+
+/// The tree of abstract states declared by one class or interface.
+class StateSpace {
+public:
+  /// Constructs a space containing only ALIVE.
+  StateSpace();
+
+  /// The id of the ALIVE root (always 0).
+  static constexpr StateId AliveId = 0;
+
+  /// Adds state \p Name refining \p Parent (default: ALIVE). Re-adding an
+  /// existing name returns its id unchanged.
+  StateId addState(const std::string &Name, StateId Parent = AliveId);
+
+  /// Looks up a state by name.
+  std::optional<StateId> find(const std::string &Name) const;
+
+  const std::string &name(StateId Id) const {
+    assert(Id < Names.size() && "state id out of range");
+    return Names[Id];
+  }
+
+  StateId parent(StateId Id) const {
+    assert(Id < Parents.size() && "state id out of range");
+    return Parents[Id];
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Names.size()); }
+
+  /// True if \p Sub equals \p Super or refines it (transitively).
+  bool refines(StateId Sub, StateId Super) const;
+
+  /// All state names, root first (useful for building per-state variables).
+  const std::vector<std::string> &names() const { return Names; }
+
+private:
+  std::vector<std::string> Names;
+  std::vector<StateId> Parents;
+};
+
+} // namespace anek
+
+#endif // ANEK_PERM_STATESPACE_H

@@ -1,0 +1,155 @@
+//===- Pfg.cpp - Permissions Flow Graph ------------------------------------===//
+
+#include "pfg/Pfg.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace anek;
+
+const char *anek::pfgNodeKindName(PfgNodeKind Kind) {
+  switch (Kind) {
+  case PfgNodeKind::ParamPre:
+    return "PRE";
+  case PfgNodeKind::ParamPost:
+    return "POST";
+  case PfgNodeKind::Result:
+    return "RESULT";
+  case PfgNodeKind::CallPre:
+    return "callpre";
+  case PfgNodeKind::CallPost:
+    return "callpost";
+  case PfgNodeKind::CallResult:
+    return "callresult";
+  case PfgNodeKind::NewObject:
+    return "new";
+  case PfgNodeKind::FieldRead:
+    return "fieldread";
+  case PfgNodeKind::FieldWrite:
+    return "fieldwrite";
+  case PfgNodeKind::Split:
+    return "split";
+  case PfgNodeKind::Merge:
+    return "merge";
+  case PfgNodeKind::Join:
+    return "join";
+  case PfgNodeKind::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+PfgNodeId Pfg::addNode(PfgNode Node) {
+  Nodes.push_back(std::move(Node));
+  OutEdges.emplace_back();
+  InEdges.emplace_back();
+  return static_cast<PfgNodeId>(Nodes.size() - 1);
+}
+
+PfgEdgeId Pfg::addEdge(PfgNodeId From, PfgNodeId To, bool StateOpaque) {
+  assert(From < Nodes.size() && To < Nodes.size() && "edge endpoint missing");
+  Edges.push_back({From, To, StateOpaque});
+  PfgEdgeId Id = static_cast<PfgEdgeId>(Edges.size() - 1);
+  OutEdges[From].push_back(Id);
+  InEdges[To].push_back(Id);
+  return Id;
+}
+
+std::vector<std::string> Pfg::statesOf(PfgNodeId Id) const {
+  const PfgNode &N = node(Id);
+  if (!N.Class)
+    return {};
+  return N.Class->States.names();
+}
+
+std::string Pfg::describe(PfgNodeId Id) const {
+  const PfgNode &N = node(Id);
+  std::string Out = pfgNodeKindName(N.Kind);
+  switch (N.Kind) {
+  case PfgNodeKind::ParamPre:
+  case PfgNodeKind::ParamPost: {
+    Out += " ";
+    if (N.Target.Kind == SpecTargetKind::Receiver)
+      Out += "this";
+    else if (Method && N.Target.ParamIndex < Method->Params.size())
+      Out += Method->Params[N.Target.ParamIndex].Name;
+    else
+      Out += formatStr("#%u", N.Target.ParamIndex);
+    break;
+  }
+  case PfgNodeKind::CallPre:
+  case PfgNodeKind::CallPost:
+    Out += formatStr("#%u ", N.CallSite);
+    Out += N.Callee ? N.Callee->Name : "?";
+    Out += N.Target.Kind == SpecTargetKind::Receiver
+               ? "(this)"
+               : formatStr("(#%u)", N.Target.ParamIndex);
+    break;
+  case PfgNodeKind::CallResult:
+  case PfgNodeKind::NewObject:
+    Out += formatStr("#%u ", N.CallSite);
+    Out += N.Callee ? N.Callee->Name
+                    : (N.Kind == PfgNodeKind::NewObject ? "<default-ctor>"
+                                                        : "?");
+    break;
+  case PfgNodeKind::FieldRead:
+  case PfgNodeKind::FieldWrite:
+    Out += " ." + N.FieldName;
+    break;
+  default:
+    break;
+  }
+  return Out;
+}
+
+std::string Pfg::str() const {
+  std::string Out =
+      formatStr("pfg for %s: %u nodes, %u edges\n",
+                Method ? Method->qualifiedName().c_str() : "<unknown>",
+                nodeCount(), edgeCount());
+  for (PfgNodeId Id = 0; Id != nodeCount(); ++Id) {
+    Out += formatStr("  n%u: %s", Id, describe(Id).c_str());
+    if (node(Id).Class)
+      Out += " : " + node(Id).Class->Name;
+    if (node(Id).ReceiverNode != NoPfgNode)
+      Out += formatStr(" (recv n%u)", node(Id).ReceiverNode);
+    Out += "\n";
+    for (PfgEdgeId E : outEdges(Id))
+      Out += formatStr("    -> n%u\n", edge(E).To);
+  }
+  return Out;
+}
+
+std::string Pfg::dot() const {
+  std::string Out = "digraph pfg {\n  rankdir=TB;\n  node [shape=box, "
+                    "fontname=\"Helvetica\"];\n";
+  for (PfgNodeId Id = 0; Id != nodeCount(); ++Id) {
+    std::string Shape;
+    switch (node(Id).Kind) {
+    case PfgNodeKind::Split:
+    case PfgNodeKind::Merge:
+    case PfgNodeKind::Join:
+      Shape = ", shape=ellipse";
+      break;
+    case PfgNodeKind::ParamPre:
+    case PfgNodeKind::ParamPost:
+    case PfgNodeKind::Result:
+      Shape = ", style=bold";
+      break;
+    default:
+      break;
+    }
+    Out += formatStr("  n%u [label=\"%s\"%s];\n", Id, describe(Id).c_str(),
+                     Shape.c_str());
+  }
+  for (const PfgEdge &E : Edges)
+    Out += formatStr("  n%u -> n%u;\n", E.From, E.To);
+  // Dotted receiver links of field accesses (Figure 7).
+  for (PfgNodeId Id = 0; Id != nodeCount(); ++Id)
+    if (node(Id).ReceiverNode != NoPfgNode)
+      Out += formatStr("  n%u -> n%u [style=dotted, arrowhead=none];\n", Id,
+                       node(Id).ReceiverNode);
+  Out += "}\n";
+  return Out;
+}

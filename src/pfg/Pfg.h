@@ -1,0 +1,157 @@
+//===- Pfg.h - Permissions Flow Graph ----------------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Permissions Flow Graph of paper Section 3.1: a directed graph of
+/// the flow of access permissions through one method. It differs from a
+/// dataflow graph in exactly two ways (both quoted from the paper): at
+/// method call sites and field assignments some permission is retained in
+/// the calling context, and permission can flow back out of arguments
+/// after a call returns. Nodes carry the class whose state space their
+/// random variables range over; field-access nodes keep a link to their
+/// receiver node (the dotted line of Figure 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_PFG_PFG_H
+#define ANEK_PFG_PFG_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+using PfgNodeId = uint32_t;
+using PfgEdgeId = uint32_t;
+inline constexpr PfgNodeId NoPfgNode = std::numeric_limits<PfgNodeId>::max();
+
+/// What a node represents.
+enum class PfgNodeKind {
+  ParamPre,   ///< Permission required of a parameter/receiver at entry.
+  ParamPost,  ///< Permission returned for a parameter/receiver at exit.
+  Result,     ///< Permission of the method's returned value.
+  CallPre,    ///< Callee's precondition for one argument at one call site.
+  CallPost,   ///< Callee's postcondition for one argument at one call site.
+  CallResult, ///< Value returned by a callee at one call site.
+  NewObject,  ///< Object created by a constructor (H1 applies here).
+  FieldRead,  ///< Permission source: a field load.
+  FieldWrite, ///< Permission sink: a field store (L3 applies to receiver).
+  Split,      ///< Permission split point (outgoing edges obey Eq. 2).
+  Merge,      ///< Merge of retained and returned permission after a call.
+  Join,       ///< Control-flow join of one object's permission.
+  Unknown,    ///< Source for values the analysis cannot track.
+};
+
+/// Printable name of a node kind.
+const char *pfgNodeKindName(PfgNodeKind Kind);
+
+/// One PFG node.
+struct PfgNode {
+  PfgNodeKind Kind = PfgNodeKind::Unknown;
+  /// Class whose state space the node's state variables range over; null
+  /// when unknown (then only permission-kind variables are created).
+  TypeDecl *Class = nullptr;
+  /// Receiver/parameter identity for ParamPre/ParamPost/CallPre/CallPost.
+  SpecTarget Target;
+  /// Callee for CallPre/CallPost/CallResult/NewObject nodes.
+  MethodDecl *Callee = nullptr;
+  /// Owning call site index for Call*/NewObject nodes.
+  uint32_t CallSite = 0;
+  /// Field name for FieldRead/FieldWrite.
+  std::string FieldName;
+  /// Receiver node of a field access (the dotted edge in Figure 7).
+  PfgNodeId ReceiverNode = NoPfgNode;
+  SourceLocation Loc;
+};
+
+/// One directed edge.
+struct PfgEdge {
+  PfgNodeId From = NoPfgNode;
+  PfgNodeId To = NoPfgNode;
+  /// True for the retained split->merge edge around a call site: the
+  /// callee may transition the object's state, so abstract-state equality
+  /// must not propagate across this edge (permission kinds still do).
+  bool StateOpaque = false;
+};
+
+/// A call site's interface nodes (what summary application binds,
+/// PARAMARG(c) in Definition 1).
+struct PfgCallSite {
+  MethodDecl *Callee = nullptr;
+  bool IsCtor = false;
+  SourceLocation Loc;
+  PfgNodeId RecvPre = NoPfgNode;
+  PfgNodeId RecvPost = NoPfgNode;
+  std::vector<PfgNodeId> ArgPre;  ///< NoPfgNode for primitive args.
+  std::vector<PfgNodeId> ArgPost; ///< NoPfgNode for primitive args.
+  PfgNodeId Result = NoPfgNode;   ///< NewObject node for constructors.
+};
+
+/// The PFG of one method.
+class Pfg {
+public:
+  MethodDecl *Method = nullptr;
+
+  PfgNodeId addNode(PfgNode Node);
+  PfgEdgeId addEdge(PfgNodeId From, PfgNodeId To,
+                    bool StateOpaque = false);
+
+  const PfgNode &node(PfgNodeId Id) const { return Nodes[Id]; }
+  PfgNode &node(PfgNodeId Id) { return Nodes[Id]; }
+  const PfgEdge &edge(PfgEdgeId Id) const { return Edges[Id]; }
+
+  unsigned nodeCount() const { return static_cast<unsigned>(Nodes.size()); }
+  unsigned edgeCount() const { return static_cast<unsigned>(Edges.size()); }
+
+  const std::vector<PfgEdgeId> &outEdges(PfgNodeId Id) const {
+    return OutEdges[Id];
+  }
+  const std::vector<PfgEdgeId> &inEdges(PfgNodeId Id) const {
+    return InEdges[Id];
+  }
+
+  /// Interface nodes of the method itself.
+  PfgNodeId ReceiverPre = NoPfgNode;
+  PfgNodeId ReceiverPost = NoPfgNode;
+  std::vector<PfgNodeId> ParamPre;  ///< NoPfgNode for primitive params.
+  std::vector<PfgNodeId> ParamPost; ///< NoPfgNode for primitive params.
+  PfgNodeId ResultNode = NoPfgNode;
+
+  /// Call sites in body order.
+  std::vector<PfgCallSite> CallSites;
+
+  /// Nodes that were targets of synchronized blocks (heuristic H5).
+  std::vector<PfgNodeId> SyncTargets;
+
+  /// State names for a node (the names of its class's space, ALIVE first);
+  /// empty vector when the node has no known class.
+  std::vector<std::string> statesOf(PfgNodeId Id) const;
+
+  /// Human-readable description of one node, e.g. "PRE this" or
+  /// "callpre#2 iterator(this)".
+  std::string describe(PfgNodeId Id) const;
+
+  /// Multi-line listing of nodes and edges (tests, Figure 6 bench).
+  std::string str() const;
+
+  /// GraphViz rendering (Figure 6 reproduction).
+  std::string dot() const;
+
+private:
+  std::vector<PfgNode> Nodes;
+  std::vector<PfgEdge> Edges;
+  std::vector<std::vector<PfgEdgeId>> OutEdges;
+  std::vector<std::vector<PfgEdgeId>> InEdges;
+};
+
+} // namespace anek
+
+#endif // ANEK_PFG_PFG_H

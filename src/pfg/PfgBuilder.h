@@ -1,0 +1,32 @@
+//===- PfgBuilder.h - Build PFGs from the action IR --------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_PFG_PFGBUILDER_H
+#define ANEK_PFG_PFGBUILDER_H
+
+#include "analysis/Ir.h"
+#include "pfg/Pfg.h"
+
+namespace anek {
+
+/// Builds the Permissions Flow Graph for \p Ir (paper Section 3.1).
+///
+/// The construction walks the control-flow graph forward, tracking for
+/// every object-typed local the PFG node currently holding its
+/// permission (reassignment through copies is the local must-alias
+/// tracking the paper describes). Calls introduce split and merge nodes,
+/// field accesses introduce source/sink nodes, control-flow merges
+/// introduce join nodes, and loop heads join with their back edges.
+///
+/// Deliberately (paper Section 4.2/4.3): the PFG is *not* branch
+/// sensitive — @TrueIndicates information is ignored here even though the
+/// PLURAL checker uses it. This is the documented cause of ANEK's fourth
+/// PMD warning.
+Pfg buildPfg(const MethodIr &Ir);
+
+} // namespace anek
+
+#endif // ANEK_PFG_PFGBUILDER_H

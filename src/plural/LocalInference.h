@@ -1,0 +1,50 @@
+//===- LocalInference.h - PLURAL's local fraction inference ------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Table 3 baseline: PLURAL does not need annotations on local
+/// variables because a local inference determines "which fractions of
+/// permissions are consumed and returned by different parts of a method
+/// body", solving the resulting constraints by Gaussian elimination
+/// [4, ch. 5]. We reproduce that engine over the PFG of a method: each
+/// edge carries a fraction variable; conservation holds at interior
+/// nodes; sources supply a whole permission; splits divide evenly; calls
+/// return what they borrowed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_PLURAL_LOCALINFERENCE_H
+#define ANEK_PLURAL_LOCALINFERENCE_H
+
+#include "pfg/Pfg.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace anek {
+
+/// Result of the fractional inference over one method.
+struct LocalInferenceResult {
+  /// Whether a consistent fractional assignment exists.
+  bool Consistent = false;
+  /// Fraction assigned to each PFG edge (by edge id).
+  std::vector<Rational> EdgeFractions;
+  /// Row operations performed by the elimination (work metric).
+  uint64_t EliminationOps = 0;
+  /// Variables (edges) and equations in the system (size metrics).
+  unsigned NumVariables = 0;
+  unsigned NumEquations = 0;
+  /// True when all fractions landed in [0, 1].
+  bool InRange = false;
+};
+
+/// Runs the Gaussian-elimination fraction inference over \p G.
+LocalInferenceResult runLocalInference(const Pfg &G);
+
+} // namespace anek
+
+#endif // ANEK_PLURAL_LOCALINFERENCE_H

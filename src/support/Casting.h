@@ -1,0 +1,50 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers ----------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal hand-rolled RTTI in the LLVM style. A class hierarchy opts in by
+/// providing `static bool classof(const Base *)` on each derived class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_CASTING_H
+#define ANEK_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace anek {
+
+/// True if \p Val is an instance of To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const); asserts on kind mismatch.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast returning null on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Downcast returning null on kind mismatch (const).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_CASTING_H

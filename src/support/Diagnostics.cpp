@@ -1,0 +1,50 @@
+//===- Diagnostics.cpp - Error and warning collection ---------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace anek;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  return Loc.str() + ": " + kindName(Kind) + ": " + Message;
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  ++NumWarnings;
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.str();
+    Result += '\n';
+  }
+  return Result;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}

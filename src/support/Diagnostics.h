@@ -1,0 +1,64 @@
+//===- Diagnostics.h - Error and warning collection -------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostic engine shared by the frontend, the inference pipeline, and
+/// the PLURAL checker. Diagnostics are collected, never printed, so library
+/// code stays stream-free; tools render them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_DIAGNOSTICS_H
+#define ANEK_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One collected diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "loc: severity: message" in the LLVM style (lowercase
+  /// first letter, no trailing period).
+  std::string str() const;
+};
+
+/// Accumulates diagnostics produced while processing one program.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,36 @@
+//===- Format.cpp - printf-style formatting into std::string -------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace anek;
+
+std::string anek::formatStr(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Needed >= 0 && "invalid format string");
+  std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return std::string(Buf.data(), static_cast<size_t>(Needed));
+}
+
+std::string anek::padLeft(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string anek::padRight(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

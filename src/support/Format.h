@@ -1,0 +1,30 @@
+//===- Format.h - printf-style formatting into std::string ------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers so library code never touches <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_FORMAT_H
+#define ANEK_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace anek {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string formatStr(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Left-pads \p S with spaces to at least \p Width characters.
+std::string padLeft(const std::string &S, unsigned Width);
+
+/// Right-pads \p S with spaces to at least \p Width characters.
+std::string padRight(const std::string &S, unsigned Width);
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_FORMAT_H

@@ -1,0 +1,49 @@
+//===- Rational.cpp - Exact rational arithmetic ---------------------------===//
+
+#include "support/Rational.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace anek;
+
+Rational::Rational(int64_t Num, int64_t Den) : Num(Num), Den(Den) {
+  assert(Den != 0 && "rational with zero denominator");
+  if (this->Den < 0) {
+    this->Num = -this->Num;
+    this->Den = -this->Den;
+  }
+  int64_t G = std::gcd(this->Num < 0 ? -this->Num : this->Num, this->Den);
+  if (G > 1) {
+    this->Num /= G;
+    this->Den /= G;
+  }
+}
+
+Rational Rational::operator+(const Rational &Other) const {
+  return Rational(Num * Other.Den + Other.Num * Den, Den * Other.Den);
+}
+
+Rational Rational::operator-(const Rational &Other) const {
+  return Rational(Num * Other.Den - Other.Num * Den, Den * Other.Den);
+}
+
+Rational Rational::operator*(const Rational &Other) const {
+  return Rational(Num * Other.Num, Den * Other.Den);
+}
+
+Rational Rational::operator/(const Rational &Other) const {
+  assert(!Other.isZero() && "division by zero rational");
+  return Rational(Num * Other.Den, Den * Other.Num);
+}
+
+bool Rational::operator<(const Rational &Other) const {
+  // Denominators are positive by the normalization invariant.
+  return Num * Other.Den < Other.Num * Den;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

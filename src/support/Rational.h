@@ -1,0 +1,69 @@
+//===- Rational.h - Exact rational arithmetic --------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over int64. Fractional permissions (Boyland [7]) and the
+/// PLURAL local-inference Gaussian elimination both need exact arithmetic:
+/// floating point would make permission accounting unsound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_RATIONAL_H
+#define ANEK_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace anek {
+
+/// An always-normalized rational number: gcd(Num, Den) == 1, Den > 0.
+class Rational {
+public:
+  Rational() = default;
+  Rational(int64_t Value) : Num(Value), Den(1) {} // NOLINT: implicit by design
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+
+  Rational operator+(const Rational &Other) const;
+  Rational operator-(const Rational &Other) const;
+  Rational operator*(const Rational &Other) const;
+  /// Division; asserts the divisor is nonzero.
+  Rational operator/(const Rational &Other) const;
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  Rational &operator+=(const Rational &Other) { return *this = *this + Other; }
+  Rational &operator-=(const Rational &Other) { return *this = *this - Other; }
+  Rational &operator*=(const Rational &Other) { return *this = *this * Other; }
+  Rational &operator/=(const Rational &Other) { return *this = *this / Other; }
+
+  bool operator==(const Rational &Other) const = default;
+  bool operator<(const Rational &Other) const;
+  bool operator<=(const Rational &Other) const {
+    return *this < Other || *this == Other;
+  }
+  bool operator>(const Rational &Other) const { return Other < *this; }
+  bool operator>=(const Rational &Other) const { return Other <= *this; }
+
+  double toDouble() const {
+    return static_cast<double>(Num) / static_cast<double>(Den);
+  }
+
+  /// Renders as "n" or "n/d".
+  std::string str() const;
+
+private:
+  int64_t Num = 0;
+  int64_t Den = 1;
+};
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_RATIONAL_H

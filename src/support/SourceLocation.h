@@ -1,0 +1,45 @@
+//===- SourceLocation.h - Positions in MiniJava source ----------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions used by the lexer, parser, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_SOURCELOCATION_H
+#define ANEK_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace anek {
+
+/// A position in a source buffer. Lines and columns are 1-based; a value of
+/// zero in both fields denotes an invalid/unknown location.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLocation() = default;
+  SourceLocation(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &Other) const = default;
+
+  /// Renders as "line:col" (or "<unknown>" when invalid).
+  std::string str() const;
+};
+
+inline std::string SourceLocation::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,36 @@
+//===- Timer.h - Wall-clock timing for benchmarks ----------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_TIMER_H
+#define ANEK_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace anek {
+
+/// Measures elapsed wall-clock time from construction (or the last reset).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction/reset.
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_TIMER_H

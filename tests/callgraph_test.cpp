@@ -1,0 +1,119 @@
+//===- callgraph_test.cpp - Unit tests for the call graph ------------------===//
+
+#include "analysis/CallGraph.h"
+#include "lang/Sema.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+namespace {
+
+std::unique_ptr<Program> analyze(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+MethodDecl *method(Program &Prog, const std::string &Class,
+                   const std::string &Name) {
+  for (auto &M : Prog.findType(Class)->Methods)
+    if (M->Name == Name)
+      return M.get();
+  ADD_FAILURE() << Class << "." << Name << " not found";
+  return nullptr;
+}
+
+} // namespace
+
+TEST(CallGraphTest, DirectEdges) {
+  auto Prog = analyze(R"mj(
+class A {
+  void caller() { callee(); callee(); }
+  void callee() { }
+}
+)mj");
+  CallGraph CG(*Prog);
+  MethodDecl *Caller = method(*Prog, "A", "caller");
+  MethodDecl *Callee = method(*Prog, "A", "callee");
+  ASSERT_EQ(CG.callees(Caller).size(), 1u); // Deduplicated.
+  EXPECT_EQ(CG.callees(Caller)[0], Callee);
+  ASSERT_EQ(CG.callers(Callee).size(), 1u);
+  EXPECT_EQ(CG.callers(Callee)[0], Caller);
+  EXPECT_EQ(CG.edgeCount(), 1u);
+}
+
+TEST(CallGraphTest, ConstructorEdges) {
+  auto Prog = analyze(R"mj(
+class A {
+  A(int x) { }
+  static A make() { return new A(1); }
+}
+)mj");
+  CallGraph CG(*Prog);
+  MethodDecl *Make = method(*Prog, "A", "make");
+  ASSERT_EQ(CG.callees(Make).size(), 1u);
+  EXPECT_TRUE(CG.callees(Make)[0]->IsCtor);
+}
+
+TEST(CallGraphTest, EdgesInsideAllExprPositions) {
+  auto Prog = analyze(R"mj(
+class A {
+  int f() { return 1; }
+  void m(int k) {
+    int a = f() + f();
+    if (f() > 0) { k = f(); }
+    while (f() < k) { k = k - 1; }
+    assert f() == 1;
+  }
+}
+)mj");
+  CallGraph CG(*Prog);
+  EXPECT_EQ(CG.callees(method(*Prog, "A", "m")).size(), 1u);
+}
+
+TEST(CallGraphTest, BottomUpOrder) {
+  auto Prog = analyze(R"mj(
+class A {
+  void top() { mid(); }
+  void mid() { bottom(); }
+  void bottom() { }
+}
+)mj");
+  CallGraph CG(*Prog);
+  std::vector<MethodDecl *> Order = CG.bottomUpOrder();
+  auto Pos = [&](const char *Name) {
+    return std::find(Order.begin(), Order.end(), method(*Prog, "A", Name)) -
+           Order.begin();
+  };
+  EXPECT_LT(Pos("bottom"), Pos("mid"));
+  EXPECT_LT(Pos("mid"), Pos("top"));
+  EXPECT_EQ(Order.size(), 3u);
+}
+
+TEST(CallGraphTest, RecursionDoesNotDiverge) {
+  auto Prog = analyze(R"mj(
+class A {
+  void even(int n) { odd(n - 1); }
+  void odd(int n) { even(n - 1); }
+}
+)mj");
+  CallGraph CG(*Prog);
+  std::vector<MethodDecl *> Order = CG.bottomUpOrder();
+  EXPECT_EQ(Order.size(), 2u);
+}
+
+TEST(CallGraphTest, BodilessMethodsExcludedFromOrder) {
+  auto Prog = analyze(R"mj(
+interface I { void api(); }
+class A { void m(I i) { i.api(); } }
+)mj");
+  CallGraph CG(*Prog);
+  std::vector<MethodDecl *> Order = CG.bottomUpOrder();
+  ASSERT_EQ(Order.size(), 1u);
+  EXPECT_EQ(Order[0]->Name, "m");
+  // The edge itself is still recorded.
+  EXPECT_EQ(CG.callees(method(*Prog, "A", "m")).size(), 1u);
+}

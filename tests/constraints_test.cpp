@@ -1,0 +1,165 @@
+//===- constraints_test.cpp - Unit tests for constraint generation ---------===//
+
+#include "analysis/IrBuilder.h"
+#include "constraints/ConstraintGen.h"
+#include "corpus/ExampleSources.h"
+#include "factor/Solvers.h"
+#include "lang/Sema.h"
+#include "pfg/PfgBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+namespace {
+
+struct Generated {
+  std::unique_ptr<Program> Prog;
+  MethodIr Ir;
+  Pfg G;
+  FactorGraph FG;
+  std::unique_ptr<PfgVarMap> Vars;
+  ConstraintStats Stats;
+};
+
+Generated generate(const std::string &Source, const std::string &Method,
+                   const ConstraintOptions &Opts = {}) {
+  Generated Out;
+  DiagnosticEngine Diags;
+  Out.Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Out.Prog != nullptr) << Diags.str();
+  for (MethodDecl *M : Out.Prog->methodsWithBodies())
+    if (M->Name == Method) {
+      Out.Ir = lowerToIr(*M);
+      Out.G = buildPfg(Out.Ir);
+      Out.Vars = std::make_unique<PfgVarMap>(Out.G, Out.FG);
+      Out.Stats = generateConstraints(Out.G, Out.FG, *Out.Vars, Opts);
+      return Out;
+    }
+  ADD_FAILURE() << "method not found";
+  return Out;
+}
+
+} // namespace
+
+TEST(ConstraintGenTest, VariableLayout) {
+  Generated G = generate(iteratorApiSource() + R"mj(
+class C {
+  int take(Iterator<Integer> it) { return it.next(); }
+}
+)mj",
+                         "take");
+  // Every node/edge gets 5 kind variables plus per-state variables.
+  unsigned Expected = 0;
+  for (PfgNodeId N = 0; N != G.G.nodeCount(); ++N)
+    Expected += NumPermKinds +
+                static_cast<unsigned>(G.G.statesOf(N).size());
+  for (PfgEdgeId E = 0; E != G.G.edgeCount(); ++E) {
+    TypeDecl *Class = G.G.node(G.G.edge(E).From).Class;
+    if (!Class)
+      Class = G.G.node(G.G.edge(E).To).Class;
+    Expected += NumPermKinds +
+                (Class ? static_cast<unsigned>(Class->States.names().size())
+                       : 0u);
+  }
+  EXPECT_EQ(G.FG.variableCount(), Expected);
+}
+
+TEST(ConstraintGenTest, StatsCoverRuleFamilies) {
+  Generated G = generate(iteratorApiSource() + spreadsheetSource(), "copy");
+  EXPECT_GT(G.Stats.BranchEquality, 0u);
+  EXPECT_GT(G.Stats.SplitFactors, 0u);
+  EXPECT_GT(G.Stats.IncomingFactors, 0u);
+  EXPECT_GT(G.Stats.HeuristicFactors, 0u);
+  EXPECT_GT(G.FG.factorCount(), 0u);
+}
+
+TEST(ConstraintGenTest, FieldWriteGeneratesL3) {
+  Generated G = generate(fieldExampleSource(), "accessFields");
+  EXPECT_EQ(G.Stats.FieldWriteFactors, 2u); // Negative + positive form.
+}
+
+TEST(ConstraintGenTest, LogicalOnlyDropsHeuristics) {
+  ConstraintOptions Opts;
+  Opts.LogicalOnly = true;
+  Generated G = generate("class A { A m() { return new A(); } }", "m", Opts);
+  EXPECT_EQ(G.Stats.HeuristicFactors, 0u);
+}
+
+TEST(ConstraintGenTest, HeuristicToggles) {
+  std::string Source = "class A { A createX() { return new A(); } }";
+  ConstraintOptions All;
+  ConstraintOptions NoH1 = All;
+  NoH1.EnableH1 = false;
+  NoH1.EnableH3 = false;
+  Generated WithH = generate(Source, "createX", All);
+  Generated WithoutH = generate(Source, "createX", NoH1);
+  EXPECT_GT(WithH.Stats.HeuristicFactors, WithoutH.Stats.HeuristicFactors);
+}
+
+TEST(ConstraintGenTest, ExclusivityToggle) {
+  std::string Source = "class A { void use(A x) { } "
+                       "void m(A p) { use(p); } }";
+  ConstraintOptions On;
+  On.EnableExclusivity = true;
+  ConstraintOptions Off;
+  Generated GOn = generate(Source, "m", On);
+  Generated GOff = generate(Source, "m", Off);
+  EXPECT_GT(GOn.Stats.ExclusivityFactors, 0u);
+  EXPECT_EQ(GOff.Stats.ExclusivityFactors, 0u);
+}
+
+TEST(ConstraintGenTest, KindMutexAddsPerNodeFactors) {
+  ConstraintOptions Opts;
+  Opts.KindMutex = true;
+  Generated G = generate("class A { void m(A p) { } }", "m", Opts);
+  ConstraintOptions Base;
+  Generated G2 = generate("class A { void m(A p) { } }", "m", Base);
+  EXPECT_EQ(G.FG.factorCount(), G2.FG.factorCount() + G.G.nodeCount());
+}
+
+/// End-to-end sanity: seeding a spec prior at one end of the graph moves
+/// the marginal at the other end.
+TEST(ConstraintGenTest, EvidenceFlowsThroughEqualities) {
+  Generated G = generate("class A { A m(A p) { return p; } }", "m");
+  // Seed: parameter pre is full.
+  setSpecPriors(G.FG, G.Vars->node(G.G.ParamPre[0]),
+                G.G.statesOf(G.G.ParamPre[0]),
+                PermState{PermKind::Full, ""});
+  Marginals M = SumProductSolver().solve(G.FG);
+  unsigned FullIdx = static_cast<unsigned>(PermKind::Full);
+  // The result node receives the evidence.
+  EXPECT_GT(M[G.Vars->node(G.G.ResultNode).Kind[FullIdx]], 0.7);
+}
+
+TEST(ConstraintGenTest, StateOpaqueEdgeBlocksStates) {
+  // A call between a state source and the POST node: the callee's post
+  // determines the downstream state, not the upstream state.
+  Generated G = generate(iteratorApiSource() + R"mj(
+class C {
+  void probe(Iterator<Integer> it) {
+    it.hasNext();
+  }
+}
+)mj",
+                         "probe");
+  // Seed HASNEXT at the parameter's pre node.
+  const std::vector<std::string> States = G.G.statesOf(G.G.ParamPre[0]);
+  setSpecPriors(G.FG, G.Vars->node(G.G.ParamPre[0]), States,
+                PermState{PermKind::Full, "HASNEXT"});
+  Marginals M = SumProductSolver().solve(G.FG);
+  // HASNEXT must not leak across the call to the POST node: the hasNext
+  // callee post (ensures pure(this), i.e. ALIVE) governs.
+  ASSERT_EQ(States[1], "HASNEXT");
+  double PostHasNext = M[G.Vars->node(G.G.ParamPost[0]).State[1]];
+  EXPECT_LT(PostHasNext, 0.55);
+}
+
+TEST(ConstraintGenTest, ReadMarginalsLayout) {
+  Generated G = generate("class A { void m(A p) { } }", "m");
+  Marginals M(G.FG.variableCount(), 0.25);
+  std::vector<double> V = readMarginals(G.Vars->node(G.G.ParamPre[0]), M);
+  EXPECT_EQ(V.size(), NumPermKinds + 1); // Kinds + ALIVE state.
+  for (double P : V)
+    EXPECT_DOUBLE_EQ(P, 0.25);
+}

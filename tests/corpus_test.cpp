@@ -1,0 +1,206 @@
+//===- corpus_test.cpp - Tests for the PMD corpus and Table 4 classifier ---===//
+
+#include "corpus/PmdGenerator.h"
+#include "corpus/SpecComparison.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+TEST(PmdGeneratorTest, MatchesTable1Statistics) {
+  PmdCorpus Corpus = generatePmdCorpus();
+  EXPECT_EQ(Corpus.ClassCount, 463u);
+  EXPECT_EQ(Corpus.MethodCount, 3120u);
+  EXPECT_EQ(Corpus.NextCallCount, 170u);
+  // Lines land in the PMD ballpark (paper: 38,483).
+  EXPECT_GT(Corpus.LineCount, 30000u);
+  EXPECT_LT(Corpus.LineCount, 45000u);
+  EXPECT_EQ(Corpus.HandSpecs.size(), 26u); // Bierhoff's annotation count.
+}
+
+TEST(PmdGeneratorTest, Deterministic) {
+  PmdCorpus A = generatePmdCorpus();
+  PmdCorpus B = generatePmdCorpus();
+  EXPECT_EQ(A.Source, B.Source);
+  PmdConfig Other;
+  Other.Seed = 42;
+  EXPECT_NE(generatePmdCorpus(Other).Source, A.Source);
+}
+
+TEST(PmdGeneratorTest, ParsesAndAnalyzes) {
+  PmdCorpus Corpus = generatePmdCorpus();
+  DiagnosticEngine Diags;
+  auto Prog = parseAndAnalyze(Corpus.Source, Diags);
+  ASSERT_TRUE(Prog != nullptr) << Diags.str().substr(0, 2000);
+  // Class count in the parsed program: generated classes + interfaces
+  // equals the configured budget (ambient types excluded).
+  unsigned Real = 0;
+  for (const auto &T : Prog->Types)
+    Real += T->Loc.isValid();
+  EXPECT_EQ(Real, Corpus.ClassCount);
+}
+
+TEST(PmdGeneratorTest, NextCallCountMatchesSource) {
+  PmdCorpus Corpus = generatePmdCorpus();
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Corpus.Source.find(".next()", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 7;
+  }
+  EXPECT_EQ(Count, Corpus.NextCallCount);
+}
+
+TEST(PmdGeneratorTest, HandSpecsResolve) {
+  PmdCorpus Corpus = generatePmdCorpus();
+  DiagnosticEngine Diags;
+  auto Prog = parseAndAnalyze(Corpus.Source, Diags);
+  ASSERT_TRUE(Prog != nullptr);
+  unsigned Unresolved = 77;
+  auto Hand = resolveHandSpecs(*Prog, Corpus, &Unresolved);
+  EXPECT_EQ(Unresolved, 0u);
+  EXPECT_EQ(Hand.size(), Corpus.HandSpecs.size());
+  // Dynamic state tests carried over.
+  unsigned Indicators = 0;
+  for (auto &[M, S] : Hand)
+    Indicators += !S.TrueIndicates.empty();
+  EXPECT_EQ(Indicators, 3u);
+}
+
+TEST(PmdGeneratorTest, ScaledDownConfig) {
+  PmdConfig Config;
+  Config.Classes = 30;
+  Config.Methods = 120;
+  Config.DirectSites = 10;
+  Config.WrapperConsumerSites = 6;
+  Config.BuggySites = 2;
+  Config.Wrappers = 3;
+  Config.FullSpecWrappers = 1;
+  PmdCorpus Corpus = generatePmdCorpus(Config);
+  EXPECT_EQ(Corpus.NextCallCount, 10u + 6u + 2u + 3u);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(parseAndAnalyze(Corpus.Source, Diags) != nullptr)
+      << Diags.str().substr(0, 2000);
+}
+
+//===----------------------------------------------------------------------===//
+// Table 4 classifier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a one-method program so classifier tests have a MethodDecl.
+struct OneMethod {
+  std::unique_ptr<Program> Prog;
+  MethodDecl *M = nullptr;
+};
+
+OneMethod oneMethod() {
+  DiagnosticEngine Diags;
+  OneMethod Out;
+  Out.Prog = parseAndAnalyze(
+      "class A { A m(A p) { return p; } }", Diags);
+  EXPECT_TRUE(Out.Prog != nullptr);
+  Out.M = Out.Prog->findType("A")->findMethod("m", 1);
+  return Out;
+}
+
+MethodSpec spec(std::optional<PermState> ParamPre,
+                std::optional<PermState> Result,
+                std::string TrueInd = "") {
+  MethodSpec S;
+  S.resizeParams(1);
+  S.ParamPre[0] = ParamPre;
+  S.Result = Result;
+  S.TrueIndicates = std::move(TrueInd);
+  return S;
+}
+
+} // namespace
+
+TEST(SpecComparisonTest, Same) {
+  OneMethod O = oneMethod();
+  std::map<const MethodDecl *, MethodSpec> Hand{
+      {O.M, spec(PermState{PermKind::Full, ""}, std::nullopt)}};
+  auto Inferred = Hand;
+  SpecComparisonTable T = compareSpecs(Hand, Inferred);
+  EXPECT_EQ(T.count(SpecCategory::Same), 1u);
+}
+
+TEST(SpecComparisonTest, AddedHelpfulVsConstraining) {
+  OneMethod O = oneMethod();
+  std::map<const MethodDecl *, MethodSpec> NoHand;
+  // A unique(result) guarantee imposes nothing on callers: helpful.
+  std::map<const MethodDecl *, MethodSpec> Inferred{
+      {O.M, spec(std::nullopt, PermState{PermKind::Unique, ""})}};
+  EXPECT_EQ(compareSpecs(NoHand, Inferred).count(
+                SpecCategory::AddedHelpful),
+            1u);
+  // A full(param) requirement burdens callers: constraining.
+  Inferred = {{O.M, spec(PermState{PermKind::Full, ""}, std::nullopt)}};
+  EXPECT_EQ(compareSpecs(NoHand, Inferred).count(
+                SpecCategory::AddedConstraining),
+            1u);
+}
+
+TEST(SpecComparisonTest, Removed) {
+  OneMethod O = oneMethod();
+  std::map<const MethodDecl *, MethodSpec> Hand{
+      {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt)}};
+  std::map<const MethodDecl *, MethodSpec> None;
+  EXPECT_EQ(compareSpecs(Hand, None).count(SpecCategory::Removed), 1u);
+}
+
+TEST(SpecComparisonTest, IndicatorLossIsRemoved) {
+  OneMethod O = oneMethod();
+  std::map<const MethodDecl *, MethodSpec> Hand{
+      {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt, "HASNEXT")}};
+  std::map<const MethodDecl *, MethodSpec> Inferred{
+      {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt)}};
+  EXPECT_EQ(compareSpecs(Hand, Inferred).count(SpecCategory::Removed), 1u);
+}
+
+TEST(SpecComparisonTest, MoreRestrictive) {
+  OneMethod O = oneMethod();
+  std::map<const MethodDecl *, MethodSpec> Hand{
+      {O.M, spec(std::nullopt, PermState{PermKind::Full, ""})}};
+  std::map<const MethodDecl *, MethodSpec> Inferred{
+      {O.M, spec(std::nullopt, PermState{PermKind::Unique, ""})}};
+  EXPECT_EQ(compareSpecs(Hand, Inferred).count(
+                SpecCategory::MoreRestrictive),
+            1u);
+  // Adding a state constraint is also more restrictive.
+  Hand = {{O.M, spec(PermState{PermKind::Full, ""}, std::nullopt)}};
+  Inferred = {{O.M, spec(PermState{PermKind::Full, "OPEN"}, std::nullopt)}};
+  EXPECT_EQ(compareSpecs(Hand, Inferred).count(
+                SpecCategory::MoreRestrictive),
+            1u);
+}
+
+TEST(SpecComparisonTest, Wrong) {
+  OneMethod O = oneMethod();
+  // Weaker kind: wrong.
+  std::map<const MethodDecl *, MethodSpec> Hand{
+      {O.M, spec(PermState{PermKind::Full, ""}, std::nullopt)}};
+  std::map<const MethodDecl *, MethodSpec> Inferred{
+      {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt)}};
+  EXPECT_EQ(compareSpecs(Hand, Inferred).count(SpecCategory::Wrong), 1u);
+  // Dropped state: wrong.
+  Hand = {{O.M, spec(PermState{PermKind::Full, "OPEN"}, std::nullopt)}};
+  Inferred = {{O.M, spec(PermState{PermKind::Full, ""}, std::nullopt)}};
+  EXPECT_EQ(compareSpecs(Hand, Inferred).count(SpecCategory::Wrong), 1u);
+  // Mixed stronger/weaker across targets: incomparable, wrong.
+  Hand = {{O.M, spec(PermState{PermKind::Full, ""},
+                     PermState{PermKind::Full, ""})}};
+  Inferred = {{O.M, spec(PermState{PermKind::Pure, ""},
+                         PermState{PermKind::Unique, ""})}};
+  EXPECT_EQ(compareSpecs(Hand, Inferred).count(SpecCategory::Wrong), 1u);
+}
+
+TEST(SpecComparisonTest, TableRendersAllRows) {
+  SpecComparisonTable T;
+  std::string S = T.str();
+  EXPECT_NE(S.find("Same"), std::string::npos);
+  EXPECT_NE(S.find("More Restrictive"), std::string::npos);
+  EXPECT_NE(S.find("Wrong"), std::string::npos);
+}

@@ -1,0 +1,126 @@
+//===- lexer_test.cpp - Unit tests for the MiniJava lexer ------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+static std::vector<Token> lex(const std::string &Source,
+                              DiagnosticEngine *OutDiags = nullptr) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  if (OutDiags)
+    *OutDiags = Diags;
+  else
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+TEST(LexerTest, Empty) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lex("class interface extends implements static void int "
+                    "boolean if else while return new this true false null "
+                    "assert synchronized");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwClass,   TokenKind::KwInterface,
+      TokenKind::KwExtends, TokenKind::KwImplements,
+      TokenKind::KwStatic,  TokenKind::KwVoid,
+      TokenKind::KwInt,     TokenKind::KwBoolean,
+      TokenKind::KwIf,      TokenKind::KwElse,
+      TokenKind::KwWhile,   TokenKind::KwReturn,
+      TokenKind::KwNew,     TokenKind::KwThis,
+      TokenKind::KwTrue,    TokenKind::KwFalse,
+      TokenKind::KwNull,    TokenKind::KwAssert,
+      TokenKind::KwSynchronized};
+  ASSERT_EQ(Tokens.size(), Expected.size() + 1);
+  for (size_t I = 0; I != Expected.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, IdentifiersAndLiterals) {
+  auto Tokens = lex("foo _bar x42 123 \"hi\\n\"");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Identifier));
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x42");
+  EXPECT_TRUE(Tokens[3].is(TokenKind::IntLiteral));
+  EXPECT_EQ(Tokens[3].Text, "123");
+  EXPECT_TRUE(Tokens[4].is(TokenKind::StringLiteral));
+  EXPECT_EQ(Tokens[4].Text, "hi\n");
+}
+
+TEST(LexerTest, Operators) {
+  auto Tokens = lex("== != <= >= && || < > = ! + - * / % . , ; @ ( ) { }");
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqEq,   TokenKind::NotEq, TokenKind::Le,
+      TokenKind::Ge,     TokenKind::AndAnd, TokenKind::OrOr,
+      TokenKind::Lt,     TokenKind::Gt,    TokenKind::Assign,
+      TokenKind::Not,    TokenKind::Plus,  TokenKind::Minus,
+      TokenKind::Star,   TokenKind::Slash, TokenKind::Percent,
+      TokenKind::Dot,    TokenKind::Comma, TokenKind::Semi,
+      TokenKind::At,     TokenKind::LParen, TokenKind::RParen,
+      TokenKind::LBrace, TokenKind::RBrace};
+  ASSERT_EQ(Tokens.size(), Expected.size() + 1);
+  for (size_t I = 0; I != Expected.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, Comments) {
+  auto Tokens = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(LexerTest, Locations) {
+  auto Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnterminatedString) {
+  DiagnosticEngine Diags;
+  lex("\"abc", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  lex("/* abc", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnexpectedCharacterRecovers) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a $ b", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, EscapeSequences) {
+  auto Tokens = lex(R"("a\tb\"c")");
+  EXPECT_EQ(Tokens[0].Text, "a\tb\"c");
+}
+
+TEST(LexerTest, AnnotationShape) {
+  auto Tokens = lex("@Perm(requires=\"full(this)\")");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::At));
+  EXPECT_EQ(Tokens[1].Text, "Perm");
+  EXPECT_TRUE(Tokens[2].is(TokenKind::LParen));
+  EXPECT_EQ(Tokens[3].Text, "requires");
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Assign));
+  EXPECT_EQ(Tokens[5].Text, "full(this)");
+}

@@ -1,0 +1,153 @@
+//===- localinfer_test.cpp - PLURAL local fraction inference tests ---------===//
+
+#include "analysis/IrBuilder.h"
+#include "corpus/ExampleSources.h"
+#include "corpus/InlineComparison.h"
+#include "lang/Sema.h"
+#include "pfg/PfgBuilder.h"
+#include "plural/LocalInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+namespace {
+
+struct Setup2 {
+  std::unique_ptr<Program> Prog;
+  MethodIr Ir;
+  Pfg G;
+};
+
+Setup2 buildFor(const std::string &Source, const std::string &Method) {
+  DiagnosticEngine Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  for (MethodDecl *M : Prog->methodsWithBodies())
+    if (M->Name == Method) {
+      MethodIr Ir = lowerToIr(*M);
+      Pfg G = buildPfg(Ir);
+      return {std::move(Prog), std::move(Ir), std::move(G)};
+    }
+  ADD_FAILURE() << "method not found";
+  return {};
+}
+
+} // namespace
+
+TEST(LocalInferenceTest, StraightLineConsistent) {
+  Setup2 S = buildFor(R"mj(
+class W {
+  @Perm(requires="full(this)", ensures="full(this)")
+  void mutate();
+}
+class M {
+  void m(W w) { w.mutate(); }
+}
+)mj",
+                      "m");
+  LocalInferenceResult R = runLocalInference(S.G);
+  EXPECT_TRUE(R.Consistent);
+  EXPECT_TRUE(R.InRange);
+  EXPECT_EQ(R.NumVariables, S.G.edgeCount());
+  EXPECT_GT(R.NumEquations, 0u);
+  EXPECT_GT(R.EliminationOps, 0u);
+}
+
+TEST(LocalInferenceTest, SplitsHalve) {
+  Setup2 S = buildFor(R"mj(
+class W {
+  @Perm(requires="pure(this)", ensures="pure(this)")
+  int peek();
+}
+class M {
+  void m(W w) { w.peek(); }
+}
+)mj",
+                      "m");
+  LocalInferenceResult R = runLocalInference(S.G);
+  ASSERT_TRUE(R.Consistent);
+  // A split's outgoing edges carry equal fractions.
+  for (PfgNodeId N = 0; N != S.G.nodeCount(); ++N) {
+    if (S.G.node(N).Kind != PfgNodeKind::Split)
+      continue;
+    const auto &Out = S.G.outEdges(N);
+    for (size_t I = 1; I < Out.size(); ++I)
+      EXPECT_EQ(R.EdgeFractions[Out[0]], R.EdgeFractions[Out[I]]);
+  }
+}
+
+TEST(LocalInferenceTest, ConservationHolds) {
+  Setup2 S = buildFor(iteratorApiSource() + spreadsheetSource(), "copy");
+  LocalInferenceResult R = runLocalInference(S.G);
+  ASSERT_TRUE(R.Consistent);
+  // Interior merge/join nodes conserve flow.
+  for (PfgNodeId N = 0; N != S.G.nodeCount(); ++N) {
+    const PfgNode &Node = S.G.node(N);
+    if (Node.Kind != PfgNodeKind::Merge && Node.Kind != PfgNodeKind::Join)
+      continue;
+    if (S.G.inEdges(N).empty() || S.G.outEdges(N).empty())
+      continue;
+    Rational In(0), Out(0);
+    for (PfgEdgeId E : S.G.inEdges(N))
+      In += R.EdgeFractions[E];
+    for (PfgEdgeId E : S.G.outEdges(N))
+      Out += R.EdgeFractions[E];
+    EXPECT_EQ(In, Out);
+  }
+}
+
+TEST(LocalInferenceTest, InlinedChainIsBiggerSystem) {
+  InlinePrograms P = generateInlineComparison(/*NumHelpers=*/10);
+  DiagnosticEngine Diags;
+  auto Inlined = parseAndAnalyze(P.Inlined, Diags);
+  ASSERT_TRUE(Inlined != nullptr) << Diags.str();
+  auto Modular = parseAndAnalyze(P.Modular, Diags);
+  ASSERT_TRUE(Modular != nullptr) << Diags.str();
+
+  MethodDecl *RunAll = nullptr;
+  for (MethodDecl *M : Inlined->methodsWithBodies())
+    if (M->Name == "runAll")
+      RunAll = M;
+  ASSERT_NE(RunAll, nullptr);
+  MethodIr Ir = lowerToIr(*RunAll);
+  Pfg G = buildPfg(Ir);
+  LocalInferenceResult R = runLocalInference(G);
+  EXPECT_TRUE(R.Consistent);
+
+  // The inlined system is larger than any single modular method's (it
+  // concatenates every helper body), and far larger than the helpers'.
+  uint64_t LargestModular = 0, LargestHelper = 0;
+  for (MethodDecl *M : Modular->methodsWithBodies()) {
+    MethodIr MIr = lowerToIr(*M);
+    Pfg MG = buildPfg(MIr);
+    LocalInferenceResult MR = runLocalInference(MG);
+    LargestModular = std::max(LargestModular,
+                              static_cast<uint64_t>(MR.NumVariables));
+    if (M->Name != "run")
+      LargestHelper = std::max(LargestHelper,
+                               static_cast<uint64_t>(MR.NumVariables));
+  }
+  EXPECT_GT(R.NumVariables, LargestModular);
+  EXPECT_GT(R.NumVariables, 5 * LargestHelper);
+}
+
+TEST(InlineComparisonTest, GeneratorShape) {
+  InlinePrograms P = generateInlineComparison();
+  EXPECT_GT(P.ModularLines, 300u);
+  EXPECT_LT(P.ModularLines, 600u);
+  EXPECT_EQ(P.HelperMethods, 48u);
+  // Both variants analyze cleanly.
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(parseAndAnalyze(P.Modular, Diags) != nullptr)
+      << Diags.str();
+  EXPECT_TRUE(parseAndAnalyze(P.Inlined, Diags) != nullptr)
+      << Diags.str();
+}
+
+TEST(InlineComparisonTest, Deterministic) {
+  InlinePrograms A = generateInlineComparison(12, 5);
+  InlinePrograms B = generateInlineComparison(12, 5);
+  EXPECT_EQ(A.Modular, B.Modular);
+  EXPECT_EQ(A.Inlined, B.Inlined);
+}

@@ -1,0 +1,255 @@
+//===- parser_test.cpp - Unit tests for the MiniJava parser ----------------===//
+
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+static std::unique_ptr<Program> parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Prog = Parser::parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Prog;
+}
+
+TEST(ParserTest, EmptyProgram) {
+  auto Prog = parseOk("");
+  EXPECT_TRUE(Prog->Types.empty());
+}
+
+TEST(ParserTest, ClassWithFieldAndMethod) {
+  auto Prog = parseOk("class A { int x; void m(int a, boolean b) { } }");
+  ASSERT_EQ(Prog->Types.size(), 1u);
+  TypeDecl &A = *Prog->Types[0];
+  EXPECT_EQ(A.Name, "A");
+  EXPECT_FALSE(A.IsInterface);
+  ASSERT_EQ(A.Fields.size(), 1u);
+  EXPECT_EQ(A.Fields[0].Name, "x");
+  ASSERT_EQ(A.Methods.size(), 1u);
+  EXPECT_EQ(A.Methods[0]->Name, "m");
+  ASSERT_EQ(A.Methods[0]->Params.size(), 2u);
+  EXPECT_EQ(A.Methods[0]->Params[1].Name, "b");
+  EXPECT_TRUE(A.Methods[0]->Body != nullptr);
+}
+
+TEST(ParserTest, InterfaceWithAbstractMethods) {
+  auto Prog = parseOk("interface I<T> { T next(); boolean hasNext(); }");
+  TypeDecl &I = *Prog->Types[0];
+  EXPECT_TRUE(I.IsInterface);
+  ASSERT_EQ(I.TypeParams.size(), 1u);
+  EXPECT_EQ(I.TypeParams[0], "T");
+  ASSERT_EQ(I.Methods.size(), 2u);
+  EXPECT_EQ(I.Methods[0]->Body, nullptr);
+}
+
+TEST(ParserTest, Inheritance) {
+  auto Prog = parseOk("interface A {} interface B {} "
+                      "class C extends D implements A, B {} class D {}");
+  TypeDecl &C = *Prog->Types[2];
+  EXPECT_EQ(C.SuperName, "D");
+  ASSERT_EQ(C.InterfaceNames.size(), 2u);
+  EXPECT_EQ(C.InterfaceNames[0], "A");
+}
+
+TEST(ParserTest, InterfaceExtendsMany) {
+  auto Prog = parseOk("interface A {} interface B {} "
+                      "interface C extends A, B {}");
+  TypeDecl &C = *Prog->Types[2];
+  ASSERT_EQ(C.InterfaceNames.size(), 2u);
+}
+
+TEST(ParserTest, Constructor) {
+  auto Prog = parseOk("class A { A(int x) { } }");
+  ASSERT_EQ(Prog->Types[0]->Methods.size(), 1u);
+  EXPECT_TRUE(Prog->Types[0]->Methods[0]->IsCtor);
+}
+
+TEST(ParserTest, Annotations) {
+  auto Prog = parseOk(R"mj(
+@States({"OPEN", "CLOSED"})
+class F {
+  @Perm(requires="full(this) in OPEN", ensures="full(this)")
+  @TrueIndicates("OPEN")
+  @Test
+  boolean check() { return true; }
+}
+)mj");
+  TypeDecl &F = *Prog->Types[0];
+  ASSERT_EQ(F.Annotations.size(), 1u);
+  EXPECT_EQ(F.Annotations[0].Name, "States");
+  ASSERT_EQ(F.Annotations[0].ListArgs.size(), 2u);
+  EXPECT_EQ(F.Annotations[0].ListArgs[1], "CLOSED");
+  MethodDecl &M = *F.Methods[0];
+  ASSERT_EQ(M.Annotations.size(), 3u);
+  EXPECT_EQ(M.Annotations[0].arg("requires"), "full(this) in OPEN");
+  EXPECT_EQ(M.Annotations[1].arg("value"), "OPEN");
+  EXPECT_EQ(M.Annotations[2].Name, "Test");
+}
+
+TEST(ParserTest, GenericTypes) {
+  auto Prog = parseOk("class A { Iterator<Integer> it(Map<K, V> m) { "
+                      "return null; } }");
+  MethodDecl &M = *Prog->Types[0]->Methods[0];
+  EXPECT_EQ(M.ReturnType.Name, "Iterator");
+  ASSERT_EQ(M.ReturnType.Args.size(), 1u);
+  EXPECT_EQ(M.ReturnType.Args[0].Name, "Integer");
+  EXPECT_EQ(M.Params[0].Type.Args.size(), 2u);
+}
+
+TEST(ParserTest, Statements) {
+  auto Prog = parseOk(R"mj(
+class A {
+  int m(int x) {
+    int y = 1;
+    if (x > 0) { y = 2; } else y = 3;
+    while (y < 10) y = y + 1;
+    assert y >= 10;
+    assert(y >= 10);
+    synchronized (this) { y = y * 2; }
+    return y;
+  }
+}
+)mj");
+  auto *Body = Prog->Types[0]->Methods[0]->Body.get();
+  ASSERT_EQ(Body->Stmts.size(), 7u);
+  EXPECT_EQ(Body->Stmts[0]->getKind(), Stmt::Kind::VarDecl);
+  EXPECT_EQ(Body->Stmts[1]->getKind(), Stmt::Kind::If);
+  EXPECT_EQ(Body->Stmts[2]->getKind(), Stmt::Kind::While);
+  EXPECT_EQ(Body->Stmts[3]->getKind(), Stmt::Kind::Assert);
+  EXPECT_EQ(Body->Stmts[4]->getKind(), Stmt::Kind::Assert);
+  EXPECT_EQ(Body->Stmts[5]->getKind(), Stmt::Kind::Synchronized);
+  EXPECT_EQ(Body->Stmts[6]->getKind(), Stmt::Kind::Return);
+}
+
+TEST(ParserTest, VarDeclVsComparison) {
+  // `Foo<T> x = ...` is a declaration; `a < b` is a comparison.
+  auto Prog = parseOk(R"mj(
+class A {
+  void m(int a, int b) {
+    Iterator<Integer> it = null;
+    boolean c = a < b;
+  }
+}
+)mj");
+  auto *Body = Prog->Types[0]->Methods[0]->Body.get();
+  EXPECT_EQ(Body->Stmts[0]->getKind(), Stmt::Kind::VarDecl);
+  auto *Second = cast<VarDeclStmt>(Body->Stmts[1].get());
+  EXPECT_EQ(Second->Type.Kind, TypeRef::Tag::Boolean);
+  ASSERT_TRUE(Second->Init != nullptr);
+  EXPECT_EQ(Second->Init->getKind(), Expr::Kind::Binary);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto Prog = parseOk("class A { int m() { return 1 + 2 * 3; } }");
+  auto *Ret = cast<ReturnStmt>(
+      Prog->Types[0]->Methods[0]->Body->Stmts[0].get());
+  auto *Add = cast<BinaryExpr>(Ret->Value.get());
+  EXPECT_EQ(Add->Op, BinaryOp::Add);
+  auto *Mul = cast<BinaryExpr>(Add->Rhs.get());
+  EXPECT_EQ(Mul->Op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, ChainedCalls) {
+  auto Prog =
+      parseOk("class A { void m(A r) { r.f().g(1, 2).h; } }");
+  auto *S = cast<ExprStmt>(Prog->Types[0]->Methods[0]->Body->Stmts[0].get());
+  auto *H = cast<FieldReadExpr>(S->E.get());
+  EXPECT_EQ(H->FieldName, "h");
+  auto *G = cast<CallExpr>(H->Base.get());
+  EXPECT_EQ(G->MethodName, "g");
+  EXPECT_EQ(G->Args.size(), 2u);
+  auto *F = cast<CallExpr>(G->Base.get());
+  EXPECT_EQ(F->MethodName, "f");
+}
+
+TEST(ParserTest, UnqualifiedCall) {
+  auto Prog = parseOk("class A { void m() { helper(1); } void helper(int x) {} }");
+  auto *S = cast<ExprStmt>(Prog->Types[0]->Methods[0]->Body->Stmts[0].get());
+  auto *Call = cast<CallExpr>(S->E.get());
+  EXPECT_EQ(Call->Base, nullptr);
+  EXPECT_EQ(Call->MethodName, "helper");
+}
+
+TEST(ParserTest, AssignmentForms) {
+  auto Prog = parseOk(R"mj(
+class A {
+  int f;
+  void m(A o) {
+    int x = 0;
+    x = 1;
+    f = 2;
+    o.f = 3;
+  }
+}
+)mj");
+  auto &Stmts = Prog->Types[0]->Methods[0]->Body->Stmts;
+  ASSERT_EQ(Stmts.size(), 4u);
+  auto *FieldAssign = cast<AssignExpr>(cast<ExprStmt>(Stmts[3].get())->E.get());
+  EXPECT_TRUE(isa<FieldReadExpr>(FieldAssign->Lhs.get()));
+}
+
+TEST(ParserTest, InvalidAssignmentTarget) {
+  DiagnosticEngine Diags;
+  Parser::parse("class A { void m() { 1 = 2; } }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, ErrorRecoveryAcrossMembers) {
+  DiagnosticEngine Diags;
+  auto Prog = Parser::parse(
+      "class A { void ; int ok() { return 1; } }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The parser recovered and still parsed the later method.
+  ASSERT_EQ(Prog->Types.size(), 1u);
+  bool FoundOk = false;
+  for (auto &M : Prog->Types[0]->Methods)
+    FoundOk |= M->Name == "ok";
+  EXPECT_TRUE(FoundOk);
+}
+
+TEST(ParserTest, NewExpression) {
+  auto Prog = parseOk("class A { A m() { return new A(); } }");
+  auto *Ret = cast<ReturnStmt>(
+      Prog->Types[0]->Methods[0]->Body->Stmts[0].get());
+  auto *New = cast<NewExpr>(Ret->Value.get());
+  EXPECT_EQ(New->ClassType.Name, "A");
+}
+
+TEST(ParserTest, UnaryOperators) {
+  auto Prog = parseOk("class A { boolean m(boolean b) { return !!b; } }");
+  auto *Ret = cast<ReturnStmt>(
+      Prog->Types[0]->Methods[0]->Body->Stmts[0].get());
+  auto *Not = cast<UnaryExpr>(Ret->Value.get());
+  EXPECT_EQ(Not->Op, UnaryOp::Not);
+  EXPECT_TRUE(isa<UnaryExpr>(Not->Operand.get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty-printer round trip: print(parse(print(parse(s)))) is a fixpoint.
+//===----------------------------------------------------------------------===//
+
+class RoundTripTest : public testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  DiagnosticEngine Diags;
+  auto Prog = Parser::parse(GetParam(), Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  std::string Once = printProgram(*Prog);
+  DiagnosticEngine Diags2;
+  auto Prog2 = Parser::parse(Once, Diags2);
+  ASSERT_FALSE(Diags2.hasErrors()) << Diags2.str() << "\n" << Once;
+  EXPECT_EQ(printProgram(*Prog2), Once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, RoundTripTest,
+    testing::Values(
+        "class A { int x; void m() { x = 1; } }",
+        "interface I<T> { T next(); }",
+        "class B { B() { } B makeB() { return new B(); } }",
+        "class C { void m(C o, int k) { if (k > 0) { o.m(o, k - 1); } "
+        "else { k = 2; } while (k < 5) k = k + 1; } }",
+        "class D { D d; void m() { synchronized (d) { d.m(); } "
+        "assert d != null; } }"));

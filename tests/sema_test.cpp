@@ -1,0 +1,218 @@
+//===- sema_test.cpp - Unit tests for semantic analysis --------------------===//
+
+#include "lang/Sema.h"
+
+#include "corpus/ExampleSources.h"
+
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+static std::unique_ptr<Program> analyzeOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+static bool analyzeFails(const std::string &Source) {
+  DiagnosticEngine Diags;
+  return parseAndAnalyze(Source, Diags) == nullptr;
+}
+
+TEST(SemaTest, ResolvesHierarchy) {
+  auto Prog = analyzeOk("interface I {} class A implements I {} "
+                        "class B extends A {}");
+  TypeDecl *B = Prog->findType("B");
+  ASSERT_NE(B->Super, nullptr);
+  EXPECT_EQ(B->Super->Name, "A");
+  EXPECT_TRUE(B->isSubtypeOf(Prog->findType("I")));
+  EXPECT_FALSE(Prog->findType("A")->isSubtypeOf(B));
+}
+
+TEST(SemaTest, AmbientTypes) {
+  auto Prog = analyzeOk("class A { String s; Object o; }");
+  EXPECT_NE(Prog->findType("String"), nullptr);
+  EXPECT_NE(Prog->findType("Object"), nullptr);
+}
+
+TEST(SemaTest, GenericParamsEraseToObject) {
+  auto Prog = analyzeOk("interface Box<T> { T get(); void put(T v); }");
+  MethodDecl *Get = Prog->findType("Box")->findMethod("get", 0);
+  ASSERT_NE(Get->ReturnType.Decl, nullptr);
+  EXPECT_EQ(Get->ReturnType.Decl->Name, "Object");
+}
+
+TEST(SemaTest, StateSpacesFromAnnotations) {
+  auto Prog = analyzeOk(iteratorApiSource());
+  TypeDecl *Iter = Prog->findType("Iterator");
+  EXPECT_EQ(Iter->States.size(), 3u);
+  EXPECT_TRUE(Iter->States.find("HASNEXT").has_value());
+  EXPECT_TRUE(Iter->States.find("END").has_value());
+}
+
+TEST(SemaTest, StateSpaceInheritance) {
+  auto Prog = analyzeOk(R"mj(
+@States({"A"})
+class Base { }
+@States({"B"})
+class Derived extends Base { }
+)mj");
+  TypeDecl *Derived = Prog->findType("Derived");
+  EXPECT_TRUE(Derived->States.find("A").has_value());
+  EXPECT_TRUE(Derived->States.find("B").has_value());
+}
+
+TEST(SemaTest, NestedStates) {
+  auto Prog = analyzeOk(R"mj(
+@States({"OPEN"})
+@States(refines="OPEN", {"EOF"})
+class F { }
+)mj");
+  TypeDecl *F = Prog->findType("F");
+  auto Eof = F->States.find("EOF");
+  auto Open = F->States.find("OPEN");
+  ASSERT_TRUE(Eof && Open);
+  EXPECT_TRUE(F->States.refines(*Eof, *Open));
+}
+
+TEST(SemaTest, DeclaredSpecs) {
+  auto Prog = analyzeOk(iteratorApiSource());
+  MethodDecl *Next = Prog->findType("Iterator")->findMethod("next", 0);
+  ASSERT_TRUE(Next->HasDeclaredSpec);
+  ASSERT_TRUE(Next->DeclaredSpec.ReceiverPre.has_value());
+  EXPECT_EQ(Next->DeclaredSpec.ReceiverPre->Kind, PermKind::Full);
+  EXPECT_EQ(Next->DeclaredSpec.ReceiverPre->State, "HASNEXT");
+  MethodDecl *HasNext =
+      Prog->findType("Iterator")->findMethod("hasNext", 0);
+  EXPECT_EQ(HasNext->DeclaredSpec.TrueIndicates, "HASNEXT");
+  EXPECT_EQ(HasNext->DeclaredSpec.FalseIndicates, "END");
+}
+
+TEST(SemaTest, NameResolutionKinds) {
+  auto Prog = analyzeOk(R"mj(
+class A {
+  int field;
+  void m(int param) {
+    int local = 1;
+    local = field + param;
+  }
+}
+)mj");
+  // The assignment RHS references a field (implicit this) and a param.
+  MethodDecl *M = Prog->findType("A")->findMethod("m", 1);
+  auto *Assign = cast<AssignExpr>(
+      cast<ExprStmt>(M->Body->Stmts[1].get())->E.get());
+  auto *Bin = cast<BinaryExpr>(Assign->Rhs.get());
+  EXPECT_EQ(cast<VarRefExpr>(Bin->Lhs.get())->Binding,
+            VarRefBinding::FieldOfThis);
+  EXPECT_EQ(cast<VarRefExpr>(Bin->Rhs.get())->Binding,
+            VarRefBinding::Param);
+  EXPECT_EQ(cast<VarRefExpr>(Assign->Lhs.get())->Binding,
+            VarRefBinding::Local);
+}
+
+TEST(SemaTest, CallResolution) {
+  auto Prog = analyzeOk(R"mj(
+class A {
+  B b;
+  void m() { b.n(); }
+}
+class B { void n() { } }
+)mj");
+  MethodDecl *M = Prog->findType("A")->findMethod("m", 0);
+  auto *Call = cast<CallExpr>(
+      cast<ExprStmt>(M->Body->Stmts[0].get())->E.get());
+  ASSERT_NE(Call->Callee, nullptr);
+  EXPECT_EQ(Call->Callee->qualifiedName(), "B.n");
+}
+
+TEST(SemaTest, InheritedCallResolution) {
+  auto Prog = analyzeOk(R"mj(
+class Base { void m() { } }
+class Derived extends Base { void call(Derived d) { d.m(); } }
+)mj");
+  MethodDecl *Call = Prog->findType("Derived")->findMethod("call", 1);
+  auto *E = cast<CallExpr>(
+      cast<ExprStmt>(Call->Body->Stmts[0].get())->E.get());
+  ASSERT_NE(E->Callee, nullptr);
+  EXPECT_EQ(E->Callee->Owner->Name, "Base");
+}
+
+TEST(SemaTest, FieldTypeResolved) {
+  auto Prog = analyzeOk("class A { B b; } class B { }");
+  EXPECT_EQ(Prog->findType("A")->Fields[0].Type.Decl,
+            Prog->findType("B"));
+}
+
+TEST(SemaTest, Errors) {
+  EXPECT_TRUE(analyzeFails("class A { Unknown u; }"));
+  EXPECT_TRUE(analyzeFails("class A { void m() { nothere = 1; } }"));
+  EXPECT_TRUE(analyzeFails("class A { void m() { int x = 1; int x = 2; } }"));
+  EXPECT_TRUE(analyzeFails("class A { B b; void m() { b.nosuch(); } }"
+                           " class B { }"));
+  EXPECT_TRUE(analyzeFails("interface I {} class A { void m() { "
+                           "I i = new I(); } }"));
+  EXPECT_TRUE(analyzeFails("class A extends A { }"));
+}
+
+TEST(SemaTest, SpecErrorsReported) {
+  EXPECT_TRUE(analyzeFails(R"mj(
+class A {
+  @Perm(requires="bogus(this)")
+  void m() { }
+}
+)mj"));
+  EXPECT_TRUE(analyzeFails(R"mj(
+class A {
+  @Perm(requires="full(nosuchparam)")
+  void m() { }
+}
+)mj"));
+}
+
+TEST(SemaTest, UnknownStateWarnsButPasses) {
+  DiagnosticEngine Diags;
+  auto Prog = parseAndAnalyze(R"mj(
+class A {
+  @Perm(requires="full(this) in NOSTATE")
+  void m() { }
+}
+)mj",
+                              Diags);
+  ASSERT_TRUE(Prog != nullptr);
+  EXPECT_GE(Diags.warningCount(), 1u);
+}
+
+TEST(SemaTest, ExpressionTypes) {
+  auto Prog = analyzeOk(R"mj(
+class A {
+  A id(A a) { return a; }
+  void m() {
+    A x = id(this);
+    boolean b = x == null;
+    int n = 1 + 2;
+    String s = "a" + "b";
+  }
+}
+)mj");
+  MethodDecl *M = Prog->findType("A")->findMethod("m", 0);
+  auto *XDecl = cast<VarDeclStmt>(M->Body->Stmts[0].get());
+  EXPECT_EQ(XDecl->Init->Type.Decl, Prog->findType("A"));
+  auto *BDecl = cast<VarDeclStmt>(M->Body->Stmts[1].get());
+  EXPECT_TRUE(BDecl->Init->Type.isBoolean());
+  auto *SDecl = cast<VarDeclStmt>(M->Body->Stmts[3].get());
+  EXPECT_EQ(SDecl->Init->Type.Decl, Prog->findType("String"));
+}
+
+TEST(SemaTest, PaperExamplesAnalyze) {
+  analyzeOk(iteratorApiSource() + spreadsheetSource());
+  analyzeOk(fieldExampleSource());
+  analyzeOk(fileProtocolSource());
+}
+
+TEST(SemaTest, MethodsWithBodies) {
+  auto Prog = analyzeOk("interface I { void a(); } "
+                        "class C implements I { void a() { } void b() { } }");
+  EXPECT_EQ(Prog->methodsWithBodies().size(), 2u);
+}

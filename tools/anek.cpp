@@ -1,0 +1,178 @@
+//===- anek.cpp - Command-line driver for the ANEK pipeline ----------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+// Usage:
+//   anek infer  <file.mjava | --example NAME>   infer specs, print program
+//   anek check  <file.mjava | --example NAME>   check declared specs only
+//   anek verify <file.mjava | --example NAME>   infer, then check
+//   anek pfg    <file.mjava | --example NAME> [--dot] [--method M]
+//   anek ir     <file.mjava | --example NAME>
+//
+// Built-in examples: spreadsheet, file, field.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IrBuilder.h"
+#include "corpus/ExampleSources.h"
+#include "infer/AnekInfer.h"
+#include "lang/PrettyPrinter.h"
+#include "lang/Sema.h"
+#include "pfg/PfgBuilder.h"
+#include "plural/Checker.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace anek;
+
+static void usage() {
+  std::fputs("usage: anek <infer|check|verify|pfg|ir> "
+             "<file.mjava | --example spreadsheet|file|field> "
+             "[--dot] [--method NAME]\n",
+             stderr);
+}
+
+static bool loadSource(const std::string &Arg, bool IsExample,
+                       std::string &Out) {
+  if (IsExample) {
+    if (Arg == "spreadsheet") {
+      Out = iteratorApiSource() + spreadsheetSource();
+      return true;
+    }
+    if (Arg == "file") {
+      Out = fileProtocolSource();
+      return true;
+    }
+    if (Arg == "field") {
+      Out = fieldExampleSource();
+      return true;
+    }
+    std::fprintf(stderr, "anek: unknown example '%s'\n", Arg.c_str());
+    return false;
+  }
+  std::ifstream In(Arg);
+  if (!In) {
+    std::fprintf(stderr, "anek: cannot open '%s'\n", Arg.c_str());
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty()) {
+    usage();
+    return 2;
+  }
+  std::string Command = Args[0];
+  std::string Input;
+  bool IsExample = false;
+  bool WantDot = false;
+  std::string MethodFilter;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--example" && I + 1 < Args.size()) {
+      IsExample = true;
+      Input = Args[++I];
+    } else if (Args[I] == "--dot") {
+      WantDot = true;
+    } else if (Args[I] == "--method" && I + 1 < Args.size()) {
+      MethodFilter = Args[++I];
+    } else {
+      Input = Args[I];
+    }
+  }
+  if (Input.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::string Source;
+  if (!loadSource(Input, IsExample, Source))
+    return 1;
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+  if (Diags.warningCount())
+    std::fputs(Diags.str().c_str(), stderr);
+
+  auto ForEachMethod = [&](auto &&Fn) {
+    for (MethodDecl *M : Prog->methodsWithBodies())
+      if (MethodFilter.empty() || M->Name == MethodFilter ||
+          M->qualifiedName() == MethodFilter)
+        Fn(M);
+  };
+
+  if (Command == "ir") {
+    ForEachMethod([&](MethodDecl *M) {
+      std::printf("=== %s\n%s\n", M->qualifiedName().c_str(),
+                  lowerToIr(*M).str().c_str());
+    });
+    return 0;
+  }
+
+  if (Command == "pfg") {
+    ForEachMethod([&](MethodDecl *M) {
+      MethodIr Ir = lowerToIr(*M);
+      Pfg G = buildPfg(Ir);
+      if (WantDot)
+        std::printf("// %s\n%s\n", M->qualifiedName().c_str(),
+                    G.dot().c_str());
+      else
+        std::printf("%s\n", G.str().c_str());
+    });
+    return 0;
+  }
+
+  if (Command == "check") {
+    CheckResult Result = runChecker(*Prog, declaredSpecsOnly());
+    for (const CheckWarning &W : Result.Warnings)
+      std::printf("%s: warning: %s\n", W.Loc.str().c_str(),
+                  W.Message.c_str());
+    std::printf("%u warning(s) across %u method(s)\n", Result.warningCount(),
+                Result.MethodsChecked);
+    return 0;
+  }
+
+  if (Command == "infer" || Command == "verify") {
+    InferResult Inference = runAnekInfer(*Prog);
+    if (Command == "infer") {
+      PrintOptions Opts;
+      Opts.SpecFor = [&](const MethodDecl &M) {
+        return *Inference.specFor(&M);
+      };
+      std::printf("%s", printProgram(*Prog, Opts).c_str());
+      std::printf("// inferred %u spec(s) over %u method(s), "
+                  "%u worklist picks, %.3fs solving\n",
+                  Inference.inferredAnnotationCount(),
+                  Inference.MethodsAnalyzed, Inference.WorklistPicks,
+                  Inference.SolveSeconds);
+      return 0;
+    }
+    SpecProvider Specs = [&](const MethodDecl *M) {
+      return Inference.specFor(M);
+    };
+    CheckResult Result = runChecker(*Prog, Specs);
+    for (const CheckWarning &W : Result.Warnings)
+      std::printf("%s: warning: %s\n", W.Loc.str().c_str(),
+                  W.Message.c_str());
+    std::printf("inferred %u spec(s); %u warning(s) across %u method(s)\n",
+                Inference.inferredAnnotationCount(), Result.warningCount(),
+                Result.MethodsChecked);
+    return 0;
+  }
+
+  usage();
+  return 2;
+}
