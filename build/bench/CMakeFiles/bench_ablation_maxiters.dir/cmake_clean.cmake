@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maxiters.dir/bench_ablation_maxiters.cpp.o"
+  "CMakeFiles/bench_ablation_maxiters.dir/bench_ablation_maxiters.cpp.o.d"
+  "bench_ablation_maxiters"
+  "bench_ablation_maxiters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maxiters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_permissions.dir/bench_fig4_permissions.cpp.o"
+  "CMakeFiles/bench_fig4_permissions.dir/bench_fig4_permissions.cpp.o.d"
+  "bench_fig4_permissions"
+  "bench_fig4_permissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_permissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

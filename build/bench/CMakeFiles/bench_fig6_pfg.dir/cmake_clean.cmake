@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pfg.dir/bench_fig6_pfg.cpp.o"
+  "CMakeFiles/bench_fig6_pfg.dir/bench_fig6_pfg.cpp.o.d"
+  "bench_fig6_pfg"
+  "bench_fig6_pfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

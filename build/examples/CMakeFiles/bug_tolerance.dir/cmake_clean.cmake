@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_tolerance.dir/bug_tolerance.cpp.o"
+  "CMakeFiles/bug_tolerance.dir/bug_tolerance.cpp.o.d"
+  "bug_tolerance"
+  "bug_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_protocol.dir/file_protocol.cpp.o"
+  "CMakeFiles/file_protocol.dir/file_protocol.cpp.o.d"
+  "file_protocol"
+  "file_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/modular_vs_global.cpp" "examples/CMakeFiles/modular_vs_global.dir/modular_vs_global.cpp.o" "gcc" "examples/CMakeFiles/modular_vs_global.dir/modular_vs_global.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/anek_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/plural/CMakeFiles/anek_plural.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/anek_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/anek_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/factor/CMakeFiles/anek_factor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfg/CMakeFiles/anek_pfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/anek_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/anek_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/anek_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anek_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

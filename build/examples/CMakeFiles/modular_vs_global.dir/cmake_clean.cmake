@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_vs_global.dir/modular_vs_global.cpp.o"
+  "CMakeFiles/modular_vs_global.dir/modular_vs_global.cpp.o.d"
+  "modular_vs_global"
+  "modular_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

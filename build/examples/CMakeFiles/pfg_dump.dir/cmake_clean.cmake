@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfg_dump.dir/pfg_dump.cpp.o"
+  "CMakeFiles/pfg_dump.dir/pfg_dump.cpp.o.d"
+  "pfg_dump"
+  "pfg_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfg_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/anek_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/anek_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/IrBuilder.cpp" "src/analysis/CMakeFiles/anek_analysis.dir/IrBuilder.cpp.o" "gcc" "src/analysis/CMakeFiles/anek_analysis.dir/IrBuilder.cpp.o.d"
+  "/root/repo/src/analysis/MustAlias.cpp" "src/analysis/CMakeFiles/anek_analysis.dir/MustAlias.cpp.o" "gcc" "src/analysis/CMakeFiles/anek_analysis.dir/MustAlias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/anek_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anek_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/anek_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

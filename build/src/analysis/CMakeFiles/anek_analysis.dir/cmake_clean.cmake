@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/anek_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/anek_analysis.dir/IrBuilder.cpp.o"
+  "CMakeFiles/anek_analysis.dir/IrBuilder.cpp.o.d"
+  "CMakeFiles/anek_analysis.dir/MustAlias.cpp.o"
+  "CMakeFiles/anek_analysis.dir/MustAlias.cpp.o.d"
+  "libanek_analysis.a"
+  "libanek_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

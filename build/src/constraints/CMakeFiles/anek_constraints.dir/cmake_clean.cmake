@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_constraints.dir/ConstraintGen.cpp.o"
+  "CMakeFiles/anek_constraints.dir/ConstraintGen.cpp.o.d"
+  "CMakeFiles/anek_constraints.dir/VarMap.cpp.o"
+  "CMakeFiles/anek_constraints.dir/VarMap.cpp.o.d"
+  "libanek_constraints.a"
+  "libanek_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

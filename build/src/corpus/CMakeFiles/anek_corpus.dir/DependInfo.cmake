@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/ExampleSources.cpp" "src/corpus/CMakeFiles/anek_corpus.dir/ExampleSources.cpp.o" "gcc" "src/corpus/CMakeFiles/anek_corpus.dir/ExampleSources.cpp.o.d"
+  "/root/repo/src/corpus/InlineComparison.cpp" "src/corpus/CMakeFiles/anek_corpus.dir/InlineComparison.cpp.o" "gcc" "src/corpus/CMakeFiles/anek_corpus.dir/InlineComparison.cpp.o.d"
+  "/root/repo/src/corpus/PmdGenerator.cpp" "src/corpus/CMakeFiles/anek_corpus.dir/PmdGenerator.cpp.o" "gcc" "src/corpus/CMakeFiles/anek_corpus.dir/PmdGenerator.cpp.o.d"
+  "/root/repo/src/corpus/RegressionSuite.cpp" "src/corpus/CMakeFiles/anek_corpus.dir/RegressionSuite.cpp.o" "gcc" "src/corpus/CMakeFiles/anek_corpus.dir/RegressionSuite.cpp.o.d"
+  "/root/repo/src/corpus/SpecComparison.cpp" "src/corpus/CMakeFiles/anek_corpus.dir/SpecComparison.cpp.o" "gcc" "src/corpus/CMakeFiles/anek_corpus.dir/SpecComparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/anek_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/anek_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anek_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

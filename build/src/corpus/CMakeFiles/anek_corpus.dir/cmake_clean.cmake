@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_corpus.dir/ExampleSources.cpp.o"
+  "CMakeFiles/anek_corpus.dir/ExampleSources.cpp.o.d"
+  "CMakeFiles/anek_corpus.dir/InlineComparison.cpp.o"
+  "CMakeFiles/anek_corpus.dir/InlineComparison.cpp.o.d"
+  "CMakeFiles/anek_corpus.dir/PmdGenerator.cpp.o"
+  "CMakeFiles/anek_corpus.dir/PmdGenerator.cpp.o.d"
+  "CMakeFiles/anek_corpus.dir/RegressionSuite.cpp.o"
+  "CMakeFiles/anek_corpus.dir/RegressionSuite.cpp.o.d"
+  "CMakeFiles/anek_corpus.dir/SpecComparison.cpp.o"
+  "CMakeFiles/anek_corpus.dir/SpecComparison.cpp.o.d"
+  "libanek_corpus.a"
+  "libanek_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanek_corpus.a"
+)

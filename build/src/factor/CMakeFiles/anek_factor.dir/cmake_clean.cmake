@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_factor.dir/FactorGraph.cpp.o"
+  "CMakeFiles/anek_factor.dir/FactorGraph.cpp.o.d"
+  "CMakeFiles/anek_factor.dir/Solvers.cpp.o"
+  "CMakeFiles/anek_factor.dir/Solvers.cpp.o.d"
+  "libanek_factor.a"
+  "libanek_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infer/AnekInfer.cpp" "src/infer/CMakeFiles/anek_infer.dir/AnekInfer.cpp.o" "gcc" "src/infer/CMakeFiles/anek_infer.dir/AnekInfer.cpp.o.d"
+  "/root/repo/src/infer/GlobalInfer.cpp" "src/infer/CMakeFiles/anek_infer.dir/GlobalInfer.cpp.o" "gcc" "src/infer/CMakeFiles/anek_infer.dir/GlobalInfer.cpp.o.d"
+  "/root/repo/src/infer/Summary.cpp" "src/infer/CMakeFiles/anek_infer.dir/Summary.cpp.o" "gcc" "src/infer/CMakeFiles/anek_infer.dir/Summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/anek_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/factor/CMakeFiles/anek_factor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfg/CMakeFiles/anek_pfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/anek_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/anek_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anek_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/anek_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

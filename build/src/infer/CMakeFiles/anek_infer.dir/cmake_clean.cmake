@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_infer.dir/AnekInfer.cpp.o"
+  "CMakeFiles/anek_infer.dir/AnekInfer.cpp.o.d"
+  "CMakeFiles/anek_infer.dir/GlobalInfer.cpp.o"
+  "CMakeFiles/anek_infer.dir/GlobalInfer.cpp.o.d"
+  "CMakeFiles/anek_infer.dir/Summary.cpp.o"
+  "CMakeFiles/anek_infer.dir/Summary.cpp.o.d"
+  "libanek_infer.a"
+  "libanek_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

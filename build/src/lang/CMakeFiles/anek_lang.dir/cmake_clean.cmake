@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_lang.dir/Ast.cpp.o"
+  "CMakeFiles/anek_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/anek_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/anek_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/anek_lang.dir/Parser.cpp.o"
+  "CMakeFiles/anek_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/anek_lang.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/anek_lang.dir/PrettyPrinter.cpp.o.d"
+  "CMakeFiles/anek_lang.dir/Sema.cpp.o"
+  "CMakeFiles/anek_lang.dir/Sema.cpp.o.d"
+  "libanek_lang.a"
+  "libanek_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

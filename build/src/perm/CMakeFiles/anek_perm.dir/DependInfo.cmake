@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perm/FracPerm.cpp" "src/perm/CMakeFiles/anek_perm.dir/FracPerm.cpp.o" "gcc" "src/perm/CMakeFiles/anek_perm.dir/FracPerm.cpp.o.d"
+  "/root/repo/src/perm/PermKind.cpp" "src/perm/CMakeFiles/anek_perm.dir/PermKind.cpp.o" "gcc" "src/perm/CMakeFiles/anek_perm.dir/PermKind.cpp.o.d"
+  "/root/repo/src/perm/Spec.cpp" "src/perm/CMakeFiles/anek_perm.dir/Spec.cpp.o" "gcc" "src/perm/CMakeFiles/anek_perm.dir/Spec.cpp.o.d"
+  "/root/repo/src/perm/StateSpace.cpp" "src/perm/CMakeFiles/anek_perm.dir/StateSpace.cpp.o" "gcc" "src/perm/CMakeFiles/anek_perm.dir/StateSpace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anek_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

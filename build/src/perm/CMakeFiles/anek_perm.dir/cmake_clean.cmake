@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_perm.dir/FracPerm.cpp.o"
+  "CMakeFiles/anek_perm.dir/FracPerm.cpp.o.d"
+  "CMakeFiles/anek_perm.dir/PermKind.cpp.o"
+  "CMakeFiles/anek_perm.dir/PermKind.cpp.o.d"
+  "CMakeFiles/anek_perm.dir/Spec.cpp.o"
+  "CMakeFiles/anek_perm.dir/Spec.cpp.o.d"
+  "CMakeFiles/anek_perm.dir/StateSpace.cpp.o"
+  "CMakeFiles/anek_perm.dir/StateSpace.cpp.o.d"
+  "libanek_perm.a"
+  "libanek_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

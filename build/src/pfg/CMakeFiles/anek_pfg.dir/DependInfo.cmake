@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfg/Pfg.cpp" "src/pfg/CMakeFiles/anek_pfg.dir/Pfg.cpp.o" "gcc" "src/pfg/CMakeFiles/anek_pfg.dir/Pfg.cpp.o.d"
+  "/root/repo/src/pfg/PfgBuilder.cpp" "src/pfg/CMakeFiles/anek_pfg.dir/PfgBuilder.cpp.o" "gcc" "src/pfg/CMakeFiles/anek_pfg.dir/PfgBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/anek_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/anek_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anek_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/anek_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_pfg.dir/Pfg.cpp.o"
+  "CMakeFiles/anek_pfg.dir/Pfg.cpp.o.d"
+  "CMakeFiles/anek_pfg.dir/PfgBuilder.cpp.o"
+  "CMakeFiles/anek_pfg.dir/PfgBuilder.cpp.o.d"
+  "libanek_pfg.a"
+  "libanek_pfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_pfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

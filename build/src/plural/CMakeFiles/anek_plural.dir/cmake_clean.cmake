@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_plural.dir/Checker.cpp.o"
+  "CMakeFiles/anek_plural.dir/Checker.cpp.o.d"
+  "CMakeFiles/anek_plural.dir/GaussianElim.cpp.o"
+  "CMakeFiles/anek_plural.dir/GaussianElim.cpp.o.d"
+  "CMakeFiles/anek_plural.dir/LocalInference.cpp.o"
+  "CMakeFiles/anek_plural.dir/LocalInference.cpp.o.d"
+  "libanek_plural.a"
+  "libanek_plural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_plural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

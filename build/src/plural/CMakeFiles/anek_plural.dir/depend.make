@@ -1,0 +1,2 @@
+# Empty dependencies file for anek_plural.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/anek_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/anek_support.dir/Format.cpp.o"
+  "CMakeFiles/anek_support.dir/Format.cpp.o.d"
+  "CMakeFiles/anek_support.dir/Rational.cpp.o"
+  "CMakeFiles/anek_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/anek_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/anek_support.dir/StringUtils.cpp.o.d"
+  "libanek_support.a"
+  "libanek_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

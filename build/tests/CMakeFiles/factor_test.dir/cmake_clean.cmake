@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_test.dir/factor_test.cpp.o"
+  "CMakeFiles/factor_test.dir/factor_test.cpp.o.d"
+  "factor_test"
+  "factor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_infer_test.dir/global_infer_test.cpp.o"
+  "CMakeFiles/global_infer_test.dir/global_infer_test.cpp.o.d"
+  "global_infer_test"
+  "global_infer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

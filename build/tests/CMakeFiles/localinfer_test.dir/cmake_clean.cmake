@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localinfer_test.dir/localinfer_test.cpp.o"
+  "CMakeFiles/localinfer_test.dir/localinfer_test.cpp.o.d"
+  "localinfer_test"
+  "localinfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localinfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfg_test.dir/pfg_test.cpp.o"
+  "CMakeFiles/pfg_test.dir/pfg_test.cpp.o.d"
+  "pfg_test"
+  "pfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

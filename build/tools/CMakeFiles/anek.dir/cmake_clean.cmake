@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anek.dir/anek.cpp.o"
+  "CMakeFiles/anek.dir/anek.cpp.o.d"
+  "anek"
+  "anek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
