@@ -87,7 +87,7 @@ BENCHMARK(BM_SumProductSmall);
 void BM_ExactSmall(benchmark::State &State) {
   FactorGraph G = smallGraph();
   for (auto _ : State) {
-    Marginals M = ExactSolver().solve(G);
+    Marginals M = *ExactSolver().solve(G);
     benchmark::DoNotOptimize(M);
   }
 }

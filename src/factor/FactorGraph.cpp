@@ -2,6 +2,8 @@
 
 #include "factor/FactorGraph.h"
 
+#include "support/FaultInject.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -17,6 +19,17 @@ double anek::clampProb(double P) {
 }
 
 VarId FactorGraph::addVariable(double Prior, std::string Name) {
+  // Fault 'alloc-perturb': interleave an unconnected padding variable so
+  // every subsequent VarId shifts. Marginals of real variables must be
+  // unaffected — any result change under this fault is an allocation-order
+  // dependence bug somewhere in the stack.
+  if (faults::anyActive() && faults::active(FaultKind::AllocPerturb) &&
+      (Vars.size() & 1) == 0) {
+    Variable Pad;
+    Pad.Prior = 0.5;
+    Pad.Name = "__pad";
+    Vars.push_back(std::move(Pad));
+  }
   Variable V;
   V.Prior = clampProb(Prior);
   V.Name = std::move(Name);

@@ -2,7 +2,10 @@
 
 #include "factor/Solvers.h"
 
-#include <cassert>
+#include "support/FaultInject.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+
 #include <cmath>
 
 using namespace anek;
@@ -19,9 +22,16 @@ using Message = double;
 } // namespace
 
 Marginals SumProductSolver::solve(const FactorGraph &G,
-                                  Marginals *GraphLikelihood) const {
+                                  Marginals *GraphLikelihood,
+                                  SolveReport *Report) const {
+  Timer SolveTimer;
   const unsigned NumVars = G.variableCount();
   const unsigned NumFactors = G.factorCount();
+  // Fault 'bp-nonconverge': run normally but report the solve as not
+  // converged, exactly as on a frustrated loopy graph.
+  const bool ForcedNonConvergence =
+      faults::anyActive() && faults::active(FaultKind::BpNonConvergence);
+  bool DeadlineExpired = false;
 
   // Edge layout: for each factor, one slot per scope position.
   // VarToFactor[f][k] is the message Scope[k] -> factor f;
@@ -47,6 +57,10 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
   double Delta = 1.0;
   unsigned Iter = 0;
   for (; Iter != Opts.MaxIterations && Delta > Opts.Tolerance; ++Iter) {
+    if (Opts.Budget.expired(Iter)) {
+      DeadlineExpired = true;
+      break;
+    }
     Delta = 0.0;
 
     // Variable -> factor messages: prior times incoming factor messages
@@ -104,6 +118,13 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
     }
   }
   LastIterations = Iter;
+  if (Report) {
+    Report->Iterations = Iter;
+    Report->Residual = Delta;
+    Report->DeadlineExpired = DeadlineExpired;
+    Report->Converged =
+        !ForcedNonConvergence && !DeadlineExpired && Delta <= Opts.Tolerance;
+  }
 
   // Beliefs: prior times all incoming factor messages.
   Marginals Result(NumVars, 0.5);
@@ -128,6 +149,8 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
     if (GraphLikelihood)
       (*GraphLikelihood)[V] = GraphTrue;
   }
+  if (Report)
+    Report->Seconds = SolveTimer.seconds();
   return Result;
 }
 
@@ -135,14 +158,27 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
 // Exact enumeration
 //===----------------------------------------------------------------------===//
 
-Marginals ExactSolver::solve(const FactorGraph &G) const {
+Expected<Marginals> ExactSolver::solve(const FactorGraph &G,
+                                       const Deadline &Budget) const {
   const unsigned NumVars = G.variableCount();
-  assert(NumVars <= MaxVariables && "graph too large for exact enumeration");
+  if (NumVars > MaxVariables)
+    return Status::error(
+        ErrorCode::ResourceExhausted,
+        formatStr("graph has %u variables, exact enumeration handles "
+                  "at most %u",
+                  NumVars, MaxVariables));
   std::vector<double> TrueMass(NumVars, 0.0);
   double Total = 0.0;
   std::vector<bool> Assignment(NumVars);
   const uint64_t Count = uint64_t{1} << NumVars;
   for (uint64_t Index = 0; Index != Count; ++Index) {
+    if ((Index & 0xFFF) == 0 && Budget.expired())
+      return Status::error(
+          ErrorCode::DeadlineExceeded,
+          formatStr("exact enumeration budget expired after %llu of %llu "
+                    "assignments",
+                    static_cast<unsigned long long>(Index),
+                    static_cast<unsigned long long>(Count)));
     for (unsigned V = 0; V != NumVars; ++V)
       Assignment[V] = (Index >> V) & 1;
     double Weight = G.jointWeight(Assignment);
@@ -226,10 +262,17 @@ ExactSolver::solveLogical(const FactorGraph &G, unsigned VarLimit,
 // Gibbs sampling
 //===----------------------------------------------------------------------===//
 
-Marginals GibbsSolver::solve(const FactorGraph &G) const {
+Marginals GibbsSolver::solve(const FactorGraph &G,
+                             SolveReport *Report) const {
+  Timer SolveTimer;
   const unsigned NumVars = G.variableCount();
-  if (NumVars == 0)
+  if (NumVars == 0) {
+    if (Report) {
+      *Report = SolveReport();
+      Report->Converged = true;
+    }
     return {};
+  }
   Rng Random(Opts.Seed);
   const auto &VarIndex = G.varToFactors();
 
@@ -239,8 +282,15 @@ Marginals GibbsSolver::solve(const FactorGraph &G) const {
     State[V] = Random.flip(G.variable(V).Prior);
 
   std::vector<uint32_t> TrueCounts(NumVars, 0);
+  unsigned Collected = 0;
+  bool DeadlineExpired = false;
   const unsigned Sweeps = Opts.BurnIn + Opts.Samples;
-  for (unsigned Sweep = 0; Sweep != Sweeps; ++Sweep) {
+  unsigned Sweep = 0;
+  for (; Sweep != Sweeps; ++Sweep) {
+    if (Opts.Budget.expired(Sweep)) {
+      DeadlineExpired = true;
+      break;
+    }
     for (unsigned V = 0; V != NumVars; ++V) {
       // Conditional weight of X_V = b given the rest.
       double Weight[2];
@@ -260,14 +310,26 @@ Marginals GibbsSolver::solve(const FactorGraph &G) const {
       double Sum = Weight[0] + Weight[1];
       State[V] = Sum > 0 ? Random.flip(Weight[1] / Sum) : Random.flip(0.5);
     }
-    if (Sweep >= Opts.BurnIn)
+    if (Sweep >= Opts.BurnIn) {
       for (unsigned V = 0; V != NumVars; ++V)
         TrueCounts[V] += State[V];
+      ++Collected;
+    }
   }
 
+  // A cut-short chain averages whatever samples it collected; with none
+  // at all the marginals stay at the uninformative 0.5.
   Marginals Result(NumVars, 0.5);
-  for (unsigned V = 0; V != NumVars; ++V)
-    Result[V] = static_cast<double>(TrueCounts[V]) /
-                static_cast<double>(Opts.Samples);
+  if (Collected > 0)
+    for (unsigned V = 0; V != NumVars; ++V)
+      Result[V] = static_cast<double>(TrueCounts[V]) /
+                  static_cast<double>(Collected);
+  if (Report) {
+    Report->Iterations = Sweep;
+    Report->DeadlineExpired = DeadlineExpired;
+    Report->Converged = Collected == Opts.Samples;
+    Report->Residual = 0.0;
+    Report->Seconds = SolveTimer.seconds();
+  }
   return Result;
 }

@@ -13,13 +13,20 @@
 ///  - GibbsSolver: seeded Gibbs sampling, the "sampling the marginal
 ///    functions" alternative mentioned in Section 3.4.
 ///
+/// Every solver accepts a Deadline budget and produces a SolveReport, so
+/// callers can treat convergence and runtime as a contract (the fallback
+/// cascade in AnekInfer/GlobalInfer keys off these) instead of trusting
+/// the solver to terminate usefully on pathological graphs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANEK_FACTOR_SOLVERS_H
 #define ANEK_FACTOR_SOLVERS_H
 
 #include "factor/FactorGraph.h"
+#include "support/Deadline.h"
 #include "support/Rng.h"
+#include "support/Status.h"
 
 #include <optional>
 #include <vector>
@@ -28,6 +35,22 @@ namespace anek {
 
 /// Result of a marginal computation: P(X = true) per variable.
 using Marginals = std::vector<double>;
+
+/// How a solve went: the convergence contract a caller can branch on.
+struct SolveReport {
+  /// True when the solver reached its own notion of done (BP: residual
+  /// under tolerance; Gibbs: all requested samples collected; exact:
+  /// always when it returns a value).
+  bool Converged = false;
+  /// Last L-inf message residual (BP) or 0 for solvers without one.
+  double Residual = 0.0;
+  /// Iterations/sweeps actually executed.
+  unsigned Iterations = 0;
+  /// Wall-clock seconds spent inside the solver.
+  double Seconds = 0.0;
+  /// True when the Deadline budget cut the solve short.
+  bool DeadlineExpired = false;
+};
 
 /// Loopy belief propagation (sum-product) with a flooding schedule.
 class SumProductSolver {
@@ -39,6 +62,8 @@ public:
     /// Message damping in [0,1): new = (1-d)*new + d*old. Helps loopy
     /// graphs converge.
     double Damping = 0.15;
+    /// Wall-clock budget checked once per iteration (default unlimited).
+    Deadline Budget;
   };
 
   SumProductSolver() = default;
@@ -53,8 +78,12 @@ public:
   /// about the variable. On trees this is the exact leave-the-prior-out
   /// cavity marginal; ANEK's summary extraction uses it as the evidence
   /// a method body or call site contributes.
-  Marginals solve(const FactorGraph &G,
-                  Marginals *GraphLikelihood = nullptr) const;
+  ///
+  /// When \p Report is non-null it receives the convergence report; BP
+  /// never fails outright, it only degrades (possibly unconverged
+  /// beliefs), so the marginals are always usable as an approximation.
+  Marginals solve(const FactorGraph &G, Marginals *GraphLikelihood = nullptr,
+                  SolveReport *Report = nullptr) const;
 
   /// Iterations used by the last solve() call.
   mutable unsigned LastIterations = 0;
@@ -64,12 +93,15 @@ private:
 };
 
 /// Exact marginals by enumerating all 2^n assignments. Only usable for
-/// small graphs; asserts n <= MaxVariables.
+/// small graphs; larger inputs return a structured error, never abort.
 class ExactSolver {
 public:
   static constexpr unsigned MaxVariables = 24;
 
-  Marginals solve(const FactorGraph &G) const;
+  /// Exact marginals, or ResourceExhausted when the graph exceeds
+  /// MaxVariables / DeadlineExceeded when \p Budget expires mid-sweep.
+  Expected<Marginals> solve(const FactorGraph &G,
+                            const Deadline &Budget = Deadline()) const;
 
   /// Interprets every factor as a hard constraint (weight > Threshold
   /// means "satisfied") and counts satisfying assignments; the engine of
@@ -99,12 +131,16 @@ public:
     unsigned BurnIn = 200;
     unsigned Samples = 2000;
     uint64_t Seed = 1;
+    /// Wall-clock budget checked once per sweep (default unlimited). An
+    /// expired budget returns marginals over the samples collected so
+    /// far; the report says how many that was.
+    Deadline Budget;
   };
 
   GibbsSolver() = default;
   explicit GibbsSolver(Options Opts) : Opts(Opts) {}
 
-  Marginals solve(const FactorGraph &G) const;
+  Marginals solve(const FactorGraph &G, SolveReport *Report = nullptr) const;
 
 private:
   Options Opts;

@@ -6,6 +6,8 @@
 #include "analysis/IrBuilder.h"
 #include "factor/Solvers.h"
 #include "pfg/PfgBuilder.h"
+#include "support/FaultInject.h"
+#include "support/Format.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -13,9 +15,22 @@
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <exception>
 #include <set>
 
 using namespace anek;
+
+const char *anek::solverChoiceName(SolverChoice Choice) {
+  switch (Choice) {
+  case SolverChoice::SumProduct:
+    return "bp";
+  case SolverChoice::Gibbs:
+    return "gibbs";
+  case SolverChoice::Exact:
+    return "exact";
+  }
+  return "unknown";
+}
 
 const MethodSpec *InferResult::specFor(const MethodDecl *Method) const {
   static const MethodSpec Empty;
@@ -66,11 +81,19 @@ std::vector<double> transformPrior(std::vector<double> P,
   return P;
 }
 
+/// Appends one cascade decision to a report's reason trail.
+void appendReason(MethodReport &Report, std::string Why) {
+  if (!Report.Reason.empty())
+    Report.Reason += "; ";
+  Report.Reason += std::move(Why);
+}
+
 /// The engine behind runAnekInfer.
 class InferEngine {
 public:
-  InferEngine(Program &Prog, const InferOptions &Opts)
-      : Prog(Prog), Opts(Opts), Graph(Prog) {}
+  InferEngine(Program &Prog, const InferOptions &Opts,
+              DiagnosticEngine *Diags)
+      : Prog(Prog), Opts(Opts), Diags(Diags), Graph(Prog) {}
 
   InferResult run();
 
@@ -81,8 +104,10 @@ private:
   };
 
   /// Solves one method's model; returns methods whose summary changed by
-  /// more than the tolerance.
-  std::set<MethodDecl *> analyzeOne(MethodDecl *M, InferResult &Result);
+  /// more than the tolerance, or the failure that made the method
+  /// unanalyzable (the caller isolates it).
+  Expected<std::set<MethodDecl *>> analyzeOne(MethodDecl *M,
+                                              InferResult &Result);
 
   /// Per-target evidence update helper. Converts the graph-side cavity
   /// beliefs into odds and writes them into \p Target. \p WeakenOnly caps
@@ -95,14 +120,19 @@ private:
                         bool WeakenOnly, CallSiteKey Site,
                         const MethodDecl *DebugOwner = nullptr);
 
-  /// Runs the configured solver; fills \p GraphBelief with the per-node
-  /// cavity beliefs (for solvers without native support, approximated by
-  /// dividing the prior out of the marginal).
-  Marginals solveGraph(const FactorGraph &G, Marginals &GraphBelief);
+  /// Runs the configured solver, walking the fallback cascade when the
+  /// primary misses its convergence contract; fills \p GraphBelief with
+  /// the per-node cavity beliefs (for solvers without native support,
+  /// approximated by dividing the prior out of the marginal) and records
+  /// the cascade decisions in \p Report.
+  Expected<Marginals> solveGraph(const FactorGraph &G, Marginals &GraphBelief,
+                                 MethodReport &Report);
 
   Program &Prog;
   const InferOptions &Opts;
+  DiagnosticEngine *Diags;
   CallGraph Graph;
+  std::map<const MethodDecl *, MethodReport> Reports;
   std::map<MethodDecl *, MethodData> Data;
   std::map<const MethodDecl *, MethodSummary> Summaries;
   /// Declaration-order index: all iteration over method sets goes through
@@ -175,8 +205,16 @@ double InferEngine::updateEvidence(TargetSummary &Target,
                 : Target.setSiteOdds(Site, std::move(Odds));
 }
 
-Marginals InferEngine::solveGraph(const FactorGraph &G,
-                                  Marginals &GraphBelief) {
+Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
+                                            Marginals &GraphBelief,
+                                            MethodReport &Report) {
+  Deadline Budget = Opts.SolveBudgetSeconds > 0.0
+                        ? Deadline::afterSeconds(Opts.SolveBudgetSeconds)
+                        : Deadline();
+  ++Report.Solves;
+  Report.Fallback = false;
+  Report.Reason.clear();
+
   // For solvers without native cavity support, divide the prior out of
   // the marginal (exact on trees, approximate on loops).
   auto DividePriors = [&](const Marginals &M) {
@@ -185,28 +223,126 @@ Marginals InferEngine::solveGraph(const FactorGraph &G,
       GraphBelief[V] = oddsToProb(probToOdds(M[V]) /
                                   probToOdds(G.variable(V).Prior));
   };
-  switch (Opts.Solver) {
-  case SolverChoice::SumProduct:
-    return SumProductSolver().solve(G, &GraphBelief);
-  case SolverChoice::Gibbs: {
-    Marginals M = GibbsSolver().solve(G);
+
+  auto RunBp = [&](SumProductSolver::Options O) {
+    O.Budget = Budget;
+    Report.Used = SolverChoice::SumProduct;
+    return SumProductSolver(O).solve(G, &GraphBelief, &Report.Solve);
+  };
+  auto RunGibbs = [&]() {
+    GibbsSolver::Options O;
+    O.Budget = Budget;
+    Report.Used = SolverChoice::Gibbs;
+    Marginals M = GibbsSolver(O).solve(G, &Report.Solve);
     DividePriors(M);
     return M;
-  }
-  case SolverChoice::Exact:
-    if (G.variableCount() <= ExactSolver::MaxVariables) {
-      Marginals M = ExactSolver().solve(G);
-      DividePriors(M);
-      return M;
+  };
+  // Terminal stage: enumeration is bounded by MaxVariables, so it runs
+  // without the outer budget (an injected 'deadline' fault still trips
+  // the fresh Deadline and exercises the total-failure path).
+  auto RunExact = [&]() -> Expected<Marginals> {
+    Expected<Marginals> M = ExactSolver().solve(G, Deadline());
+    if (M) {
+      DividePriors(*M);
+      Report.Used = SolverChoice::Exact;
+      Report.Solve = SolveReport();
+      Report.Solve.Converged = true;
     }
+    return M;
+  };
+
+  // Explicitly requested non-default solvers keep their semantics.
+  if (Opts.Solver == SolverChoice::Gibbs)
+    return RunGibbs();
+  if (Opts.Solver == SolverChoice::Exact) {
+    Expected<Marginals> M = RunExact();
+    if (M)
+      return M;
     // Too large for enumeration; fall back to belief propagation.
-    return SumProductSolver().solve(G, &GraphBelief);
+    Report.Fallback = true;
+    appendReason(Report, M.status().str());
+    return RunBp(SumProductSolver::Options());
   }
-  return SumProductSolver().solve(G, &GraphBelief);
+
+  // The cascade (DESIGN.md): BP -> damped BP -> Gibbs -> exact.
+  SumProductSolver::Options BpOpts;
+  Marginals M = RunBp(BpOpts);
+  if (Report.Solve.Converged || !Opts.Fallback)
+    return M;
+
+  Report.Fallback = true;
+  appendReason(Report,
+               formatStr("bp missed convergence (residual %.2g after %u "
+                         "iterations%s)",
+                         Report.Solve.Residual, Report.Solve.Iterations,
+                         Report.Solve.DeadlineExpired ? ", budget expired"
+                                                      : ""));
+
+  // Stage 2: heavier damping and a longer leash tame most oscillations.
+  SumProductSolver::Options Damped;
+  Damped.Damping = 0.6;
+  Damped.MaxIterations = BpOpts.MaxIterations * 2;
+  Marginals DampedM = RunBp(Damped);
+  if (Report.Solve.Converged)
+    return DampedM;
+  SolveReport DampedReport = Report.Solve;
+  // Nearly-converged beliefs beat a jump to sampling: Gibbs noise can
+  // erase a spec that a residual this small would have kept. The injected
+  // non-convergence fault models *bad* divergence, so it skips this exit.
+  constexpr double NearConvergence = 1e-2;
+  if (!(faults::anyActive() &&
+        faults::active(FaultKind::BpNonConvergence)) &&
+      !Report.Solve.DeadlineExpired &&
+      Report.Solve.Residual <= NearConvergence) {
+    appendReason(Report, formatStr("accepted nearly-converged damped bp "
+                                   "(residual %.2g)",
+                                   Report.Solve.Residual));
+    return DampedM;
+  }
+  appendReason(Report, formatStr("damped bp retry missed convergence "
+                                 "(residual %.2g)",
+                                 Report.Solve.Residual));
+
+  // Stage 3: seeded Gibbs does not depend on message convergence at all.
+  Marginals GibbsM = RunGibbs();
+  if (Report.Solve.Converged)
+    return GibbsM;
+  bool GibbsCollectedSome = Report.Solve.Iterations > 0;
+  appendReason(Report, "gibbs chain cut short");
+
+  // Stage 4: exact enumeration when the graph is small enough.
+  if (G.variableCount() <= ExactSolver::MaxVariables) {
+    Expected<Marginals> ExactM = RunExact();
+    if (ExactM)
+      return ExactM;
+    appendReason(Report, ExactM.status().str());
+  }
+
+  // Every stage degraded: keep the best approximation we have — a partial
+  // Gibbs estimate when any samples were collected, else the damped
+  // (unconverged) BP beliefs. Still a usable approximation, and the
+  // report says exactly how it was obtained.
+  if (GibbsCollectedSome) {
+    appendReason(Report, "using partial gibbs estimate");
+    return GibbsM;
+  }
+  Report.Used = SolverChoice::SumProduct;
+  Report.Solve = DampedReport;
+  appendReason(Report, "using unconverged bp beliefs");
+  // GraphBelief currently holds Gibbs-derived beliefs; recompute for the
+  // damped BP marginals we are about to return.
+  DividePriors(DampedM);
+  return DampedM;
 }
 
-std::set<MethodDecl *> InferEngine::analyzeOne(MethodDecl *M,
-                                               InferResult &Result) {
+Expected<std::set<MethodDecl *>> InferEngine::analyzeOne(MethodDecl *M,
+                                                         InferResult &Result) {
+  // Fault 'solve-fail': this method's SOLVE step fails outright, proving
+  // the isolation path keeps the rest of the program inferable.
+  if (faults::anyActive() &&
+      faults::active(FaultKind::SolveFailure, M->qualifiedName()))
+    return faults::injectedError(FaultKind::SolveFailure, M->qualifiedName());
+
   MethodData &MD = Data.at(M);
   const Pfg &G = MD.G;
 
@@ -293,10 +429,16 @@ std::set<MethodDecl *> InferEngine::analyzeOne(MethodDecl *M,
 
   Timer SolveTimer;
   Marginals GraphBelief;
-  Marginals Solution = solveGraph(FG, GraphBelief);
+  MethodReport &Report = Reports[M];
+  Expected<Marginals> Solved = solveGraph(FG, GraphBelief, Report);
   Result.SolveSeconds += SolveTimer.seconds();
   Result.TotalVariables += FG.variableCount();
   Result.TotalFactors += FG.factorCount();
+  if (!Solved)
+    return Solved.status();
+  if (Report.Fallback)
+    ++Result.FallbackSolves;
+  Marginals Solution = Solved.take();
 
   // Push evidence back into summaries (UPDATESUMMARY).
   std::set<MethodDecl *> Changed;
@@ -319,12 +461,26 @@ InferResult InferEngine::run() {
   InferResult Result;
 
   // Phase 1 (Figure 9 lines 2-6): initialize variables, models, worklist.
+  // Model construction is isolated per method: one body the lowering
+  // chokes on must not take whole-program inference down with it.
   std::vector<MethodDecl *> Bodies = Prog.methodsWithBodies();
   for (MethodDecl *M : Bodies) {
-    MethodData MD;
-    MD.Ir = lowerToIr(*M);
-    MD.G = buildPfg(MD.Ir);
-    Data.emplace(M, std::move(MD));
+    try {
+      MethodData MD;
+      MD.Ir = lowerToIr(*M);
+      MD.G = buildPfg(MD.Ir);
+      Data.emplace(M, std::move(MD));
+    } catch (const std::exception &E) {
+      MethodReport &Report = Reports[M];
+      Report.Failed = true;
+      Report.Error = Status::error(ErrorCode::Internal, E.what()).str();
+      ++Result.MethodsFailed;
+      if (Diags)
+        Diags->warning(M->Loc,
+                       "model construction for '" + M->qualifiedName() +
+                           "' failed (" + std::string(E.what()) +
+                           "); method skipped, conservative summary used");
+    }
   }
   for (const auto &Type : Prog.Types)
     for (const auto &M : Type->Methods) {
@@ -348,14 +504,40 @@ InferResult InferEngine::run() {
       Opts.MaxIters ? Opts.MaxIters
                     : static_cast<unsigned>(3 * Bodies.size());
 
-  // Phase 2 (lines 8-21): bounded worklist iteration.
+  // Phase 2 (lines 8-21): bounded worklist iteration. A method whose
+  // analysis fails is isolated: it keeps its conservative default summary
+  // (declared priors only), a diagnostic records why, and the worklist
+  // moves on so every other method still gets a spec.
+  std::set<MethodDecl *> FailedMethods;
   while (!Worklist.empty() && Result.WorklistPicks < MaxIters) {
     MethodDecl *M = Worklist.front();
     Worklist.pop_front();
     InWorklist.erase(M);
     ++Result.WorklistPicks;
 
-    std::set<MethodDecl *> ChangedSet = analyzeOne(M, Result);
+    Expected<std::set<MethodDecl *>> Analyzed = [&]() ->
+        Expected<std::set<MethodDecl *>> {
+      try {
+        return analyzeOne(M, Result);
+      } catch (const std::exception &E) {
+        return Status::error(ErrorCode::Internal, E.what());
+      }
+    }();
+    if (!Analyzed) {
+      MethodReport &Report = Reports[M];
+      Report.Failed = true;
+      Report.Error = Analyzed.status().str();
+      if (FailedMethods.insert(M).second) {
+        ++Result.MethodsFailed;
+        if (Diags)
+          Diags->warning(M->Loc,
+                         "inference for '" + M->qualifiedName() +
+                             "' failed (" + Analyzed.status().str() +
+                             "); method skipped, conservative summary used");
+      }
+      continue;
+    }
+    std::set<MethodDecl *> ChangedSet = Analyzed.take();
     // Iterate in declaration order, not pointer order: the requeue order
     // must be deterministic across runs and processes.
     std::vector<MethodDecl *> Changed(ChangedSet.begin(), ChangedSet.end());
@@ -368,7 +550,8 @@ InferResult InferEngine::run() {
     // method itself and its callers (they applied the stale summary).
     for (MethodDecl *C : Changed) {
       auto Enqueue = [&](MethodDecl *Target) {
-        if (!Data.count(Target) || InWorklist.count(Target))
+        if (!Data.count(Target) || InWorklist.count(Target) ||
+            FailedMethods.count(Target))
           return;
         Worklist.push_back(Target);
         InWorklist.insert(Target);
@@ -380,8 +563,12 @@ InferResult InferEngine::run() {
   }
   Result.MethodsAnalyzed = static_cast<unsigned>(Bodies.size());
 
-  // Phase 3 (lines 22-29): extract deterministic specifications.
+  // Phase 3 (lines 22-29): extract deterministic specifications. A failed
+  // method is conservatively silent: no inferred spec beats a spec built
+  // from a summary its own evidence never reached.
   for (MethodDecl *M : Bodies) {
+    if (auto It = Reports.find(M); It != Reports.end() && It->second.Failed)
+      continue;
     if (Opts.RespectDeclared && M->HasDeclaredSpec)
       continue;
     MethodSpec Spec =
@@ -399,10 +586,12 @@ InferResult InferEngine::run() {
 
   for (auto &[M, Summary] : Summaries)
     Result.Summaries.emplace(M, Summary);
+  Result.Reports = Reports;
   return Result;
 }
 
-InferResult anek::runAnekInfer(Program &Prog, const InferOptions &Opts) {
-  InferEngine Engine(Prog, Opts);
+InferResult anek::runAnekInfer(Program &Prog, const InferOptions &Opts,
+                               DiagnosticEngine *Diags) {
+  InferEngine Engine(Prog, Opts, Diags);
   return Engine.run();
 }

@@ -17,8 +17,10 @@
 #define ANEK_INFER_ANEKINFER_H
 
 #include "constraints/ConstraintGen.h"
+#include "factor/Solvers.h"
 #include "infer/Summary.h"
 #include "lang/Ast.h"
+#include "support/Diagnostics.h"
 
 #include <map>
 #include <memory>
@@ -27,6 +29,9 @@ namespace anek {
 
 /// Which marginal solver ANEK-INFER's SOLVE step uses.
 enum class SolverChoice { SumProduct, Gibbs, Exact };
+
+/// Renders a SolverChoice as "bp"/"gibbs"/"exact".
+const char *solverChoiceName(SolverChoice Choice);
 
 /// Tunables of the inference (paper Sections 3.3-3.4).
 struct InferOptions {
@@ -44,6 +49,36 @@ struct InferOptions {
   double SpecLo = 0.1;
   /// Keep explicitly declared specs instead of inferred ones.
   bool RespectDeclared = true;
+
+  // Robustness knobs (see DESIGN.md, "Failure model and degradation").
+  /// When the primary solver misses its convergence contract, walk the
+  /// fallback cascade (BP -> damped BP -> Gibbs -> exact) instead of
+  /// silently using unconverged beliefs.
+  bool Fallback = true;
+  /// Wall-clock budget per SOLVE step in seconds; 0 = unlimited. The
+  /// budget is a degradation trigger, not an abort: an expired solve
+  /// falls through the cascade and ultimately keeps the best partial
+  /// marginals available.
+  double SolveBudgetSeconds = 0.0;
+};
+
+/// How one method's SOLVE step went, cascade decisions included.
+struct MethodReport {
+  /// The solver whose marginals were actually used (last solve).
+  SolverChoice Used = SolverChoice::SumProduct;
+  /// True when any fallback stage past the first BP attempt was taken.
+  bool Fallback = false;
+  /// Why the cascade moved on; empty when the first attempt converged.
+  std::string Reason;
+  /// Convergence report of the solve whose marginals were used.
+  SolveReport Solve;
+  /// Number of SOLVE invocations across worklist picks.
+  unsigned Solves = 0;
+  /// True when the method was skipped entirely (constraint generation or
+  /// every solver failed); its summary stays at the conservative default.
+  bool Failed = false;
+  /// The failure, when Failed.
+  std::string Error;
 };
 
 /// Outcome of a run.
@@ -53,9 +88,16 @@ struct InferResult {
   /// Final summaries (for inspection/benches).
   std::map<const MethodDecl *, MethodSummary> Summaries;
 
+  /// Per-method solver/cascade reports (one per method with a body).
+  std::map<const MethodDecl *, MethodReport> Reports;
+
   // Statistics.
   unsigned WorklistPicks = 0;
   unsigned MethodsAnalyzed = 0;
+  /// Methods isolated after a failure (skipped with a diagnostic).
+  unsigned MethodsFailed = 0;
+  /// SOLVE steps that used a fallback solver.
+  unsigned FallbackSolves = 0;
   unsigned TotalVariables = 0;
   unsigned TotalFactors = 0;
   double SolveSeconds = 0.0;
@@ -71,7 +113,13 @@ struct InferResult {
 };
 
 /// Runs ANEK-INFER over every method with a body in \p Prog.
-InferResult runAnekInfer(Program &Prog, const InferOptions &Opts = {});
+///
+/// Inference never aborts on a bad method: a method whose constraint
+/// generation or solve fails is skipped with a warning collected in
+/// \p Diags (when provided), keeps its conservative default summary, and
+/// the rest of the program is still inferred.
+InferResult runAnekInfer(Program &Prog, const InferOptions &Opts = {},
+                         DiagnosticEngine *Diags = nullptr);
 
 } // namespace anek
 

@@ -5,11 +5,12 @@
 #include "analysis/IrBuilder.h"
 #include "factor/Solvers.h"
 #include "pfg/PfgBuilder.h"
+#include "support/FaultInject.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 using namespace anek;
 
@@ -26,16 +27,35 @@ struct MethodModel {
 /// Builds the Definition 1 joint graph: every method's constraints plus
 /// PARAMARG bindings across call sites.
 std::vector<MethodModel> buildJointGraph(Program &Prog, FactorGraph &FG,
-                                         const InferOptions &Opts) {
+                                         const InferOptions &Opts,
+                                         DiagnosticEngine *Diags,
+                                         unsigned *MethodsFailed) {
   std::vector<MethodModel> Models;
   for (MethodDecl *M : Prog.methodsWithBodies()) {
-    MethodModel Model;
-    Model.Method = M;
-    Model.Ir = lowerToIr(*M);
-    Model.G = buildPfg(Model.Ir);
-    Model.Vars = std::make_unique<PfgVarMap>(Model.G, FG);
-    generateConstraints(Model.G, FG, *Model.Vars, Opts.Constraints);
-    Models.push_back(std::move(Model));
+    // Per-method isolation, same contract as the modular algorithm: one
+    // body the lowering or constraint generation chokes on is left out
+    // of the joint graph instead of killing whole-program inference.
+    try {
+      if (faults::anyActive() &&
+          faults::active(FaultKind::SolveFailure, M->qualifiedName()))
+        throw std::runtime_error(
+            faults::injectedError(FaultKind::SolveFailure, M->qualifiedName())
+                .str());
+      MethodModel Model;
+      Model.Method = M;
+      Model.Ir = lowerToIr(*M);
+      Model.G = buildPfg(Model.Ir);
+      Model.Vars = std::make_unique<PfgVarMap>(Model.G, FG);
+      generateConstraints(Model.G, FG, *Model.Vars, Opts.Constraints);
+      Models.push_back(std::move(Model));
+    } catch (const std::exception &E) {
+      if (MethodsFailed)
+        ++*MethodsFailed;
+      if (Diags)
+        Diags->warning(M->Loc, "joint model for '" + M->qualifiedName() +
+                                   "' failed (" + E.what() +
+                                   "); method left out of the joint graph");
+    }
   }
 
   // Declared-spec priors at interface nodes.
@@ -161,17 +181,73 @@ extractAll(const std::vector<MethodModel> &Models, const Marginals &Solution,
 
 } // namespace
 
-GlobalResult anek::runGlobalInfer(Program &Prog, const InferOptions &Opts) {
+GlobalResult anek::runGlobalInfer(Program &Prog, const InferOptions &Opts,
+                                  DiagnosticEngine *Diags) {
   GlobalResult Result;
   FactorGraph FG;
-  std::vector<MethodModel> Models = buildJointGraph(Prog, FG, Opts);
+  std::vector<MethodModel> Models =
+      buildJointGraph(Prog, FG, Opts, Diags, &Result.MethodsFailed);
   Result.TotalVariables = FG.variableCount();
   Result.TotalFactors = FG.factorCount();
 
+  Deadline Budget = Opts.SolveBudgetSeconds > 0.0
+                        ? Deadline::afterSeconds(Opts.SolveBudgetSeconds)
+                        : Deadline();
+  auto AppendReason = [&](std::string Why) {
+    if (!Result.CascadeReason.empty())
+      Result.CascadeReason += "; ";
+    Result.CascadeReason += std::move(Why);
+  };
+
+  // Same fallback cascade as the modular algorithm, applied to the one
+  // joint solve: BP -> damped BP -> Gibbs -> exact (small graphs only).
   Timer SolveTimer;
   SumProductSolver::Options SolverOpts;
   SolverOpts.MaxIterations = 80;
-  Marginals Solution = SumProductSolver(SolverOpts).solve(FG);
+  SolverOpts.Budget = Budget;
+  Result.Used = SolverChoice::SumProduct;
+  Marginals Solution =
+      SumProductSolver(SolverOpts).solve(FG, nullptr, &Result.Solve);
+  if (!Result.Solve.Converged && Opts.Fallback) {
+    Result.Fallback = true;
+    AppendReason(formatStr("bp missed convergence (residual %.2g after %u "
+                           "iterations)",
+                           Result.Solve.Residual, Result.Solve.Iterations));
+    SumProductSolver::Options Damped = SolverOpts;
+    Damped.Damping = 0.6;
+    Damped.MaxIterations = SolverOpts.MaxIterations * 2;
+    Solution = SumProductSolver(Damped).solve(FG, nullptr, &Result.Solve);
+    // Same near-convergence exit as the modular cascade: beliefs a hair
+    // short of the tolerance are better than Gibbs sampling noise.
+    constexpr double NearConvergence = 1e-2;
+    if (!Result.Solve.Converged &&
+        !(faults::anyActive() &&
+          faults::active(FaultKind::BpNonConvergence)) &&
+        !Result.Solve.DeadlineExpired &&
+        Result.Solve.Residual <= NearConvergence) {
+      AppendReason(formatStr("accepted nearly-converged damped bp "
+                             "(residual %.2g)",
+                             Result.Solve.Residual));
+    } else if (!Result.Solve.Converged) {
+      AppendReason(formatStr("damped bp retry missed convergence "
+                             "(residual %.2g)",
+                             Result.Solve.Residual));
+      GibbsSolver::Options GibbsOpts;
+      GibbsOpts.Budget = Budget;
+      Result.Used = SolverChoice::Gibbs;
+      Solution = GibbsSolver(GibbsOpts).solve(FG, &Result.Solve);
+      if (!Result.Solve.Converged &&
+          FG.variableCount() <= ExactSolver::MaxVariables) {
+        AppendReason("gibbs chain cut short");
+        if (Expected<Marginals> Exact = ExactSolver().solve(FG, Deadline())) {
+          Result.Used = SolverChoice::Exact;
+          Result.Solve = SolveReport();
+          Result.Solve.Converged = true;
+          Solution = Exact.take();
+        }
+      }
+    }
+  }
   Result.SolveSeconds = SolveTimer.seconds();
 
   Result.Inferred = extractAll(Models, Solution, Opts);
@@ -185,7 +261,8 @@ LogicalResult anek::runLogicalInfer(Program &Prog, unsigned VarLimit,
   LogicalOpts.Constraints = Opts.Constraints.logicalOnly();
 
   FactorGraph FG;
-  std::vector<MethodModel> Models = buildJointGraph(Prog, FG, LogicalOpts);
+  std::vector<MethodModel> Models =
+      buildJointGraph(Prog, FG, LogicalOpts, nullptr, nullptr);
   Result.TotalVariables = FG.variableCount();
   Result.TotalFactors = FG.factorCount();
   Result.Log2SearchSpace = static_cast<double>(FG.variableCount());

@@ -34,10 +34,23 @@ struct GlobalResult {
   unsigned TotalVariables = 0;
   unsigned TotalFactors = 0;
   double SolveSeconds = 0.0;
+
+  /// Cascade bookkeeping for the single joint solve (same semantics as
+  /// the per-method MethodReport in the modular algorithm).
+  SolverChoice Used = SolverChoice::SumProduct;
+  bool Fallback = false;
+  std::string CascadeReason;
+  SolveReport Solve;
+  /// Methods whose model construction failed and were left out of the
+  /// joint graph (each has a warning in the DiagnosticEngine).
+  unsigned MethodsFailed = 0;
 };
 
-/// Solves the whole program as one factor graph (Definition 1).
-GlobalResult runGlobalInfer(Program &Prog, const InferOptions &Opts = {});
+/// Solves the whole program as one factor graph (Definition 1). A method
+/// whose model cannot be built is skipped with a warning in \p Diags;
+/// the joint graph covers everything else.
+GlobalResult runGlobalInfer(Program &Prog, const InferOptions &Opts = {},
+                            DiagnosticEngine *Diags = nullptr);
 
 /// Result of the deterministic logical-only inference.
 struct LogicalResult {

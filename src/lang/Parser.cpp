@@ -5,6 +5,7 @@
 #include "lang/Lexer.h"
 
 #include <cassert>
+#include <optional>
 
 using namespace anek;
 
@@ -477,7 +478,7 @@ static int binaryPrec(TokenKind Kind) {
   }
 }
 
-static BinaryOp binaryOpFor(TokenKind Kind) {
+static std::optional<BinaryOp> binaryOpFor(TokenKind Kind) {
   switch (Kind) {
   case TokenKind::OrOr:
     return BinaryOp::Or;
@@ -506,8 +507,10 @@ static BinaryOp binaryOpFor(TokenKind Kind) {
   case TokenKind::Percent:
     return BinaryOp::Rem;
   default:
-    assert(false && "not a binary operator");
-    return BinaryOp::Add;
+    // Not a binary operator. binaryPrec() gates what reaches here, but a
+    // parser must never abort on token-stream surprises: the caller emits
+    // a diagnostic and recovers.
+    return std::nullopt;
   }
 }
 
@@ -518,8 +521,14 @@ ExprPtr Parser::parseBinary(int MinPrec) {
     if (Prec < 0 || Prec < MinPrec)
       return Lhs;
     Token Op = advance();
+    std::optional<BinaryOp> Kind = binaryOpFor(Op.Kind);
+    if (!Kind) {
+      Diags.error(Op.Loc, std::string("'") + tokenKindName(Op.Kind) +
+                              "' is not a binary operator");
+      return Lhs;
+    }
     ExprPtr Rhs = parseBinary(Prec + 1);
-    Lhs = std::make_unique<BinaryExpr>(binaryOpFor(Op.Kind), std::move(Lhs),
+    Lhs = std::make_unique<BinaryExpr>(*Kind, std::move(Lhs),
                                        std::move(Rhs), Op.Loc);
   }
 }

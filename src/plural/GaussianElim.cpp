@@ -34,8 +34,12 @@ LinearSystem::solve(uint64_t *EliminationOps) const {
       continue;
     std::swap(M[PivotRow], M[Found]);
 
-    // Normalize the pivot row.
+    // Normalize the pivot row. An invalid pivot (overflow poison from a
+    // pathological system) makes the whole solve unsolvable rather than
+    // silently wrong.
     Rational Pivot = M[PivotRow].Coeffs[Col];
+    if (!Pivot.isValid())
+      return std::nullopt;
     for (unsigned C = Col; C != NumVars; ++C) {
       M[PivotRow].Coeffs[C] /= Pivot;
       ++Ops;
@@ -83,5 +87,8 @@ LinearSystem::solve(uint64_t *EliminationOps) const {
         Value -= M[R].Coeffs[C] * Solution[C];
     Solution[static_cast<unsigned>(Col)] = Value;
   }
+  for (const Rational &Value : Solution)
+    if (!Value.isValid())
+      return std::nullopt;
   return Solution;
 }

@@ -1,0 +1,126 @@
+//===- FaultInject.cpp - Fault-injection control points --------------------===//
+
+#include "support/FaultInject.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+using namespace anek;
+
+namespace {
+
+/// One activation: a kind plus an optional site filter (empty = all sites).
+struct Activation {
+  FaultKind Kind;
+  std::string Filter;
+};
+
+/// Active faults, scoped and spec-activated alike. Deliberately a plain
+/// global: fault injection is a test/debug facility, not a concurrent one.
+std::vector<Activation> &activations() {
+  static std::vector<Activation> List;
+  return List;
+}
+
+bool &envArmed() {
+  static bool Armed = true;
+  return Armed;
+}
+
+/// Folds the ANEK_FAULT environment spec into the activation list once.
+void consumeEnv() {
+  if (!envArmed())
+    return;
+  envArmed() = false;
+  if (const char *Spec = std::getenv("ANEK_FAULT"))
+    // A malformed env spec is ignored rather than aborting: fault
+    // injection must never make the binary less robust.
+    (void)faults::activateSpec(Spec);
+}
+
+std::optional<FaultKind> kindByName(const std::string &Name) {
+  for (unsigned K = 0; K != NumFaultKinds; ++K)
+    if (Name == faultKindName(static_cast<FaultKind>(K)))
+      return static_cast<FaultKind>(K);
+  return std::nullopt;
+}
+
+} // namespace
+
+const char *anek::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::BpNonConvergence:
+    return "bp-nonconverge";
+  case FaultKind::DeadlineExpiry:
+    return "deadline";
+  case FaultKind::AllocPerturb:
+    return "alloc-perturb";
+  case FaultKind::SolveFailure:
+    return "solve-fail";
+  }
+  return "unknown";
+}
+
+bool faults::anyActive() {
+  consumeEnv();
+  return !activations().empty();
+}
+
+bool faults::active(FaultKind Kind, const std::string &Label) {
+  consumeEnv();
+  for (const Activation &A : activations())
+    if (A.Kind == Kind && (A.Filter.empty() || A.Filter == Label))
+      return true;
+  return false;
+}
+
+Status faults::injectedError(FaultKind Kind, const std::string &Label) {
+  std::string Message = std::string("fault '") + faultKindName(Kind) +
+                        "' injected";
+  if (!Label.empty())
+    Message += " at " + Label;
+  return Status::error(ErrorCode::FaultInjected, Message);
+}
+
+Status faults::activateSpec(const std::string &Spec) {
+  std::vector<Activation> Parsed;
+  for (const std::string &Trimmed : splitAndTrim(Spec, ',')) {
+    std::string Name = Trimmed, Filter;
+    if (size_t Colon = Trimmed.find(':'); Colon != std::string::npos) {
+      Name = Trimmed.substr(0, Colon);
+      Filter = Trimmed.substr(Colon + 1);
+    }
+    std::optional<FaultKind> Kind = kindByName(Name);
+    if (!Kind)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "unknown fault '" + Name + "' in spec '" + Spec +
+                               "'");
+    Parsed.push_back({*Kind, std::move(Filter)});
+  }
+  auto &List = activations();
+  List.insert(List.end(), Parsed.begin(), Parsed.end());
+  return Status::ok();
+}
+
+void faults::reset() {
+  activations().clear();
+  envArmed() = true;
+}
+
+faults::ScopedFault::ScopedFault(FaultKind Kind, std::string Filter)
+    : Kind(Kind), Filter(std::move(Filter)) {
+  activations().push_back({this->Kind, this->Filter});
+}
+
+faults::ScopedFault::~ScopedFault() {
+  auto &List = activations();
+  // Remove the most recent matching activation (scopes nest LIFO).
+  for (auto It = List.rbegin(); It != List.rend(); ++It)
+    if (It->Kind == Kind && It->Filter == Filter) {
+      List.erase(std::next(It).base());
+      return;
+    }
+}

@@ -1,0 +1,90 @@
+//===- FaultInject.h - Fault-injection control points ------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Controlled fault injection so the pipeline's degradation paths are
+/// actually exercised instead of rotting untested. A fault is a named
+/// control point library code consults at the moment the real failure
+/// would occur; activating it makes that failure happen deterministically.
+///
+/// Activation is either programmatic (faults::ScopedFault, for tests) or
+/// via the ANEK_FAULT environment variable / `anek --fault`, whose spec is
+/// a comma-separated list of fault names with an optional `:filter` suffix
+/// matched against a site label (a method's qualified name):
+///
+///   ANEK_FAULT=bp-nonconverge,solve-fail:Row.createColIter anek infer ...
+///
+/// Faults available:
+///   bp-nonconverge  belief propagation reports non-convergence
+///   deadline        every Deadline reports itself expired
+///   alloc-perturb   FactorGraph interleaves padding variables, shifting
+///                   every allocation order/id (order-dependence probe)
+///   solve-fail      a method's SOLVE step fails outright (isolation probe)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_FAULTINJECT_H
+#define ANEK_SUPPORT_FAULTINJECT_H
+
+#include "support/Status.h"
+
+#include <string>
+
+namespace anek {
+
+/// The injectable faults. Keep in sync with faultKindName/parse.
+enum class FaultKind : unsigned {
+  BpNonConvergence = 0,
+  DeadlineExpiry,
+  AllocPerturb,
+  SolveFailure,
+};
+constexpr unsigned NumFaultKinds = 4;
+
+/// Spec name of a fault kind ("bp-nonconverge", ...).
+const char *faultKindName(FaultKind Kind);
+
+namespace faults {
+
+/// Fast path: true when any fault source (env or scoped) is active at all.
+bool anyActive();
+
+/// True when \p Kind is active with no site filter, or with a filter equal
+/// to \p Label. Pass an empty label from sites that have no useful name.
+bool active(FaultKind Kind, const std::string &Label = std::string());
+
+/// Convenience: a FaultInjected error naming the fault, for sites that
+/// surface the fault as a Status.
+Status injectedError(FaultKind Kind, const std::string &Label);
+
+/// Activates \p Spec ("name[,name:filter]...") on top of the current
+/// state. Returns InvalidArgument naming the bad token on a malformed
+/// spec; on error nothing is activated.
+Status activateSpec(const std::string &Spec);
+
+/// Drops every activation made by activateSpec/ScopedFault and re-arms
+/// the one-time ANEK_FAULT environment read. Tests call this to isolate
+/// themselves; the env respec applies on the next query.
+void reset();
+
+/// RAII activation of one fault for a test's scope.
+class ScopedFault {
+public:
+  explicit ScopedFault(FaultKind Kind, std::string Filter = std::string());
+  ~ScopedFault();
+
+  ScopedFault(const ScopedFault &) = delete;
+  ScopedFault &operator=(const ScopedFault &) = delete;
+
+private:
+  FaultKind Kind;
+  std::string Filter;
+};
+
+} // namespace faults
+} // namespace anek
+
+#endif // ANEK_SUPPORT_FAULTINJECT_H

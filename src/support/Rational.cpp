@@ -2,13 +2,20 @@
 
 #include "support/Rational.h"
 
-#include <cassert>
 #include <numeric>
 
 using namespace anek;
 
 Rational::Rational(int64_t Num, int64_t Den) : Num(Num), Den(Den) {
-  assert(Den != 0 && "rational with zero denominator");
+  if (Den == 0) {
+    // Zero denominator (division by a zero rational, or int64 overflow in
+    // a long elimination chain collapsing a product to zero) poisons the
+    // value instead of aborting: arithmetic on an invalid Rational stays
+    // invalid and callers reject the whole solution. See DESIGN.md,
+    // "Failure model and degradation".
+    this->Num = 0;
+    return;
+  }
   if (this->Den < 0) {
     this->Num = -this->Num;
     this->Den = -this->Den;
@@ -21,28 +28,40 @@ Rational::Rational(int64_t Num, int64_t Den) : Num(Num), Den(Den) {
 }
 
 Rational Rational::operator+(const Rational &Other) const {
+  if (!isValid() || !Other.isValid())
+    return invalid();
   return Rational(Num * Other.Den + Other.Num * Den, Den * Other.Den);
 }
 
 Rational Rational::operator-(const Rational &Other) const {
+  if (!isValid() || !Other.isValid())
+    return invalid();
   return Rational(Num * Other.Den - Other.Num * Den, Den * Other.Den);
 }
 
 Rational Rational::operator*(const Rational &Other) const {
+  if (!isValid() || !Other.isValid())
+    return invalid();
   return Rational(Num * Other.Num, Den * Other.Den);
 }
 
 Rational Rational::operator/(const Rational &Other) const {
-  assert(!Other.isZero() && "division by zero rational");
+  if (!isValid() || !Other.isValid() || Other.isZero())
+    return invalid();
   return Rational(Num * Other.Den, Den * Other.Num);
 }
 
 bool Rational::operator<(const Rational &Other) const {
-  // Denominators are positive by the normalization invariant.
+  // Denominators are positive by the normalization invariant; an invalid
+  // value (Den == 0) compares unordered-as-false on both sides.
+  if (!isValid() || !Other.isValid())
+    return false;
   return Num * Other.Den < Other.Num * Den;
 }
 
 std::string Rational::str() const {
+  if (!isValid())
+    return "<invalid>";
   if (Den == 1)
     return std::to_string(Num);
   return std::to_string(Num) + "/" + std::to_string(Den);

@@ -20,24 +20,43 @@
 namespace anek {
 
 /// An always-normalized rational number: gcd(Num, Den) == 1, Den > 0.
+///
+/// A zero denominator does not abort: it yields the single *invalid* value
+/// (isValid() == false), which propagates through arithmetic like a NaN.
+/// User-reachable math (the PLURAL Gaussian elimination runs on hostile
+/// input) checks validity at the solution boundary instead of trusting
+/// every intermediate step.
 class Rational {
 public:
   Rational() = default;
   Rational(int64_t Value) : Num(Value), Den(1) {} // NOLINT: implicit by design
   Rational(int64_t Num, int64_t Den);
 
+  /// The poison value produced by division by zero (or overflow collapsing
+  /// a denominator to zero).
+  static Rational invalid() {
+    Rational R;
+    R.Den = 0;
+    return R;
+  }
+
   int64_t num() const { return Num; }
   int64_t den() const { return Den; }
 
-  bool isZero() const { return Num == 0; }
-  bool isNegative() const { return Num < 0; }
+  /// False for the poison value; arithmetic on it stays invalid.
+  bool isValid() const { return Den != 0; }
+
+  bool isZero() const { return isValid() && Num == 0; }
+  bool isNegative() const { return isValid() && Num < 0; }
 
   Rational operator+(const Rational &Other) const;
   Rational operator-(const Rational &Other) const;
   Rational operator*(const Rational &Other) const;
-  /// Division; asserts the divisor is nonzero.
+  /// Division; a zero (or invalid) divisor yields invalid().
   Rational operator/(const Rational &Other) const;
-  Rational operator-() const { return Rational(-Num, Den); }
+  Rational operator-() const {
+    return isValid() ? Rational(-Num, Den) : invalid();
+  }
 
   Rational &operator+=(const Rational &Other) { return *this = *this + Other; }
   Rational &operator-=(const Rational &Other) { return *this = *this - Other; }

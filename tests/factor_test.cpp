@@ -60,7 +60,7 @@ TEST(FactorGraphTest, VarToFactorsIndex) {
 TEST(ExactSolverTest, SingleVariable) {
   FactorGraph G;
   G.addVariable(0.7);
-  Marginals M = ExactSolver().solve(G);
+  Marginals M = *ExactSolver().solve(G);
   EXPECT_NEAR(M[0], 0.7, 1e-12);
 }
 
@@ -69,7 +69,7 @@ TEST(ExactSolverTest, EqualityPullsTogether) {
   VarId A = G.addVariable(0.9);
   VarId B = G.addVariable(0.5);
   G.addEqualityFactor(A, B, 0.95);
-  Marginals M = ExactSolver().solve(G);
+  Marginals M = *ExactSolver().solve(G);
   EXPECT_GT(M[B], 0.8);
 }
 
@@ -79,7 +79,7 @@ TEST(ExactSolverTest, HardContradictionBalances) {
   // One factor demands true, an equally strong one demands false.
   G.addFactor({A}, {0.1, 0.9});
   G.addFactor({A}, {0.9, 0.1});
-  Marginals M = ExactSolver().solve(G);
+  Marginals M = *ExactSolver().solve(G);
   EXPECT_NEAR(M[A], 0.5, 1e-9);
 }
 
@@ -95,7 +95,7 @@ TEST(SumProductTest, ExactOnChain) {
   VarId C = G.addVariable(0.5);
   G.addEqualityFactor(A, B, 0.9);
   G.addEqualityFactor(B, C, 0.9);
-  Marginals Exact = ExactSolver().solve(G);
+  Marginals Exact = *ExactSolver().solve(G);
   Marginals Bp = SumProductSolver().solve(G);
   for (unsigned V = 0; V != 3; ++V)
     EXPECT_NEAR(Bp[V], Exact[V], 1e-3) << "var " << V;
@@ -136,7 +136,7 @@ TEST_P(BpVsExactTest, CloseToExact) {
           {A, B}, [](const std::vector<bool> &X) { return X[0] || X[1]; },
           H);
   }
-  Marginals Exact = ExactSolver().solve(G);
+  Marginals Exact = *ExactSolver().solve(G);
   Marginals Bp = SumProductSolver().solve(G);
   for (unsigned V = 0; V != NumVars; ++V)
     EXPECT_NEAR(Bp[V], Exact[V], 0.2) << "var " << V;
@@ -177,7 +177,7 @@ TEST(GibbsTest, MatchesExactOnSmallGraph) {
   VarId A = G.addVariable(0.8);
   VarId B = G.addVariable(0.5);
   G.addEqualityFactor(A, B, 0.9);
-  Marginals Exact = ExactSolver().solve(G);
+  Marginals Exact = *ExactSolver().solve(G);
   GibbsSolver::Options Opts;
   Opts.Samples = 8000;
   Opts.BurnIn = 500;

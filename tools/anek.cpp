@@ -3,13 +3,19 @@
 // Part of the ANEK reproduction. See README.md.
 //
 // Usage:
-//   anek infer  <file.mjava | --example NAME>   infer specs, print program
+//   anek infer  <file.mjava | --example NAME> [--report]  infer, print program
 //   anek check  <file.mjava | --example NAME>   check declared specs only
 //   anek verify <file.mjava | --example NAME>   infer, then check
 //   anek pfg    <file.mjava | --example NAME> [--dot] [--method M]
 //   anek ir     <file.mjava | --example NAME>
 //
 // Built-in examples: spreadsheet, file, field.
+//
+// Exit codes (the driver contract, see DESIGN.md):
+//   0  success, no error diagnostics
+//   1  diagnostics were produced (bad input, degraded inference errors)
+//   2  usage error (unknown command/flags, missing input)
+//   3  internal error (invariant failure, uncaught exception)
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,9 +26,11 @@
 #include "lang/Sema.h"
 #include "pfg/PfgBuilder.h"
 #include "plural/Checker.h"
+#include "support/FaultInject.h"
 #include "support/Format.h"
 
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -30,15 +38,19 @@
 
 using namespace anek;
 
-static void usage() {
+namespace {
+
+enum ExitCode { ExitOk = 0, ExitDiagnostics = 1, ExitUsage = 2,
+                ExitInternal = 3 };
+
+void usage() {
   std::fputs("usage: anek <infer|check|verify|pfg|ir> "
              "<file.mjava | --example spreadsheet|file|field> "
-             "[--dot] [--method NAME]\n",
+             "[--dot] [--method NAME] [--report] [--fault SPEC]\n",
              stderr);
 }
 
-static bool loadSource(const std::string &Arg, bool IsExample,
-                       std::string &Out) {
+bool loadSource(const std::string &Arg, bool IsExample, std::string &Out) {
   if (IsExample) {
     if (Arg == "spreadsheet") {
       Out = iteratorApiSource() + spreadsheetSource();
@@ -66,16 +78,43 @@ static bool loadSource(const std::string &Arg, bool IsExample,
   return true;
 }
 
-int main(int Argc, char **Argv) {
+/// One line per analyzed method: which solver's marginals were used and
+/// how the cascade got there.
+void printReports(const InferResult &Inference) {
+  for (const auto &[M, Report] : Inference.Reports) {
+    if (Report.Failed) {
+      std::printf("// method %s: FAILED (%s)\n", M->qualifiedName().c_str(),
+                  Report.Error.c_str());
+      continue;
+    }
+    std::printf("// method %s: solver=%s%s converged=%s iters=%u "
+                "residual=%.2g%s%s\n",
+                M->qualifiedName().c_str(), solverChoiceName(Report.Used),
+                Report.Fallback ? " (fallback)" : "",
+                Report.Solve.Converged ? "yes" : "no",
+                Report.Solve.Iterations, Report.Solve.Residual,
+                Report.Reason.empty() ? "" : " reason: ",
+                Report.Reason.c_str());
+  }
+}
+
+int run(int Argc, char **Argv) {
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   if (Args.empty()) {
     usage();
-    return 2;
+    return ExitUsage;
   }
   std::string Command = Args[0];
+  if (Command != "infer" && Command != "check" && Command != "verify" &&
+      Command != "pfg" && Command != "ir") {
+    std::fprintf(stderr, "anek: unknown command '%s'\n", Command.c_str());
+    usage();
+    return ExitUsage;
+  }
   std::string Input;
   bool IsExample = false;
   bool WantDot = false;
+  bool WantReport = false;
   std::string MethodFilter;
   for (size_t I = 1; I < Args.size(); ++I) {
     if (Args[I] == "--example" && I + 1 < Args.size()) {
@@ -83,29 +122,41 @@ int main(int Argc, char **Argv) {
       Input = Args[++I];
     } else if (Args[I] == "--dot") {
       WantDot = true;
+    } else if (Args[I] == "--report") {
+      WantReport = true;
     } else if (Args[I] == "--method" && I + 1 < Args.size()) {
       MethodFilter = Args[++I];
+    } else if (Args[I] == "--fault" && I + 1 < Args.size()) {
+      if (Status S = faults::activateSpec(Args[++I]); !S) {
+        std::fprintf(stderr, "anek: %s\n", S.str().c_str());
+        return ExitUsage;
+      }
+    } else if (!Args[I].empty() && Args[I][0] == '-') {
+      std::fprintf(stderr, "anek: unknown flag '%s'\n", Args[I].c_str());
+      usage();
+      return ExitUsage;
     } else {
       Input = Args[I];
     }
   }
   if (Input.empty()) {
     usage();
-    return 2;
+    return ExitUsage;
   }
 
   std::string Source;
   if (!loadSource(Input, IsExample, Source))
-    return 1;
+    return ExitDiagnostics;
 
   DiagnosticEngine Diags;
   std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
   if (!Prog) {
     std::fputs(Diags.str().c_str(), stderr);
-    return 1;
+    return ExitDiagnostics;
   }
   if (Diags.warningCount())
     std::fputs(Diags.str().c_str(), stderr);
+  Diags.clear();
 
   auto ForEachMethod = [&](auto &&Fn) {
     for (MethodDecl *M : Prog->methodsWithBodies())
@@ -119,7 +170,7 @@ int main(int Argc, char **Argv) {
       std::printf("=== %s\n%s\n", M->qualifiedName().c_str(),
                   lowerToIr(*M).str().c_str());
     });
-    return 0;
+    return ExitOk;
   }
 
   if (Command == "pfg") {
@@ -132,7 +183,7 @@ int main(int Argc, char **Argv) {
       else
         std::printf("%s\n", G.str().c_str());
     });
-    return 0;
+    return ExitOk;
   }
 
   if (Command == "check") {
@@ -142,23 +193,32 @@ int main(int Argc, char **Argv) {
                   W.Message.c_str());
     std::printf("%u warning(s) across %u method(s)\n", Result.warningCount(),
                 Result.MethodsChecked);
-    return 0;
+    return ExitOk;
   }
 
   if (Command == "infer" || Command == "verify") {
-    InferResult Inference = runAnekInfer(*Prog);
+    InferResult Inference = runAnekInfer(*Prog, {}, &Diags);
+    if (Diags.all().size())
+      std::fputs(Diags.str().c_str(), stderr);
+    int Exit = Diags.hasErrors() ? ExitDiagnostics : ExitOk;
     if (Command == "infer") {
       PrintOptions Opts;
       Opts.SpecFor = [&](const MethodDecl &M) {
         return *Inference.specFor(&M);
       };
       std::printf("%s", printProgram(*Prog, Opts).c_str());
+      if (WantReport)
+        printReports(Inference);
       std::printf("// inferred %u spec(s) over %u method(s), "
-                  "%u worklist picks, %.3fs solving\n",
+                  "%u worklist picks, %.3fs solving",
                   Inference.inferredAnnotationCount(),
                   Inference.MethodsAnalyzed, Inference.WorklistPicks,
                   Inference.SolveSeconds);
-      return 0;
+      if (Inference.FallbackSolves || Inference.MethodsFailed)
+        std::printf(", %u fallback solve(s), %u method(s) failed",
+                    Inference.FallbackSolves, Inference.MethodsFailed);
+      std::printf("\n");
+      return Exit;
     }
     SpecProvider Specs = [&](const MethodDecl *M) {
       return Inference.specFor(M);
@@ -167,12 +227,31 @@ int main(int Argc, char **Argv) {
     for (const CheckWarning &W : Result.Warnings)
       std::printf("%s: warning: %s\n", W.Loc.str().c_str(),
                   W.Message.c_str());
+    if (WantReport)
+      printReports(Inference);
     std::printf("inferred %u spec(s); %u warning(s) across %u method(s)\n",
                 Inference.inferredAnnotationCount(), Result.warningCount(),
                 Result.MethodsChecked);
-    return 0;
+    return Exit;
   }
 
   usage();
-  return 2;
+  return ExitUsage;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // The driver contract: internal failures are reported, never aborted
+  // through. Exit code 3 tells scripts "bug in anek", distinct from
+  // "bad input" (1) and "bad invocation" (2).
+  try {
+    return run(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "anek: internal error: %s\n", E.what());
+    return ExitInternal;
+  } catch (...) {
+    std::fputs("anek: internal error: unknown exception\n", stderr);
+    return ExitInternal;
+  }
 }
