@@ -33,7 +33,7 @@ inline std::unique_ptr<Program> mustAnalyze(const std::string &Source) {
 
 /// Spec provider over a hand-spec map with declared specs as fallback.
 inline SpecProvider
-handProvider(const std::map<const MethodDecl *, MethodSpec> &Hand) {
+handProvider(const MethodDeclMap<MethodSpec> &Hand) {
   return [&Hand](const MethodDecl *M) -> const MethodSpec * {
     static const MethodSpec Empty;
     auto It = Hand.find(M);

@@ -15,7 +15,7 @@
 
 using namespace anek;
 
-static std::string specOf(const std::map<const MethodDecl *, MethodSpec> &M,
+static std::string specOf(const MethodDeclMap<MethodSpec> &M,
                           const MethodDecl *Method) {
   auto It = M.find(Method);
   if (It == M.end())
@@ -46,7 +46,7 @@ int main() {
     Opts.MaxIters = MaxIters;
     Timer T;
     InferResult R = runAnekInfer(*Prog, Opts);
-    std::map<const MethodDecl *, MethodSpec> Inferred(R.Inferred.begin(),
+    MethodDeclMap<MethodSpec> Inferred(R.Inferred.begin(),
                                                       R.Inferred.end());
     std::printf("%9u %12u %7.3fs  %s\n", MaxIters, R.WorklistPicks,
                 T.seconds(), specOf(Inferred, Create).c_str());

@@ -9,9 +9,32 @@
 
 #include "BenchUtil.h"
 #include "infer/GlobalInfer.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <fstream>
+#include <sstream>
+#include <vector>
+
 using namespace anek;
+
+namespace {
+
+/// Fingerprint of an inference result: inferred spec count plus every
+/// spec rendered in declaration order. Two runs with equal fingerprints
+/// produced the same specs.
+std::string fingerprint(const InferResult &R) {
+  std::ostringstream Out;
+  for (const auto &[M, Spec] : R.Inferred) {
+    std::vector<std::string> Params = M->paramNames();
+    Out << M->qualifiedName() << "{"
+        << printSpecSide(Spec, /*IsRequires=*/true, Params) << "|"
+        << printSpecSide(Spec, /*IsRequires=*/false, Params) << "};";
+  }
+  return Out.str();
+}
+
+} // namespace
 
 int main() {
   std::puts("Scalability: modular ANEK-INFER vs joint (Definition 1) solve");
@@ -58,5 +81,77 @@ int main() {
             " cost) grows with the whole program at once —\nand the"
             " deterministic variant of the joint solve is already DNF"
             " (Table 2).");
-  return 0;
+
+  // Thread-count sweep: the same inference on 1..N workers. The wave
+  // scheduler guarantees identical specs at every job count (checked
+  // via fingerprints); the interesting number is the wall-clock
+  // speedup, recorded to bench_scalability.json for tracking.
+  std::puts("");
+  std::printf("Parallel sweep (hardware threads: %u)\n",
+              ThreadPool::defaultParallelism());
+  rule();
+  std::printf("%8s | %10s | %8s | %s\n", "jobs", "seconds", "speedup",
+              "specs match -j1");
+  rule();
+
+  PmdConfig SweepConfig;
+  SweepConfig.Classes = 58;
+  SweepConfig.Methods = 270;
+  SweepConfig.Wrappers = 6;
+  SweepConfig.FullSpecWrappers = 2;
+  SweepConfig.DirectSites = 16;
+  SweepConfig.WrapperConsumerSites = 12;
+  PmdCorpus SweepCorpus = generatePmdCorpus(SweepConfig);
+
+  struct SweepPoint {
+    unsigned Jobs = 0;
+    double Seconds = 0.0;
+    double Speedup = 1.0;
+    bool Identical = true;
+  };
+  std::vector<SweepPoint> Sweep;
+  std::string Baseline;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    // Fresh parse per point: runs must not share warmed-up state.
+    std::unique_ptr<Program> Prog = mustAnalyze(SweepCorpus.Source);
+    InferOptions Opts;
+    Opts.Parallelism = Jobs;
+    Timer T;
+    InferResult R = runAnekInfer(*Prog, Opts);
+    SweepPoint Point;
+    Point.Jobs = Jobs;
+    Point.Seconds = T.seconds();
+    std::string Print = fingerprint(R);
+    if (Jobs == 1)
+      Baseline = Print;
+    Point.Identical = Print == Baseline;
+    Point.Speedup = Point.Seconds > 0.0 && !Sweep.empty()
+                        ? Sweep.front().Seconds / Point.Seconds
+                        : 1.0;
+    std::printf("%8u | %9.3fs | %7.2fx | %s\n", Point.Jobs, Point.Seconds,
+                Point.Speedup, Point.Identical ? "yes" : "NO (BUG)");
+    Sweep.push_back(Point);
+  }
+  rule();
+
+  std::ofstream Json("bench_scalability.json");
+  Json << "{\n  \"bench\": \"scalability_thread_sweep\",\n"
+       << "  \"hardware_threads\": " << ThreadPool::defaultParallelism()
+       << ",\n  \"corpus_methods\": " << SweepCorpus.MethodCount
+       << ",\n  \"points\": [\n";
+  for (size_t I = 0; I != Sweep.size(); ++I)
+    Json << "    {\"jobs\": " << Sweep[I].Jobs
+         << ", \"seconds\": " << Sweep[I].Seconds
+         << ", \"speedup\": " << Sweep[I].Speedup
+         << ", \"identical\": " << (Sweep[I].Identical ? "true" : "false")
+         << "}" << (I + 1 == Sweep.size() ? "\n" : ",\n");
+  Json << "  ]\n}\n";
+  std::puts("Sweep written to bench_scalability.json; speedup is"
+            " meaningful only when the\nmachine has that many hardware"
+            " threads, identity must hold everywhere.");
+
+  bool AllIdentical = true;
+  for (const SweepPoint &Point : Sweep)
+    AllIdentical = AllIdentical && Point.Identical;
+  return AllIdentical ? 0 : 1;
 }

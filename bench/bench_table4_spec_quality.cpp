@@ -16,7 +16,7 @@ int main() {
   std::unique_ptr<Program> Prog = mustAnalyze(Corpus.Source);
   auto Hand = resolveHandSpecs(*Prog, Corpus);
   InferResult Inference = runAnekInfer(*Prog);
-  std::map<const MethodDecl *, MethodSpec> Inferred(
+  MethodDeclMap<MethodSpec> Inferred(
       Inference.Inferred.begin(), Inference.Inferred.end());
 
   SpecComparisonTable Table = compareSpecs(Hand, Inferred);

@@ -128,6 +128,104 @@ CallGraph::callers(const MethodDecl *Callee) const {
   return It != Callers.end() ? It->second : Empty;
 }
 
+std::vector<std::vector<MethodDecl *>> CallGraph::sccWaves() const {
+  // Iterative Tarjan over callee edges. AllMethods and each callees()
+  // vector are in deterministic (declaration/scan) order, so component
+  // ids and the waves derived from them are too.
+  const unsigned None = ~0u;
+  std::map<const MethodDecl *, unsigned> Index, LowLink, SccOf;
+  std::vector<MethodDecl *> TarjanStack;
+  std::map<const MethodDecl *, bool> OnStack;
+  unsigned NextIndex = 0, NextScc = 0;
+
+  struct Frame {
+    MethodDecl *Method;
+    size_t NextChild;
+  };
+  for (MethodDecl *Root : AllMethods) {
+    if (Index.count(Root))
+      continue;
+    std::vector<Frame> Stack;
+    auto Open = [&](MethodDecl *M) {
+      Index[M] = LowLink[M] = NextIndex++;
+      TarjanStack.push_back(M);
+      OnStack[M] = true;
+      Stack.push_back({M, 0});
+    };
+    Open(Root);
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      const std::vector<MethodDecl *> &Children = callees(Top.Method);
+      if (Top.NextChild < Children.size()) {
+        MethodDecl *Child = Children[Top.NextChild++];
+        if (!Index.count(Child))
+          Open(Child);
+        else if (OnStack[Child])
+          LowLink[Top.Method] =
+              std::min(LowLink[Top.Method], Index[Child]);
+        continue;
+      }
+      MethodDecl *Done = Top.Method;
+      Stack.pop_back();
+      if (!Stack.empty())
+        LowLink[Stack.back().Method] =
+            std::min(LowLink[Stack.back().Method], LowLink[Done]);
+      if (LowLink[Done] == Index[Done]) {
+        // Pop one component. Tarjan completes an SCC only after every SCC
+        // it can reach, so component ids are in reverse topological order
+        // (callees' SCCs get smaller ids).
+        for (;;) {
+          MethodDecl *Member = TarjanStack.back();
+          TarjanStack.pop_back();
+          OnStack[Member] = false;
+          SccOf[Member] = NextScc;
+          if (Member == Done)
+            break;
+        }
+        ++NextScc;
+      }
+    }
+  }
+
+  // Wave level per SCC: one past the deepest *bodied* callee component.
+  // Components without bodies are never solved, so they do not push
+  // their callers into later waves.
+  std::vector<unsigned> Level(NextScc, 0);
+  std::vector<bool> HasBody(NextScc, false);
+  std::vector<std::vector<MethodDecl *>> Members(NextScc);
+  for (MethodDecl *M : AllMethods) {
+    if (M->Body)
+      HasBody[SccOf[M]] = true;
+    Members[SccOf[M]].push_back(M);
+  }
+  // Ascending component id = reverse topological order, so every callee
+  // component's level is final before a caller component reads it.
+  for (unsigned S = 0; S != NextScc; ++S)
+    for (MethodDecl *M : Members[S])
+      for (MethodDecl *Callee : callees(M)) {
+        unsigned CS = SccOf[Callee];
+        if (CS == S || !HasBody[CS])
+          continue;
+        assert(CS < S && "condensation edge out of reverse-topo id order");
+        Level[S] = std::max(Level[S], Level[CS] + 1);
+      }
+
+  std::vector<std::vector<MethodDecl *>> Waves;
+  for (MethodDecl *M : AllMethods) {
+    if (!M->Body)
+      continue;
+    unsigned W = Level[SccOf[M]];
+    if (W >= Waves.size())
+      Waves.resize(W + 1);
+    Waves[W].push_back(M); // AllMethods order == declaration order.
+  }
+  // Levels are computed over bodied components only, so no wave between
+  // 0 and the deepest one can be empty; keep the invariant checked.
+  for (const auto &Wave : Waves)
+    assert(!Wave.empty() && "empty wave in SCC condensation");
+  return Waves;
+}
+
 std::vector<MethodDecl *> CallGraph::bottomUpOrder() const {
   std::vector<MethodDecl *> Order;
   std::set<const MethodDecl *> Visited;

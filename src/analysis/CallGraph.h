@@ -39,6 +39,17 @@ public:
   /// deterministically). This is ANEK-INFER's initial worklist order.
   std::vector<MethodDecl *> bottomUpOrder() const;
 
+  /// Condenses the call graph into strongly connected components and
+  /// returns the methods with bodies grouped into reverse-topological
+  /// *waves*: wave 0 holds the SCCs that call no other bodied SCC, wave
+  /// k+1 the SCCs whose deepest bodied callee SCC sits in wave k. Two
+  /// methods in the same wave never call one another unless they share an
+  /// SCC (mutual recursion), so a wave's members can be analyzed from the
+  /// same summary snapshot — this is the parallel scheduler's unit of
+  /// concurrency. Within a wave, methods appear in declaration order;
+  /// the result is fully deterministic.
+  std::vector<std::vector<MethodDecl *>> sccWaves() const;
+
   /// Number of call edges (for statistics).
   unsigned edgeCount() const { return NumEdges; }
 

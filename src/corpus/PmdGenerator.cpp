@@ -315,10 +315,10 @@ PmdCorpus anek::generatePmdCorpus(const PmdConfig &Config) {
   return Builder.build();
 }
 
-std::map<const MethodDecl *, MethodSpec>
+MethodDeclMap<MethodSpec>
 anek::resolveHandSpecs(const Program &Prog, const PmdCorpus &Corpus,
                        unsigned *Unresolved) {
-  std::map<const MethodDecl *, MethodSpec> Out;
+  MethodDeclMap<MethodSpec> Out;
   unsigned Failed = 0;
   for (const HandSpec &Hand : Corpus.HandSpecs) {
     TypeDecl *Type = Prog.findType(Hand.ClassName);

@@ -95,9 +95,9 @@ PmdCorpus generatePmdCorpus(const PmdConfig &Config = {});
 /// Returns the per-method spec map for the "Bierhoff" configuration.
 /// Specs that fail to resolve are skipped (and counted in \p Unresolved
 /// when non-null).
-std::map<const MethodDecl *, MethodSpec>
-resolveHandSpecs(const Program &Prog, const PmdCorpus &Corpus,
-                 unsigned *Unresolved = nullptr);
+MethodDeclMap<MethodSpec> resolveHandSpecs(const Program &Prog,
+                                           const PmdCorpus &Corpus,
+                                           unsigned *Unresolved = nullptr);
 
 } // namespace anek
 

@@ -127,10 +127,11 @@ bool isConstraining(const MethodSpec &Spec) {
 } // namespace
 
 SpecComparisonTable
-anek::compareSpecs(const std::map<const MethodDecl *, MethodSpec> &Hand,
-                   const std::map<const MethodDecl *, MethodSpec> &Inferred) {
+anek::compareSpecs(const MethodDeclMap<MethodSpec> &Hand,
+                   const MethodDeclMap<MethodSpec> &Inferred) {
   SpecComparisonTable Table;
-  std::set<const MethodDecl *> AllMethods;
+  // Declaration order, not pointer order: Items feed printed listings.
+  std::set<const MethodDecl *, DeclIndexLess> AllMethods;
   for (const auto &[M, S] : Hand)
     AllMethods.insert(M);
   for (const auto &[M, S] : Inferred)

@@ -52,10 +52,9 @@ struct SpecComparisonTable {
 };
 
 /// Compares per-method hand and inferred specs. Methods present in
-/// neither map are ignored.
-SpecComparisonTable
-compareSpecs(const std::map<const MethodDecl *, MethodSpec> &Hand,
-             const std::map<const MethodDecl *, MethodSpec> &Inferred);
+/// neither map are ignored. Items come out in declaration order.
+SpecComparisonTable compareSpecs(const MethodDeclMap<MethodSpec> &Hand,
+                                 const MethodDeclMap<MethodSpec> &Inferred);
 
 } // namespace anek
 

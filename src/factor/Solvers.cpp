@@ -269,7 +269,7 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
   if (NumVars == 0) {
     if (Report) {
       *Report = SolveReport();
-      Report->Converged = true;
+      Report->Converged = Opts.Samples > 0;
     }
     return {};
   }
@@ -292,6 +292,13 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
       break;
     }
     for (unsigned V = 0; V != NumVars; ++V) {
+      // On large graphs a single sweep can outlast the whole budget, so
+      // re-check the wall clock every 64 variables; small graphs keep
+      // the exact sweep counts the per-sweep check alone would produce.
+      if ((V & 0x3F) == 0x3F && Opts.Budget.expired(Sweep)) {
+        DeadlineExpired = true;
+        break;
+      }
       // Conditional weight of X_V = b given the rest.
       double Weight[2];
       for (int B = 0; B != 2; ++B) {
@@ -310,6 +317,8 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
       double Sum = Weight[0] + Weight[1];
       State[V] = Sum > 0 ? Random.flip(Weight[1] / Sum) : Random.flip(0.5);
     }
+    if (DeadlineExpired)
+      break; // Do not sample a half-updated sweep.
     if (Sweep >= Opts.BurnIn) {
       for (unsigned V = 0; V != NumVars; ++V)
         TrueCounts[V] += State[V];
@@ -327,7 +336,10 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
   if (Report) {
     Report->Iterations = Sweep;
     Report->DeadlineExpired = DeadlineExpired;
-    Report->Converged = Collected == Opts.Samples;
+    // Samples == 0 collects nothing by construction: that is a
+    // non-convergent run over uninformative marginals, not a vacuous
+    // success.
+    Report->Converged = Opts.Samples > 0 && Collected == Opts.Samples;
     Report->Residual = 0.0;
     Report->Seconds = SolveTimer.seconds();
   }

@@ -8,14 +8,17 @@
 #include "pfg/PfgBuilder.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
-#include <deque>
 #include <exception>
+#include <memory>
 #include <set>
 
 using namespace anek;
@@ -89,6 +92,15 @@ void appendReason(MethodReport &Report, std::string Why) {
 }
 
 /// The engine behind runAnekInfer.
+///
+/// Phase 2 runs as rounds of reverse-topological SCC *waves* (see
+/// CallGraph::sccWaves). Every method in a wave is analyzed as an
+/// independent job against the summary store as it stood when the wave
+/// began: jobs only read, and return their evidence as deferred
+/// PendingUpdate records. The scheduling thread merges those records in
+/// declaration order after the wave, so the float reductions inside the
+/// summaries see one fixed order no matter how many workers ran the
+/// jobs. This makes `-j N` byte-identical to `-j 1` by construction.
 class InferEngine {
 public:
   InferEngine(Program &Prog, const InferOptions &Opts,
@@ -103,52 +115,83 @@ private:
     Pfg G;
   };
 
-  /// Solves one method's model; returns methods whose summary changed by
-  /// more than the tolerance, or the failure that made the method
-  /// unanalyzable (the caller isolates it).
-  Expected<std::set<MethodDecl *>> analyzeOne(MethodDecl *M,
-                                              InferResult &Result);
+  /// One deferred summary write produced by a wave job. Applied by the
+  /// scheduling thread only, in declaration order.
+  struct PendingUpdate {
+    TargetSummary *Target = nullptr;
+    /// Method whose summary the target belongs to (requeue key).
+    MethodDecl *SummaryOwner = nullptr;
+    bool IsSelf = false;
+    CallSiteKey Site{nullptr, 0};
+    std::vector<double> Odds;
+    /// ANEK_DEBUG_EVIDENCE trace line (empty when tracing is off);
+    /// printed at merge time so the trace is deterministic too.
+    std::string DebugLine;
+  };
 
-  /// Per-target evidence update helper. Converts the graph-side cavity
-  /// beliefs into odds and writes them into \p Target. \p WeakenOnly caps
-  /// odds at 1 (call-site evidence on preconditions). Returns the
-  /// pooled-probability delta.
-  double updateEvidence(TargetSummary &Target,
-                        const std::vector<double> &Applied,
-                        const std::vector<double> &Marginals,
-                        const std::vector<double> &GraphBelief, bool IsSelf,
-                        bool WeakenOnly, CallSiteKey Site,
-                        const MethodDecl *DebugOwner = nullptr);
+  /// Everything a wave job hands back to the scheduler.
+  struct MethodOutcome {
+    bool Failed = false;
+    std::string Error;
+    MethodReport Report;
+    std::vector<PendingUpdate> Updates;
+    unsigned Variables = 0;
+    unsigned Factors = 0;
+    double SolveSeconds = 0.0;
+  };
+
+  /// Builds and solves one method's model against the current (frozen)
+  /// summary store. Pure with respect to engine state: all writes are
+  /// returned as deferred updates inside the outcome. Safe to run
+  /// concurrently with other analyzeOne calls.
+  MethodOutcome analyzeOne(MethodDecl *M);
+
+  /// Per-target evidence helper: converts the solved marginals /
+  /// graph-side cavity beliefs into an odds vector. \p WeakenOnly caps
+  /// odds at 1 (call-site evidence on preconditions). Appends a deferred
+  /// update to \p Updates; no engine state is touched.
+  void computeEvidence(std::vector<PendingUpdate> &Updates,
+                       TargetSummary *Target,
+                       const std::vector<double> &Applied,
+                       const std::vector<double> &Marginals,
+                       const std::vector<double> &GraphBelief,
+                       MethodDecl *SummaryOwner, bool IsSelf,
+                       bool WeakenOnly, CallSiteKey Site) const;
 
   /// Runs the configured solver, walking the fallback cascade when the
   /// primary misses its convergence contract; fills \p GraphBelief with
   /// the per-node cavity beliefs (for solvers without native support,
   /// approximated by dividing the prior out of the marginal) and records
-  /// the cascade decisions in \p Report.
+  /// the cascade decisions in \p Report. \p Seed seeds any sampling
+  /// stage (stable per method, independent of scheduling).
   Expected<Marginals> solveGraph(const FactorGraph &G, Marginals &GraphBelief,
-                                 MethodReport &Report);
+                                 MethodReport &Report, uint64_t Seed) const;
+
+  /// Stable solver seed for \p M: a hash of the qualified method name
+  /// mixed with the user seed. Identical across runs, processes and job
+  /// counts; distinct (in practice) across methods and user seeds.
+  uint64_t methodSeed(const MethodDecl *M) const;
 
   Program &Prog;
   const InferOptions &Opts;
   DiagnosticEngine *Diags;
   CallGraph Graph;
-  std::map<const MethodDecl *, MethodReport> Reports;
-  std::map<MethodDecl *, MethodData> Data;
-  std::map<const MethodDecl *, MethodSummary> Summaries;
-  /// Declaration-order index: all iteration over method sets goes through
-  /// this so results do not depend on pointer values.
-  std::map<const MethodDecl *, unsigned> MethodIndex;
+  // All per-method maps are declaration-ordered so every iteration over
+  // them (merging, reporting, extraction) is deterministic.
+  MethodDeclMap<MethodReport> Reports;
+  MethodDeclMap<MethodData> Data;
+  MethodDeclMap<MethodSummary> Summaries;
 };
 
 } // namespace
 
-double InferEngine::updateEvidence(TargetSummary &Target,
-                                   const std::vector<double> &Applied,
-                                   const std::vector<double> &Marginals,
-                                   const std::vector<double> &GraphBelief,
-                                   bool IsSelf, bool WeakenOnly,
-                                   CallSiteKey Site,
-                                   const MethodDecl *DebugOwner) {
+void InferEngine::computeEvidence(std::vector<PendingUpdate> &Updates,
+                                  TargetSummary *Target,
+                                  const std::vector<double> &Applied,
+                                  const std::vector<double> &Marginals,
+                                  const std::vector<double> &GraphBelief,
+                                  MethodDecl *SummaryOwner, bool IsSelf,
+                                  bool WeakenOnly, CallSiteKey Site) const {
   // Two evidence channels, chosen by direction:
   //
   //  - Requirement-side call votes (WeakenOnly) use the graph-side cavity
@@ -170,7 +213,7 @@ double InferEngine::updateEvidence(TargetSummary &Target,
   constexpr double BoostDeadband = 0.15;
   constexpr double OddsCap = 9.0;
 
-  std::vector<double> Odds(Target.size(), 1.0);
+  std::vector<double> Odds(Target->size(), 1.0);
   for (size_t I = 0, E = std::min(Applied.size(), Marginals.size()); I != E;
        ++I) {
     if (I >= Odds.size())
@@ -188,8 +231,14 @@ double InferEngine::updateEvidence(TargetSummary &Target,
     }
     Odds[I] = std::clamp(Ratio, 1.0 / OddsCap, OddsCap);
   }
+
+  PendingUpdate Update;
+  Update.Target = Target;
+  Update.SummaryOwner = SummaryOwner;
+  Update.IsSelf = IsSelf;
+  Update.Site = Site;
   if (std::getenv("ANEK_DEBUG_EVIDENCE")) {
-    std::string Line = DebugOwner ? DebugOwner->qualifiedName() : "?";
+    std::string Line = SummaryOwner ? SummaryOwner->qualifiedName() : "?";
     Line += IsSelf ? " self" : " site";
     if (!IsSelf && Site.first)
       Line += " " + Site.first->qualifiedName() + "#" +
@@ -199,15 +248,28 @@ double InferEngine::updateEvidence(TargetSummary &Target,
       if (Odds[I] != 1.0)
         Line += " v" + std::to_string(I) + "=" +
                 std::to_string(Odds[I]);
-    std::fprintf(stderr, "evidence %s\n", Line.c_str());
+    Update.DebugLine = std::move(Line);
   }
-  return IsSelf ? Target.setSelfOdds(std::move(Odds))
-                : Target.setSiteOdds(Site, std::move(Odds));
+  Update.Odds = std::move(Odds);
+  Updates.push_back(std::move(Update));
+}
+
+uint64_t InferEngine::methodSeed(const MethodDecl *M) const {
+  uint64_t Hash = stableHash64(M->qualifiedName());
+  // splitmix64-style finalizer over the user seed, so nearby seeds (1, 2,
+  // ...) still decorrelate every method's chain.
+  uint64_t S = Opts.Seed + 0x9E3779B97F4A7C15ULL;
+  S = (S ^ (S >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  S = (S ^ (S >> 27)) * 0x94D049BB133111EBULL;
+  S ^= S >> 31;
+  uint64_t Mixed = Hash ^ S;
+  return Mixed ? Mixed : 0x9E3779B97F4A7C15ULL;
 }
 
 Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
                                             Marginals &GraphBelief,
-                                            MethodReport &Report) {
+                                            MethodReport &Report,
+                                            uint64_t Seed) const {
   Deadline Budget = Opts.SolveBudgetSeconds > 0.0
                         ? Deadline::afterSeconds(Opts.SolveBudgetSeconds)
                         : Deadline();
@@ -232,6 +294,7 @@ Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
   auto RunGibbs = [&]() {
     GibbsSolver::Options O;
     O.Budget = Budget;
+    O.Seed = Seed;
     Report.Used = SolverChoice::Gibbs;
     Marginals M = GibbsSolver(O).solve(G, &Report.Solve);
     DividePriors(M);
@@ -335,15 +398,22 @@ Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
   return DampedM;
 }
 
-Expected<std::set<MethodDecl *>> InferEngine::analyzeOne(MethodDecl *M,
-                                                         InferResult &Result) {
+InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
+  MethodOutcome Out;
+  auto Fail = [&](const Status &S) {
+    Out.Failed = true;
+    Out.Error = S.str();
+    return std::move(Out);
+  };
+
   // Fault 'solve-fail': this method's SOLVE step fails outright, proving
   // the isolation path keeps the rest of the program inferable.
   if (faults::anyActive() &&
       faults::active(FaultKind::SolveFailure, M->qualifiedName()))
-    return faults::injectedError(FaultKind::SolveFailure, M->qualifiedName());
+    return Fail(
+        faults::injectedError(FaultKind::SolveFailure, M->qualifiedName()));
 
-  MethodData &MD = Data.at(M);
+  const MethodData &MD = Data.at(M);
   const Pfg &G = MD.G;
 
   FactorGraph FG;
@@ -351,6 +421,8 @@ Expected<std::set<MethodDecl *>> InferEngine::analyzeOne(MethodDecl *M,
   generateConstraints(G, FG, Vars, Opts.Constraints);
 
   // Records of every prior application so evidence can be divided out.
+  // Everything read below comes from the wave's frozen summary store;
+  // the writes go through deferred PendingUpdates.
   struct Application {
     PfgNodeId Node = NoPfgNode;
     TargetSummary *Target = nullptr;
@@ -429,32 +501,27 @@ Expected<std::set<MethodDecl *>> InferEngine::analyzeOne(MethodDecl *M,
 
   Timer SolveTimer;
   Marginals GraphBelief;
-  MethodReport &Report = Reports[M];
-  Expected<Marginals> Solved = solveGraph(FG, GraphBelief, Report);
-  Result.SolveSeconds += SolveTimer.seconds();
-  Result.TotalVariables += FG.variableCount();
-  Result.TotalFactors += FG.factorCount();
+  Expected<Marginals> Solved =
+      solveGraph(FG, GraphBelief, Out.Report, methodSeed(M));
+  Out.SolveSeconds = SolveTimer.seconds();
+  Out.Variables = FG.variableCount();
+  Out.Factors = FG.factorCount();
   if (!Solved)
-    return Solved.status();
-  if (Report.Fallback)
-    ++Result.FallbackSolves;
+    return Fail(Solved.status());
   Marginals Solution = Solved.take();
 
-  // Push evidence back into summaries (UPDATESUMMARY).
-  std::set<MethodDecl *> Changed;
+  // Compute the evidence to push back into summaries (UPDATESUMMARY) as
+  // deferred updates; the scheduling thread applies them after the wave.
   for (const Application &App : Applications) {
     std::vector<double> NodeMarginals =
         readMarginals(Vars.node(App.Node), Solution);
     std::vector<double> NodeBelief =
         readMarginals(Vars.node(App.Node), GraphBelief);
-    double Delta = updateEvidence(*App.Target, App.Applied, NodeMarginals,
-                                  NodeBelief, App.IsSelf,
-                                  !App.IsSelf && App.IsRequirement,
-                                  App.Site, App.SummaryOwner);
-    if (Delta > Opts.SummaryTolerance)
-      Changed.insert(App.SummaryOwner);
+    computeEvidence(Out.Updates, App.Target, App.Applied, NodeMarginals,
+                    NodeBelief, App.SummaryOwner, App.IsSelf,
+                    !App.IsSelf && App.IsRequirement, App.Site);
   }
-  return Changed;
+  return Out;
 }
 
 InferResult InferEngine::run() {
@@ -483,84 +550,127 @@ InferResult InferEngine::run() {
     }
   }
   for (const auto &Type : Prog.Types)
-    for (const auto &M : Type->Methods) {
-      MethodIndex.emplace(M.get(),
-                          static_cast<unsigned>(MethodIndex.size()));
+    for (const auto &M : Type->Methods)
       Summaries.emplace(M.get(),
                         MethodSummary::forMethod(*M, Opts.SpecHi,
                                                  Opts.SpecLo));
-    }
-
-  std::deque<MethodDecl *> Worklist;
-  std::set<MethodDecl *> InWorklist;
-  for (MethodDecl *M : Graph.bottomUpOrder()) {
-    if (!Data.count(M))
-      continue;
-    Worklist.push_back(M);
-    InWorklist.insert(M);
-  }
 
   unsigned MaxIters =
       Opts.MaxIters ? Opts.MaxIters
                     : static_cast<unsigned>(3 * Bodies.size());
 
-  // Phase 2 (lines 8-21): bounded worklist iteration. A method whose
-  // analysis fails is isolated: it keeps its conservative default summary
-  // (declared priors only), a diagnostic records why, and the worklist
-  // moves on so every other method still gets a spec.
-  std::set<MethodDecl *> FailedMethods;
-  while (!Worklist.empty() && Result.WorklistPicks < MaxIters) {
-    MethodDecl *M = Worklist.front();
-    Worklist.pop_front();
-    InWorklist.erase(M);
-    ++Result.WorklistPicks;
+  // Phase 2 (lines 8-21): bounded iteration, scheduled as rounds of
+  // reverse-topological SCC waves. Jobs within a wave read the summary
+  // store as it stood when the wave began and return deferred updates;
+  // the merge below applies them in declaration order, so results do not
+  // depend on the worker count. A method whose analysis fails is
+  // isolated: it keeps its conservative default summary (declared priors
+  // only), a buffered diagnostic records why, and the schedule moves on
+  // so every other method still gets a spec.
+  std::vector<std::vector<MethodDecl *>> Waves = Graph.sccWaves();
+  unsigned JobCount =
+      Opts.Parallelism ? Opts.Parallelism : ThreadPool::defaultParallelism();
+  std::unique_ptr<ThreadPool> Pool;
+  if (JobCount > 1)
+    Pool = std::make_unique<ThreadPool>(JobCount);
 
-    Expected<std::set<MethodDecl *>> Analyzed = [&]() ->
-        Expected<std::set<MethodDecl *>> {
-      try {
-        return analyzeOne(M, Result);
-      } catch (const std::exception &E) {
-        return Status::error(ErrorCode::Internal, E.what());
-      }
-    }();
-    if (!Analyzed) {
-      MethodReport &Report = Reports[M];
-      Report.Failed = true;
-      Report.Error = Analyzed.status().str();
-      if (FailedMethods.insert(M).second) {
-        ++Result.MethodsFailed;
-        if (Diags)
-          Diags->warning(M->Loc,
-                         "inference for '" + M->qualifiedName() +
-                             "' failed (" + Analyzed.status().str() +
-                             "); method skipped, conservative summary used");
-      }
-      continue;
-    }
-    std::set<MethodDecl *> ChangedSet = Analyzed.take();
-    // Iterate in declaration order, not pointer order: the requeue order
-    // must be deterministic across runs and processes.
-    std::vector<MethodDecl *> Changed(ChangedSet.begin(), ChangedSet.end());
-    std::sort(Changed.begin(), Changed.end(),
-              [&](const MethodDecl *A, const MethodDecl *B) {
-                return MethodIndex.at(A) < MethodIndex.at(B);
-              });
+  std::set<MethodDecl *, DeclIndexLess> Dirty;
+  std::set<MethodDecl *, DeclIndexLess> FailedMethods;
+  for (const auto &Wave : Waves)
+    for (MethodDecl *M : Wave)
+      if (Data.count(M))
+        Dirty.insert(M);
+  // Phase-2 failure diagnostics are buffered per method and flushed in
+  // source (declaration) order below: emission order must not depend on
+  // which round or wave a method happened to fail in.
+  MethodDeclMap<std::string> BufferedWarnings;
 
-    // A changed summary invalidates the models that consume it: the
-    // method itself and its callers (they applied the stale summary).
-    for (MethodDecl *C : Changed) {
-      auto Enqueue = [&](MethodDecl *Target) {
-        if (!Data.count(Target) || InWorklist.count(Target) ||
-            FailedMethods.count(Target))
-          return;
-        Worklist.push_back(Target);
-        InWorklist.insert(Target);
-      };
-      Enqueue(C);
-      for (MethodDecl *Caller : Graph.callers(C))
-        Enqueue(Caller);
+  while (!Dirty.empty() && Result.WorklistPicks < MaxIters) {
+    bool AnyRun = false;
+    for (const auto &Wave : Waves) {
+      // The wave is already in declaration order; so is the batch.
+      std::vector<MethodDecl *> Batch;
+      for (MethodDecl *M : Wave)
+        if (Dirty.count(M) && !FailedMethods.count(M) && Data.count(M))
+          Batch.push_back(M);
+      if (Result.WorklistPicks + Batch.size() > MaxIters)
+        Batch.resize(MaxIters - Result.WorklistPicks);
+      if (Batch.empty())
+        continue;
+      for (MethodDecl *M : Batch)
+        Dirty.erase(M);
+      Result.WorklistPicks += static_cast<unsigned>(Batch.size());
+      AnyRun = true;
+
+      // Build + solve every job in the batch against the frozen store.
+      std::vector<MethodOutcome> Outcomes(Batch.size());
+      parallelFor(Pool.get(), Batch.size(), [&](size_t I) {
+        try {
+          Outcomes[I] = analyzeOne(Batch[I]);
+        } catch (const std::exception &E) {
+          Outcomes[I].Failed = true;
+          Outcomes[I].Error =
+              Status::error(ErrorCode::Internal, E.what()).str();
+        }
+      });
+
+      // Merge, in declaration (= batch) order, on this thread only.
+      for (size_t I = 0; I != Batch.size(); ++I) {
+        MethodDecl *M = Batch[I];
+        MethodOutcome &Out = Outcomes[I];
+        unsigned PrevSolves = 0;
+        if (auto It = Reports.find(M); It != Reports.end())
+          PrevSolves = It->second.Solves;
+        Out.Report.Solves += PrevSolves;
+        if (Out.Failed) {
+          Out.Report.Failed = true;
+          Out.Report.Error = Out.Error;
+          Reports[M] = std::move(Out.Report);
+          if (FailedMethods.insert(M).second) {
+            ++Result.MethodsFailed;
+            BufferedWarnings.emplace(
+                M, "inference for '" + M->qualifiedName() + "' failed (" +
+                       Out.Error +
+                       "); method skipped, conservative summary used");
+          }
+          continue;
+        }
+        Result.SolveSeconds += Out.SolveSeconds;
+        Result.TotalVariables += Out.Variables;
+        Result.TotalFactors += Out.Factors;
+        if (Out.Report.Fallback)
+          ++Result.FallbackSolves;
+        Reports[M] = std::move(Out.Report);
+
+        // A changed summary invalidates the models that consume it: the
+        // owning method itself and its callers (they applied the stale
+        // summary). They rerun in a later wave or the next round.
+        for (PendingUpdate &U : Out.Updates) {
+          if (!U.DebugLine.empty())
+            std::fprintf(stderr, "evidence %s\n", U.DebugLine.c_str());
+          double Delta =
+              U.IsSelf ? U.Target->setSelfOdds(std::move(U.Odds))
+                       : U.Target->setSiteOdds(U.Site, std::move(U.Odds));
+          if (Delta <= Opts.SummaryTolerance)
+            continue;
+          auto MarkDirty = [&](MethodDecl *T) {
+            if (Data.count(T) && !FailedMethods.count(T))
+              Dirty.insert(T);
+          };
+          MarkDirty(U.SummaryOwner);
+          for (MethodDecl *Caller : Graph.callers(U.SummaryOwner))
+            MarkDirty(Caller);
+        }
+      }
+      if (Result.WorklistPicks >= MaxIters)
+        break;
     }
+    if (!AnyRun)
+      break; // Every dirty method is failed or budget-excluded.
   }
+  for (const auto &[M, Message] : BufferedWarnings)
+    if (Diags)
+      Diags->warning(M->Loc, Message);
   Result.MethodsAnalyzed = static_cast<unsigned>(Bodies.size());
 
   // Phase 3 (lines 22-29): extract deterministic specifications. A failed

@@ -11,6 +11,14 @@
 /// runs a bounded number of iterations instead of to a fixpoint; a final
 /// thresholding step extracts deterministic specifications.
 ///
+/// The loop is scheduled as reverse-topological *waves* of call-graph
+/// SCCs: every method in a wave is built and solved against a read-only
+/// snapshot of the summary store, and the resulting evidence is merged
+/// back in declaration order once the wave completes. Because the
+/// schedule is the algorithm (not an implementation detail of a thread
+/// count), `Parallelism = N` produces byte-identical results to
+/// `Parallelism = 1`. See DESIGN.md, "Concurrency model".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANEK_INFER_ANEKINFER_H
@@ -60,6 +68,18 @@ struct InferOptions {
   /// falls through the cascade and ultimately keeps the best partial
   /// marginals available.
   double SolveBudgetSeconds = 0.0;
+
+  // Parallel scheduler (DESIGN.md, "Concurrency model").
+  /// Worker threads for the wave scheduler: 1 = run wave jobs inline,
+  /// 0 = one worker per hardware thread, N = exactly N workers. The
+  /// schedule (SCC waves over a read-only summary snapshot, updates
+  /// merged in declaration order) is the same for every value, so the
+  /// result is byte-identical regardless of Parallelism.
+  unsigned Parallelism = 1;
+  /// User seed mixed into every per-method solver seed. Each method's
+  /// Gibbs chain is seeded from a stable hash of its qualified name plus
+  /// this value, so sampling does not depend on scheduling order.
+  uint64_t Seed = 1;
 };
 
 /// How one method's SOLVE step went, cascade decisions included.
@@ -81,15 +101,17 @@ struct MethodReport {
   std::string Error;
 };
 
-/// Outcome of a run.
+/// Outcome of a run. The per-method maps are keyed in declaration order
+/// (MethodDeclMap), so iterating them for output is deterministic across
+/// runs and processes — pointer-keyed maps would leak ASLR into reports.
 struct InferResult {
   /// Inferred specs for methods that had none declared (non-empty only).
-  std::map<const MethodDecl *, MethodSpec> Inferred;
+  MethodDeclMap<MethodSpec> Inferred;
   /// Final summaries (for inspection/benches).
-  std::map<const MethodDecl *, MethodSummary> Summaries;
+  MethodDeclMap<MethodSummary> Summaries;
 
   /// Per-method solver/cascade reports (one per method with a body).
-  std::map<const MethodDecl *, MethodReport> Reports;
+  MethodDeclMap<MethodReport> Reports;
 
   // Statistics.
   unsigned WorklistPicks = 0;

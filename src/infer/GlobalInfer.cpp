@@ -83,7 +83,9 @@ std::vector<MethodModel> buildJointGraph(Program &Prog, FactorGraph &FG,
   }
 
   // PARAMARG: equality constraints binding parameters to arguments.
-  std::map<const MethodDecl *, const MethodModel *> ByMethod;
+  // Declaration-index keyed like every per-method map: lookup-only today,
+  // but pointer order must never become load-bearing by accident.
+  MethodDeclMap<const MethodModel *> ByMethod;
   for (const MethodModel &Model : Models)
     ByMethod[Model.Method] = &Model;
 
@@ -148,10 +150,10 @@ std::vector<MethodModel> buildJointGraph(Program &Prog, FactorGraph &FG,
 }
 
 /// Extracts specs for all modeled methods from a joint solution.
-std::map<const MethodDecl *, MethodSpec>
+MethodDeclMap<MethodSpec>
 extractAll(const std::vector<MethodModel> &Models, const Marginals &Solution,
            const InferOptions &Opts) {
-  std::map<const MethodDecl *, MethodSpec> Out;
+  MethodDeclMap<MethodSpec> Out;
   for (const MethodModel &Model : Models) {
     MethodDecl *M = Model.Method;
     if (Opts.RespectDeclared && M->HasDeclaredSpec)

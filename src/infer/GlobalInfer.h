@@ -28,9 +28,10 @@
 
 namespace anek {
 
-/// Result of the joint whole-program inference.
+/// Result of the joint whole-program inference. Inferred is keyed in
+/// declaration order (MethodDeclMap) so printing it is deterministic.
 struct GlobalResult {
-  std::map<const MethodDecl *, MethodSpec> Inferred;
+  MethodDeclMap<MethodSpec> Inferred;
   unsigned TotalVariables = 0;
   unsigned TotalFactors = 0;
   double SolveSeconds = 0.0;
@@ -64,7 +65,7 @@ struct LogicalResult {
   /// Assignments the enumeration would have to consider (2^vars), as a
   /// log2 so it stays printable.
   double Log2SearchSpace = 0.0;
-  std::map<const MethodDecl *, MethodSpec> Inferred;
+  MethodDeclMap<MethodSpec> Inferred;
   double SolveSeconds = 0.0;
 };
 

@@ -38,6 +38,22 @@ namespace anek {
 /// its call-site index within that caller's PFG.
 using CallSiteKey = std::pair<const MethodDecl *, uint32_t>;
 
+/// Orders call-site keys by (caller declaration index, site index). The
+/// pooled odds product is a float reduction over the site map, so its
+/// iteration order is part of the result: pointer order would make
+/// summaries (and every downstream spec) vary with ASLR.
+struct CallSiteOrder {
+  bool operator()(const CallSiteKey &A, const CallSiteKey &B) const {
+    unsigned AI = A.first ? A.first->DeclIndex : 0;
+    unsigned BI = B.first ? B.first->DeclIndex : 0;
+    if (AI != BI)
+      return AI < BI;
+    if (A.second != B.second)
+      return A.second < B.second;
+    return A.first < B.first; // Hand-built ASTs Sema never numbered.
+  }
+};
+
 /// Evidence-pooled marginals for one interface target.
 class TargetSummary {
 public:
@@ -81,7 +97,9 @@ private:
   std::vector<std::string> States;
   std::vector<double> DeclaredPrior; ///< Probabilities.
   std::vector<double> SelfOdds;      ///< Odds multipliers (1 = neutral).
-  std::map<CallSiteKey, std::vector<double>> SiteOdds;
+  /// Per-site odds in declaration-index order (see CallSiteOrder: the
+  /// pooling product must not depend on pointer values).
+  std::map<CallSiteKey, std::vector<double>, CallSiteOrder> SiteOdds;
 };
 
 /// Summary of one method across every interface target.

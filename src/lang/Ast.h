@@ -460,6 +460,12 @@ public:
   /// Enclosing type (set by Sema).
   TypeDecl *Owner = nullptr;
 
+  /// Program-wide declaration index (set by Sema, declaration order).
+  /// Anything that must iterate deterministically over sets of methods —
+  /// summary pooling, report printing, requeue order — keys on this
+  /// instead of the pointer value, so results do not depend on ASLR.
+  unsigned DeclIndex = 0;
+
   /// Declared spec from @Perm/@Spec annotations (set by Sema); empty spec
   /// when unannotated.
   MethodSpec DeclaredSpec;
@@ -517,6 +523,21 @@ public:
   /// All methods that have bodies, in declaration order.
   std::vector<MethodDecl *> methodsWithBodies() const;
 };
+
+/// Strict weak order on MethodDecl pointers by declaration index, with the
+/// pointer as a tie-break for hand-built ASTs Sema never numbered. Maps
+/// keyed this way iterate in source order, not allocation order.
+struct DeclIndexLess {
+  bool operator()(const MethodDecl *A, const MethodDecl *B) const {
+    if (A->DeclIndex != B->DeclIndex)
+      return A->DeclIndex < B->DeclIndex;
+    return A < B;
+  }
+};
+
+/// A MethodDecl-keyed map whose iteration order is declaration order.
+template <typename V>
+using MethodDeclMap = std::map<const MethodDecl *, V, DeclIndexLess>;
 
 } // namespace anek
 

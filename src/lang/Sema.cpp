@@ -471,6 +471,13 @@ bool SemaImpl::run() {
     }
     CurType = nullptr;
   }
+  // Number every method in declaration order (ambient types appended by
+  // resolveClassName included). DeclIndexLess keys on this so downstream
+  // iteration order never depends on pointer values.
+  unsigned NextIndex = 0;
+  for (const auto &Type : Prog.Types)
+    for (const auto &Method : Type->Methods)
+      Method->DeclIndex = NextIndex++;
   return !Diags.hasErrors();
 }
 

@@ -58,7 +58,9 @@ public:
   /// True once the wall clock passed the expiry, \p IterationsUsed reached
   /// the iteration cap, or the 'deadline' fault is injected.
   bool expired(unsigned IterationsUsed = 0) const {
-    if (faults::active(FaultKind::DeadlineExpiry))
+    // anyActive() first: it is one atomic load, while active() takes the
+    // registry lock. expired() sits inside every solver loop.
+    if (faults::anyActive() && faults::active(FaultKind::DeadlineExpiry))
       return true;
     if (MaxIterations != 0 && IterationsUsed >= MaxIterations)
       return true;

@@ -4,7 +4,9 @@
 
 #include "support/StringUtils.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -18,34 +20,71 @@ struct Activation {
   std::string Filter;
 };
 
-/// Active faults, scoped and spec-activated alike. Deliberately a plain
-/// global: fault injection is a test/debug facility, not a concurrent one.
+/// Guards the activation registry. Worker threads in the parallel
+/// inference scheduler consult fault state concurrently, so every access
+/// to the list goes through this lock; the common no-faults case never
+/// takes it (see ActiveCount below).
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+/// Active faults, scoped and spec-activated alike. Guarded by
+/// registryMutex().
 std::vector<Activation> &activations() {
   static std::vector<Activation> List;
   return List;
 }
 
-bool &envArmed() {
-  static bool Armed = true;
-  return Armed;
-}
+/// Lock-free mirror of activations().size(): anyActive() is on solver hot
+/// paths (every Deadline poll), so it must stay one atomic load.
+std::atomic<unsigned> ActiveCount{0};
 
-/// Folds the ANEK_FAULT environment spec into the activation list once.
-void consumeEnv() {
-  if (!envArmed())
-    return;
-  envArmed() = false;
-  if (const char *Spec = std::getenv("ANEK_FAULT"))
-    // A malformed env spec is ignored rather than aborting: fault
-    // injection must never make the binary less robust.
-    (void)faults::activateSpec(Spec);
-}
+/// True until the one-time ANEK_FAULT environment read happened.
+std::atomic<bool> EnvPending{true};
 
 std::optional<FaultKind> kindByName(const std::string &Name) {
   for (unsigned K = 0; K != NumFaultKinds; ++K)
     if (Name == faultKindName(static_cast<FaultKind>(K)))
       return static_cast<FaultKind>(K);
   return std::nullopt;
+}
+
+/// Parses \p Spec into activations without touching shared state.
+Expected<std::vector<Activation>> parseSpec(const std::string &Spec) {
+  std::vector<Activation> Parsed;
+  for (const std::string &Trimmed : splitAndTrim(Spec, ',')) {
+    std::string Name = Trimmed, Filter;
+    if (size_t Colon = Trimmed.find(':'); Colon != std::string::npos) {
+      Name = Trimmed.substr(0, Colon);
+      Filter = Trimmed.substr(Colon + 1);
+    }
+    std::optional<FaultKind> Kind = kindByName(Name);
+    if (!Kind)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "unknown fault '" + Name + "' in spec '" + Spec +
+                               "'");
+    Parsed.push_back({*Kind, std::move(Filter)});
+  }
+  return Parsed;
+}
+
+/// Folds the ANEK_FAULT environment spec into the activation list once.
+void consumeEnv() {
+  std::vector<Activation> Parsed;
+  if (const char *Spec = std::getenv("ANEK_FAULT"))
+    // A malformed env spec is ignored rather than aborting: fault
+    // injection must never make the binary less robust.
+    if (Expected<std::vector<Activation>> P = parseSpec(Spec))
+      Parsed = P.take();
+  std::unique_lock<std::mutex> Lock(registryMutex());
+  if (!EnvPending.load(std::memory_order_relaxed))
+    return; // Another thread beat us to it.
+  auto &List = activations();
+  List.insert(List.end(), Parsed.begin(), Parsed.end());
+  ActiveCount.store(static_cast<unsigned>(List.size()),
+                    std::memory_order_relaxed);
+  EnvPending.store(false, std::memory_order_release);
 }
 
 } // namespace
@@ -65,12 +104,15 @@ const char *anek::faultKindName(FaultKind Kind) {
 }
 
 bool faults::anyActive() {
-  consumeEnv();
-  return !activations().empty();
+  if (EnvPending.load(std::memory_order_acquire))
+    consumeEnv();
+  return ActiveCount.load(std::memory_order_relaxed) != 0;
 }
 
 bool faults::active(FaultKind Kind, const std::string &Label) {
-  consumeEnv();
+  if (!anyActive())
+    return false;
+  std::unique_lock<std::mutex> Lock(registryMutex());
   for (const Activation &A : activations())
     if (A.Kind == Kind && (A.Filter.empty() || A.Filter == Label))
       return true;
@@ -86,41 +128,42 @@ Status faults::injectedError(FaultKind Kind, const std::string &Label) {
 }
 
 Status faults::activateSpec(const std::string &Spec) {
-  std::vector<Activation> Parsed;
-  for (const std::string &Trimmed : splitAndTrim(Spec, ',')) {
-    std::string Name = Trimmed, Filter;
-    if (size_t Colon = Trimmed.find(':'); Colon != std::string::npos) {
-      Name = Trimmed.substr(0, Colon);
-      Filter = Trimmed.substr(Colon + 1);
-    }
-    std::optional<FaultKind> Kind = kindByName(Name);
-    if (!Kind)
-      return Status::error(ErrorCode::InvalidArgument,
-                           "unknown fault '" + Name + "' in spec '" + Spec +
-                               "'");
-    Parsed.push_back({*Kind, std::move(Filter)});
-  }
+  Expected<std::vector<Activation>> Parsed = parseSpec(Spec);
+  if (!Parsed)
+    return Parsed.status(); // On error nothing is activated.
+  std::unique_lock<std::mutex> Lock(registryMutex());
   auto &List = activations();
-  List.insert(List.end(), Parsed.begin(), Parsed.end());
+  List.insert(List.end(), Parsed->begin(), Parsed->end());
+  ActiveCount.store(static_cast<unsigned>(List.size()),
+                    std::memory_order_relaxed);
   return Status::ok();
 }
 
 void faults::reset() {
+  std::unique_lock<std::mutex> Lock(registryMutex());
   activations().clear();
-  envArmed() = true;
+  ActiveCount.store(0, std::memory_order_relaxed);
+  EnvPending.store(true, std::memory_order_release);
 }
 
 faults::ScopedFault::ScopedFault(FaultKind Kind, std::string Filter)
     : Kind(Kind), Filter(std::move(Filter)) {
-  activations().push_back({this->Kind, this->Filter});
+  std::unique_lock<std::mutex> Lock(registryMutex());
+  auto &List = activations();
+  List.push_back({this->Kind, this->Filter});
+  ActiveCount.store(static_cast<unsigned>(List.size()),
+                    std::memory_order_relaxed);
 }
 
 faults::ScopedFault::~ScopedFault() {
+  std::unique_lock<std::mutex> Lock(registryMutex());
   auto &List = activations();
   // Remove the most recent matching activation (scopes nest LIFO).
   for (auto It = List.rbegin(); It != List.rend(); ++It)
     if (It->Kind == Kind && It->Filter == Filter) {
       List.erase(std::next(It).base());
-      return;
+      break;
     }
+  ActiveCount.store(static_cast<unsigned>(List.size()),
+                    std::memory_order_relaxed);
 }

@@ -49,7 +49,12 @@ const char *faultKindName(FaultKind Kind);
 
 namespace faults {
 
+// All fault queries and (de)activations are thread-safe: the registry is
+// mutex-guarded and anyActive() is a single atomic load, so solver worker
+// threads may consult fault state while a test arms or disarms it.
+
 /// Fast path: true when any fault source (env or scoped) is active at all.
+/// One relaxed atomic load once the environment spec has been consumed.
 bool anyActive();
 
 /// True when \p Kind is active with no site filter, or with a filter equal

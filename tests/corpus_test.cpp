@@ -120,7 +120,7 @@ MethodSpec spec(std::optional<PermState> ParamPre,
 
 TEST(SpecComparisonTest, Same) {
   OneMethod O = oneMethod();
-  std::map<const MethodDecl *, MethodSpec> Hand{
+  MethodDeclMap<MethodSpec> Hand{
       {O.M, spec(PermState{PermKind::Full, ""}, std::nullopt)}};
   auto Inferred = Hand;
   SpecComparisonTable T = compareSpecs(Hand, Inferred);
@@ -129,9 +129,9 @@ TEST(SpecComparisonTest, Same) {
 
 TEST(SpecComparisonTest, AddedHelpfulVsConstraining) {
   OneMethod O = oneMethod();
-  std::map<const MethodDecl *, MethodSpec> NoHand;
+  MethodDeclMap<MethodSpec> NoHand;
   // A unique(result) guarantee imposes nothing on callers: helpful.
-  std::map<const MethodDecl *, MethodSpec> Inferred{
+  MethodDeclMap<MethodSpec> Inferred{
       {O.M, spec(std::nullopt, PermState{PermKind::Unique, ""})}};
   EXPECT_EQ(compareSpecs(NoHand, Inferred).count(
                 SpecCategory::AddedHelpful),
@@ -145,26 +145,26 @@ TEST(SpecComparisonTest, AddedHelpfulVsConstraining) {
 
 TEST(SpecComparisonTest, Removed) {
   OneMethod O = oneMethod();
-  std::map<const MethodDecl *, MethodSpec> Hand{
+  MethodDeclMap<MethodSpec> Hand{
       {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt)}};
-  std::map<const MethodDecl *, MethodSpec> None;
+  MethodDeclMap<MethodSpec> None;
   EXPECT_EQ(compareSpecs(Hand, None).count(SpecCategory::Removed), 1u);
 }
 
 TEST(SpecComparisonTest, IndicatorLossIsRemoved) {
   OneMethod O = oneMethod();
-  std::map<const MethodDecl *, MethodSpec> Hand{
+  MethodDeclMap<MethodSpec> Hand{
       {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt, "HASNEXT")}};
-  std::map<const MethodDecl *, MethodSpec> Inferred{
+  MethodDeclMap<MethodSpec> Inferred{
       {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt)}};
   EXPECT_EQ(compareSpecs(Hand, Inferred).count(SpecCategory::Removed), 1u);
 }
 
 TEST(SpecComparisonTest, MoreRestrictive) {
   OneMethod O = oneMethod();
-  std::map<const MethodDecl *, MethodSpec> Hand{
+  MethodDeclMap<MethodSpec> Hand{
       {O.M, spec(std::nullopt, PermState{PermKind::Full, ""})}};
-  std::map<const MethodDecl *, MethodSpec> Inferred{
+  MethodDeclMap<MethodSpec> Inferred{
       {O.M, spec(std::nullopt, PermState{PermKind::Unique, ""})}};
   EXPECT_EQ(compareSpecs(Hand, Inferred).count(
                 SpecCategory::MoreRestrictive),
@@ -180,9 +180,9 @@ TEST(SpecComparisonTest, MoreRestrictive) {
 TEST(SpecComparisonTest, Wrong) {
   OneMethod O = oneMethod();
   // Weaker kind: wrong.
-  std::map<const MethodDecl *, MethodSpec> Hand{
+  MethodDeclMap<MethodSpec> Hand{
       {O.M, spec(PermState{PermKind::Full, ""}, std::nullopt)}};
-  std::map<const MethodDecl *, MethodSpec> Inferred{
+  MethodDeclMap<MethodSpec> Inferred{
       {O.M, spec(PermState{PermKind::Pure, ""}, std::nullopt)}};
   EXPECT_EQ(compareSpecs(Hand, Inferred).count(SpecCategory::Wrong), 1u);
   // Dropped state: wrong.

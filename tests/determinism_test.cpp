@@ -1,0 +1,162 @@
+//===- determinism_test.cpp - Parallel inference determinism ----------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+// The parallel scheduler's contract (DESIGN.md, "Concurrency model"):
+// `anek infer -j N` is byte-identical to `-j 1`, and any run is
+// byte-identical to a rerun of itself. The in-process half checks the
+// library API over the paper examples and a PMD-style corpus; the
+// driver half runs the real binary and compares full stdout/stderr with
+// wall-clock timings masked out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/ExampleSources.h"
+#include "corpus/PmdGenerator.h"
+#include "infer/AnekInfer.h"
+#include "lang/PrettyPrinter.h"
+#include "lang/Sema.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <regex>
+#include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace anek;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Renders everything observable about an inference run as pointer-free
+/// text: the annotated program, per-method cascade reports, and the
+/// aggregate statistics (minus wall-clock times).
+std::string renderRun(const std::string &Source, unsigned Parallelism) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  if (!Prog)
+    return {};
+
+  InferOptions Opts;
+  Opts.Parallelism = Parallelism;
+  InferResult R = runAnekInfer(*Prog, Opts, &Diags);
+
+  std::ostringstream Out;
+  PrintOptions POpts;
+  POpts.SpecFor = [&](const MethodDecl &M) { return *R.specFor(&M); };
+  Out << printProgram(*Prog, POpts);
+  for (const auto &[M, Report] : R.Reports) {
+    Out << M->qualifiedName() << ": used=" << solverChoiceName(Report.Used)
+        << " fallback=" << Report.Fallback
+        << " converged=" << Report.Solve.Converged
+        << " iters=" << Report.Solve.Iterations
+        << " solves=" << Report.Solves << " failed=" << Report.Failed
+        << " reason=" << Report.Reason << "\n";
+  }
+  Out << "picks=" << R.WorklistPicks << " inferred=" << R.Inferred.size()
+      << " failed=" << R.MethodsFailed << " fallbacks=" << R.FallbackSolves
+      << " vars=" << R.TotalVariables << " factors=" << R.TotalFactors
+      << "\n";
+  Out << Diags.str();
+  return Out.str();
+}
+
+class DeterminismTest : public ::testing::TestWithParam<const char *> {};
+
+std::string sourceByName(const std::string &Name) {
+  if (Name == "spreadsheet")
+    return iteratorApiSource() + spreadsheetSource();
+  if (Name == "file")
+    return fileProtocolSource();
+  return fieldExampleSource();
+}
+
+/// Runs the real `anek` binary, captures combined stdout+stderr, and
+/// masks wall-clock substrings ("0.123s") so byte comparison sees only
+/// semantic output. Returns the exit code (-1 on abnormal termination).
+int runToolMasked(const std::string &ArgLine, std::string &Output) {
+  fs::path Capture =
+      fs::temp_directory_path() /
+      ("anek_determinism_" + std::to_string(::getpid()) + ".out");
+  std::string Cmd = std::string(ANEK_TOOL_PATH) + " " + ArgLine + " > " +
+                    Capture.string() + " 2>&1";
+  int RawStatus = std::system(Cmd.c_str());
+  std::ifstream In(Capture);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  static const std::regex TimeRe("[0-9]+\\.[0-9]+s");
+  Output = std::regex_replace(Buffer.str(), TimeRe, "TIMEs");
+  std::error_code Ignored;
+  fs::remove(Capture, Ignored);
+  if (RawStatus == -1 || !WIFEXITED(RawStatus))
+    return -1;
+  return WEXITSTATUS(RawStatus);
+}
+
+} // namespace
+
+TEST_P(DeterminismTest, ParallelMatchesSequentialInProcess) {
+  std::string Source = sourceByName(GetParam());
+  std::string Sequential = renderRun(Source, 1);
+  ASSERT_FALSE(Sequential.empty());
+  for (unsigned Jobs : {2u, 4u}) {
+    std::string Parallel = renderRun(Source, Jobs);
+    EXPECT_EQ(Sequential, Parallel) << "jobs=" << Jobs;
+  }
+}
+
+TEST_P(DeterminismTest, RerunMatchesItselfInProcess) {
+  // Each renderRun re-parses, so the AST lives at fresh addresses: any
+  // pointer-keyed float reduction left in the pipeline shows up here.
+  std::string Source = sourceByName(GetParam());
+  EXPECT_EQ(renderRun(Source, 1), renderRun(Source, 1));
+  EXPECT_EQ(renderRun(Source, 4), renderRun(Source, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, DeterminismTest,
+                         ::testing::Values("spreadsheet", "file", "field"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+TEST(DeterminismPmdTest, ParallelMatchesSequentialOnPmdCorpus) {
+  // A scaled-down PMD-style corpus: enough methods and call edges for
+  // the waves to actually batch, small enough for a unit test.
+  PmdConfig Config;
+  Config.Classes = 22;
+  Config.Methods = 90;
+  Config.Wrappers = 3;
+  Config.DirectSites = 6;
+  Config.WrapperConsumerSites = 4;
+  PmdCorpus Corpus = generatePmdCorpus(Config);
+  std::string Sequential = renderRun(Corpus.Source, 1);
+  ASSERT_FALSE(Sequential.empty());
+  EXPECT_EQ(Sequential, renderRun(Corpus.Source, 4));
+  EXPECT_EQ(Sequential, renderRun(Corpus.Source, 1));
+}
+
+TEST(DeterminismDriverTest, InferJobsProduceIdenticalBytes) {
+  for (const char *Example : {"spreadsheet", "file", "field"}) {
+    std::string ArgsBase =
+        "infer --example " + std::string(Example) + " --report";
+    std::string J1, J1Again, J4;
+    ASSERT_EQ(runToolMasked(ArgsBase + " -j 1", J1), 0) << J1;
+    ASSERT_EQ(runToolMasked(ArgsBase + " -j 1", J1Again), 0) << J1Again;
+    ASSERT_EQ(runToolMasked(ArgsBase + " -j 4", J4), 0) << J4;
+    EXPECT_EQ(J1, J1Again) << Example << ": -j1 not stable across runs";
+    EXPECT_EQ(J1, J4) << Example << ": -j4 diverged from -j1";
+  }
+}
+
+TEST(DeterminismDriverTest, VerifyJobsProduceIdenticalBytes) {
+  std::string J1, J4;
+  int E1 = runToolMasked("verify --example spreadsheet -j 1", J1);
+  int E4 = runToolMasked("verify --example spreadsheet -j 4", J4);
+  EXPECT_EQ(E1, E4);
+  EXPECT_EQ(J1, J4);
+}

@@ -116,15 +116,15 @@ TEST(AnekInferTest, DeterministicAcrossRuns) {
   InferResult R2 = runAnekInfer(*Prog2);
   // Same methods (by qualified name) get the same specs; the maps are
   // pointer-keyed, so compare through name-keyed views.
-  auto ByName = [](const std::map<const MethodDecl *, MethodSpec> &In) {
+  auto ByName = [](const MethodDeclMap<MethodSpec> &In) {
     std::map<std::string, MethodSpec> Out;
     for (auto &[M, S] : In)
       Out.emplace(M->qualifiedName(), S);
     return Out;
   };
-  EXPECT_EQ(ByName(std::map<const MethodDecl *, MethodSpec>(
+  EXPECT_EQ(ByName(MethodDeclMap<MethodSpec>(
                 R1.Inferred.begin(), R1.Inferred.end())),
-            ByName(std::map<const MethodDecl *, MethodSpec>(
+            ByName(MethodDeclMap<MethodSpec>(
                 R2.Inferred.begin(), R2.Inferred.end())));
 }
 

@@ -1,0 +1,145 @@
+//===- threadpool_test.cpp - ThreadPool unit tests --------------------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+// The pool underpins the parallel inference scheduler, so the properties
+// tested here are exactly the ones the scheduler leans on: every
+// submitted job runs, wait() is a real barrier (wave N finishes before
+// wave N+1 starts), worker exceptions surface at wait() instead of
+// killing the process, and destruction drains the queue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace anek;
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  std::atomic<unsigned> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::defaultParallelism(), 1u);
+  // ThreadCount 0 means "auto", never a zero-worker pool.
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.threadCount(), 1u);
+  std::atomic<bool> Ran{false};
+  Pool.submit([&] { Ran = true; });
+  Pool.wait();
+  EXPECT_TRUE(Ran.load());
+}
+
+TEST(ThreadPoolTest, WaitIsABarrierBetweenWaves) {
+  // The scheduler's correctness depends on wave k's jobs all finishing
+  // before any wave k+1 job starts. Model three waves and record, for
+  // every job, how many jobs of the previous wave it observed complete.
+  ThreadPool Pool(4);
+  constexpr unsigned JobsPerWave = 16;
+  std::atomic<unsigned> PrevWaveDone{0};
+  bool Interleaved = false;
+  std::mutex CheckMutex;
+  for (int Wave = 0; Wave != 3; ++Wave) {
+    std::atomic<unsigned> ThisWaveDone{0};
+    for (unsigned J = 0; J != JobsPerWave; ++J)
+      Pool.submit([&, Wave] {
+        if (Wave > 0 && PrevWaveDone.load() != JobsPerWave) {
+          std::lock_guard<std::mutex> Lock(CheckMutex);
+          Interleaved = true;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ThisWaveDone;
+      });
+    Pool.wait();
+    PrevWaveDone = ThisWaveDone.load();
+    EXPECT_EQ(PrevWaveDone.load(), JobsPerWave);
+  }
+  EXPECT_FALSE(Interleaved);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstWorkerException) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Survivors{0};
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&, I] {
+      if (I == 3)
+        throw std::runtime_error("job 3 exploded");
+      ++Survivors;
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // One job threw; the rest still ran (isolation, not abort).
+  EXPECT_EQ(Survivors.load(), 7u);
+
+  // The pool stays usable after a rethrow, and the error does not
+  // resurface on the next wait.
+  std::atomic<bool> Ran{false};
+  Pool.submit([&] { Ran = true; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_TRUE(Ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTheQueue) {
+  std::atomic<unsigned> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 50; ++I)
+      Pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++Count;
+      });
+    // No wait(): shutdown itself must execute everything submitted.
+  }
+  EXPECT_EQ(Count.load(), 50u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<unsigned>> Hits(257);
+  parallelFor(&Pool, Hits.size(), [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelForWithNullPoolRunsInline) {
+  // Null pool = the sequential scheduler path: same thread, index order.
+  std::vector<size_t> Order;
+  std::thread::id Caller = std::this_thread::get_id();
+  bool SameThread = true;
+  parallelFor(nullptr, 5, [&](size_t I) {
+    Order.push_back(I);
+    SameThread = SameThread && std::this_thread::get_id() == Caller;
+  });
+  EXPECT_TRUE(SameThread);
+  ASSERT_EQ(Order.size(), 5u);
+  for (size_t I = 0; I != Order.size(); ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool Pool(2);
+  EXPECT_THROW(parallelFor(&Pool, 10,
+                           [&](size_t I) {
+                             if (I == 5)
+                               throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  EXPECT_THROW(parallelFor(nullptr, 3,
+                           [&](size_t) {
+                             throw std::runtime_error("inline boom");
+                           }),
+               std::runtime_error);
+}

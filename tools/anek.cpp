@@ -3,11 +3,15 @@
 // Part of the ANEK reproduction. See README.md.
 //
 // Usage:
-//   anek infer  <file.mjava | --example NAME> [--report]  infer, print program
+//   anek infer  <file.mjava | --example NAME> [--report] [--jobs N]
 //   anek check  <file.mjava | --example NAME>   check declared specs only
 //   anek verify <file.mjava | --example NAME>   infer, then check
 //   anek pfg    <file.mjava | --example NAME> [--dot] [--method M]
 //   anek ir     <file.mjava | --example NAME>
+//
+// --jobs/-j N runs inference on N worker threads (default: one per
+// hardware thread; 1 = fully sequential). Output is byte-identical for
+// every N.
 //
 // Built-in examples: spreadsheet, file, field.
 //
@@ -30,6 +34,7 @@
 #include "support/Format.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <sstream>
@@ -46,7 +51,8 @@ enum ExitCode { ExitOk = 0, ExitDiagnostics = 1, ExitUsage = 2,
 void usage() {
   std::fputs("usage: anek <infer|check|verify|pfg|ir> "
              "<file.mjava | --example spreadsheet|file|field> "
-             "[--dot] [--method NAME] [--report] [--fault SPEC]\n",
+             "[--dot] [--method NAME] [--report] [--fault SPEC] "
+             "[--jobs N | -j N]\n",
              stderr);
 }
 
@@ -115,6 +121,9 @@ int run(int Argc, char **Argv) {
   bool IsExample = false;
   bool WantDot = false;
   bool WantReport = false;
+  // 0 = auto (one worker per hardware thread); the schedule makes every
+  // value produce byte-identical output, so auto is a safe default.
+  unsigned Jobs = 0;
   std::string MethodFilter;
   for (size_t I = 1; I < Args.size(); ++I) {
     if (Args[I] == "--example" && I + 1 < Args.size()) {
@@ -124,6 +133,17 @@ int run(int Argc, char **Argv) {
       WantDot = true;
     } else if (Args[I] == "--report") {
       WantReport = true;
+    } else if ((Args[I] == "--jobs" || Args[I] == "-j") &&
+               I + 1 < Args.size()) {
+      char *End = nullptr;
+      unsigned long Value = std::strtoul(Args[I + 1].c_str(), &End, 10);
+      if (!End || *End != '\0' || Value == 0) {
+        std::fprintf(stderr, "anek: bad thread count '%s' (want N >= 1)\n",
+                     Args[I + 1].c_str());
+        return ExitUsage;
+      }
+      Jobs = static_cast<unsigned>(Value);
+      ++I;
     } else if (Args[I] == "--method" && I + 1 < Args.size()) {
       MethodFilter = Args[++I];
     } else if (Args[I] == "--fault" && I + 1 < Args.size()) {
@@ -197,7 +217,9 @@ int run(int Argc, char **Argv) {
   }
 
   if (Command == "infer" || Command == "verify") {
-    InferResult Inference = runAnekInfer(*Prog, {}, &Diags);
+    InferOptions InferOpts;
+    InferOpts.Parallelism = Jobs;
+    InferResult Inference = runAnekInfer(*Prog, InferOpts, &Diags);
     if (Diags.all().size())
       std::fputs(Diags.str().c_str(), stderr);
     int Exit = Diags.hasErrors() ? ExitDiagnostics : ExitOk;
