@@ -4,6 +4,7 @@
 
 #include "support/FaultInject.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -35,6 +36,7 @@ VarId FactorGraph::addVariable(double Prior, std::string Name) {
   V.Name = std::move(Name);
   Vars.push_back(std::move(V));
   IndexValid = false;
+  LayoutValid = false;
   return static_cast<VarId>(Vars.size() - 1);
 }
 
@@ -52,6 +54,7 @@ void FactorGraph::addFactor(std::vector<VarId> Scope,
 #endif
   Factors.push_back({std::move(Scope), std::move(Table)});
   IndexValid = false;
+  LayoutValid = false;
 }
 
 void FactorGraph::addPredicateFactor(
@@ -83,12 +86,71 @@ void FactorGraph::setPrior(VarId Var, double Prior) {
   Vars[Var].Prior = clampProb(Prior);
 }
 
+const FactorGraph::EdgeLayout &FactorGraph::edgeLayout() const {
+  if (LayoutValid)
+    return Layout;
+  const uint32_t NumVars = static_cast<uint32_t>(Vars.size());
+  const uint32_t NumFactors = static_cast<uint32_t>(Factors.size());
+
+  Layout = EdgeLayout();
+  Layout.FactorOffset.resize(NumFactors + 1, 0);
+  uint32_t NumEdges = 0;
+  for (uint32_t F = 0; F != NumFactors; ++F) {
+    Layout.FactorOffset[F] = NumEdges;
+    NumEdges += static_cast<uint32_t>(Factors[F].Scope.size());
+  }
+  Layout.FactorOffset[NumFactors] = NumEdges;
+
+  Layout.EdgeVar.resize(NumEdges);
+  Layout.EdgeFactor.resize(NumEdges);
+  Layout.EdgeSlotBit.resize(NumEdges);
+  Layout.EdgeVarMask.resize(NumEdges);
+  for (uint32_t F = 0; F != NumFactors; ++F) {
+    const std::vector<VarId> &Scope = Factors[F].Scope;
+    const uint32_t Base = Layout.FactorOffset[F];
+    for (uint32_t K = 0; K != Scope.size(); ++K) {
+      Layout.EdgeVar[Base + K] = Scope[K];
+      Layout.EdgeFactor[Base + K] = F;
+      Layout.EdgeSlotBit[Base + K] = uint32_t{1} << K;
+      uint32_t Mask = 0;
+      for (uint32_t K2 = 0; K2 != Scope.size(); ++K2)
+        if (Scope[K2] == Scope[K])
+          Mask |= uint32_t{1} << K2;
+      Layout.EdgeVarMask[Base + K] = Mask;
+    }
+    Layout.MaxFactorDegree = std::max(
+        Layout.MaxFactorDegree, static_cast<uint32_t>(Scope.size()));
+  }
+
+  // Variable-major CSR by counting sort: edge ids land in ascending
+  // order within each variable because the fill walks edges in order.
+  Layout.VarOffset.assign(NumVars + 1, 0);
+  for (uint32_t E = 0; E != NumEdges; ++E)
+    ++Layout.VarOffset[Layout.EdgeVar[E] + 1];
+  for (uint32_t V = 0; V != NumVars; ++V) {
+    Layout.MaxVarDegree = std::max(Layout.MaxVarDegree,
+                                   Layout.VarOffset[V + 1]);
+    Layout.VarOffset[V + 1] += Layout.VarOffset[V];
+  }
+  Layout.VarEdges.resize(NumEdges);
+  std::vector<uint32_t> Cursor(Layout.VarOffset.begin(),
+                               Layout.VarOffset.end() - 1);
+  for (uint32_t E = 0; E != NumEdges; ++E)
+    Layout.VarEdges[Cursor[Layout.EdgeVar[E]]++] = E;
+
+  LayoutValid = true;
+  return Layout;
+}
+
 const std::vector<std::vector<uint32_t>> &FactorGraph::varToFactors() const {
   if (!IndexValid) {
+    const EdgeLayout &L = edgeLayout();
     VarFactorIndex.assign(Vars.size(), {});
-    for (uint32_t F = 0; F != Factors.size(); ++F)
-      for (VarId V : Factors[F].Scope)
-        VarFactorIndex[V].push_back(F);
+    for (uint32_t V = 0; V != Vars.size(); ++V) {
+      VarFactorIndex[V].reserve(L.varDegree(static_cast<VarId>(V)));
+      for (uint32_t I = L.VarOffset[V]; I != L.VarOffset[V + 1]; ++I)
+        VarFactorIndex[V].push_back(L.EdgeFactor[L.VarEdges[I]]);
+    }
     IndexValid = true;
   }
   return VarFactorIndex;

@@ -76,8 +76,53 @@ public:
   const Variable &variable(VarId Id) const { return Vars[Id]; }
   const Factor &factor(uint32_t Id) const { return Factors[Id]; }
 
-  /// Factors mentioning each variable (built lazily; invalidated by
-  /// addFactor).
+  /// Flat CSR edge layout shared by every message-passing solver. One
+  /// *edge* exists per (factor, scope slot) pair; its id is
+  /// FactorOffset[F] + K, so each factor's slots are contiguous and a
+  /// message array indexed by edge id needs no nested vectors. The
+  /// variable-major view (VarOffset/VarEdges) lists each variable's
+  /// edges sorted by edge id, i.e. by (factor, slot) — a fixed,
+  /// allocation-independent order the determinism contract relies on.
+  struct EdgeLayout {
+    /// Factor-major: edges of factor F are [FactorOffset[F],
+    /// FactorOffset[F+1]).
+    std::vector<uint32_t> FactorOffset;
+    /// Variable at each edge (the factor's scope, flattened).
+    std::vector<VarId> EdgeVar;
+    /// Owning factor of each edge.
+    std::vector<uint32_t> EdgeFactor;
+    /// Variable-major: edge ids adjacent to V are VarEdges[VarOffset[V]
+    /// .. VarOffset[V+1]), ascending.
+    std::vector<uint32_t> VarOffset;
+    std::vector<uint32_t> VarEdges;
+    /// Table-index bit of the edge's own slot (1 << slot).
+    std::vector<uint32_t> EdgeSlotBit;
+    /// OR of the slot bits of *every* occurrence of the edge's variable
+    /// in the owning factor's scope. Equal to EdgeSlotBit except for the
+    /// degenerate factors that repeat a variable; incremental Gibbs uses
+    /// it to set all of a variable's bits in one mask operation.
+    std::vector<uint32_t> EdgeVarMask;
+    uint32_t MaxVarDegree = 0;
+    uint32_t MaxFactorDegree = 0;
+
+    uint32_t edgeCount() const {
+      return static_cast<uint32_t>(EdgeVar.size());
+    }
+    uint32_t varDegree(VarId V) const {
+      return VarOffset[V + 1] - VarOffset[V];
+    }
+    uint32_t factorDegree(uint32_t F) const {
+      return FactorOffset[F + 1] - FactorOffset[F];
+    }
+  };
+
+  /// The CSR layout, built on first use and cached; adding a variable or
+  /// factor invalidates it (setPrior does not). Not thread-safe: solvers
+  /// sharing one graph across threads must touch it once up front.
+  const EdgeLayout &edgeLayout() const;
+
+  /// Factors mentioning each variable, one entry per scope occurrence
+  /// (built lazily from the edge layout and cached alongside it).
   const std::vector<std::vector<uint32_t>> &varToFactors() const;
 
   /// Unnormalized joint weight of a full assignment (priors included).
@@ -86,6 +131,8 @@ public:
 private:
   std::vector<Variable> Vars;
   std::vector<Factor> Factors;
+  mutable EdgeLayout Layout;
+  mutable bool LayoutValid = false;
   mutable std::vector<std::vector<uint32_t>> VarFactorIndex;
   mutable bool IndexValid = false;
 };

@@ -7,19 +7,48 @@
 #include "support/Timer.h"
 
 #include <cmath>
+#include <limits>
 
 using namespace anek;
+
+namespace {
+
+/// Inline copy of clampProb for the kernel hot loops: identical
+/// arithmetic, but visible to the optimizer (the out-of-line call is
+/// measurable at two calls per edge per iteration).
+inline double clampFast(double P) {
+  constexpr double Eps = 1e-9;
+  if (P < Eps)
+    return Eps;
+  if (P > 1.0 - Eps)
+    return 1.0 - Eps;
+  return P;
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Loopy belief propagation
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-/// A Bernoulli message as P(true); P(false) = 1 - P(true).
-using Message = double;
-
-} // namespace
+//
+// The kernel runs over FactorGraph::EdgeLayout: one flat message slot per
+// (factor, scope position) edge, so both message directions live in two
+// contiguous double arrays indexed by edge id. Per iteration:
+//
+//  - Variable -> factor updates use prefix/suffix products of the
+//    incoming factor messages: all K outgoing messages of a degree-K
+//    variable cost O(K) total instead of the O(K^2) leave-one-out
+//    products of the nested-vector kernel.
+//  - Factor -> variable updates marginalize the whole table once: for
+//    each table entry, per-slot prefix/suffix weight products yield the
+//    leave-one-slot-out contribution of that entry to *every* outgoing
+//    message, so a degree-K factor costs O(2^K * K) per iteration
+//    instead of O(2^K * K^2).
+//  - Residual scheduling (Options::ResidualScheduling) skips the table
+//    sweep of factors whose inputs have not moved since their last
+//    update; a periodic full refresh bounds how long sub-threshold
+//    drift can go unnoticed. Skipping depends only on message values,
+//    never on timing, so results stay deterministic.
 
 Marginals SumProductSolver::solve(const FactorGraph &G,
                                   Marginals *GraphLikelihood,
@@ -27,32 +56,53 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
   Timer SolveTimer;
   const unsigned NumVars = G.variableCount();
   const unsigned NumFactors = G.factorCount();
+  const FactorGraph::EdgeLayout &L = G.edgeLayout();
+  const uint32_t NumEdges = L.edgeCount();
   // Fault 'bp-nonconverge': run normally but report the solve as not
   // converged, exactly as on a frustrated loopy graph.
   const bool ForcedNonConvergence =
       faults::anyActive() && faults::active(FaultKind::BpNonConvergence);
   bool DeadlineExpired = false;
 
-  // Edge layout: for each factor, one slot per scope position.
-  // VarToFactor[f][k] is the message Scope[k] -> factor f;
-  // FactorToVar[f][k] the reverse.
-  std::vector<std::vector<Message>> VarToFactor(NumFactors);
-  std::vector<std::vector<Message>> FactorToVar(NumFactors);
-  for (unsigned F = 0; F != NumFactors; ++F) {
-    size_t Degree = G.factor(F).Scope.size();
-    VarToFactor[F].assign(Degree, 0.5);
-    FactorToVar[F].assign(Degree, 0.5);
-  }
+  // Flat message arrays, both directions, indexed by edge id.
+  std::vector<double> VarToFactor(NumEdges, 0.5);
+  std::vector<double> FactorToVar(NumEdges, 0.5);
 
-  const auto &VarIndex = G.varToFactors();
-  // Positions of each variable within each adjacent factor's scope.
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> Adjacency(NumVars);
-  for (unsigned F = 0; F != NumFactors; ++F) {
-    const auto &Scope = G.factor(F).Scope;
-    for (uint32_t K = 0; K != Scope.size(); ++K)
-      Adjacency[Scope[K]].push_back({F, K});
-  }
-  (void)VarIndex;
+  // Scratch reused across iterations; sized once from the layout's
+  // degree bounds so the hot loops never allocate.
+  std::vector<double> InT(L.MaxVarDegree), InF(L.MaxVarDegree);
+  std::vector<double> SufT(L.MaxVarDegree + 1), SufF(L.MaxVarDegree + 1);
+  std::vector<double> MsgT(L.MaxFactorDegree), MsgF(L.MaxFactorDegree);
+  std::vector<double> PreW(L.MaxFactorDegree + 1),
+      SufW(L.MaxFactorDegree + 1);
+  std::vector<double> OutT(L.MaxFactorDegree), OutF(L.MaxFactorDegree);
+
+  // Residual-scheduling state. PendingIn accumulates the absolute change
+  // of a factor's incoming messages since its last table sweep (additive,
+  // so repeated sub-threshold nudges still trigger); LastOut is the max
+  // outgoing change of that sweep. The +inf seeds force every factor to
+  // run on the first iteration.
+  const double Inf = std::numeric_limits<double>::infinity();
+  std::vector<double> PendingIn(NumFactors, Inf);
+  std::vector<double> LastOut(NumFactors, Inf);
+  const double SkipTolerance = 0.5 * Opts.Tolerance;
+  uint64_t Updates = 0, Skipped = 0;
+
+  // Hot-loop constants and flat views, hoisted so the optimizer does not
+  // have to reload them past every message store: Options fields are
+  // doubles a double store could alias; Variable/Factor are
+  // string-padded structs whose stride wastes cache lines.
+  const double Damping = Opts.Damping;
+  const double OneMinusDamping = 1.0 - Opts.Damping;
+  const bool Scheduling = Opts.ResidualScheduling;
+  const uint32_t *VarEdges = L.VarEdges.data();
+  const uint32_t *EdgeFactor = L.EdgeFactor.data();
+  std::vector<double> Priors(NumVars);
+  for (unsigned V = 0; V != NumVars; ++V)
+    Priors[V] = G.variable(V).Prior;
+  std::vector<const double *> Tables(NumFactors);
+  for (unsigned F = 0; F != NumFactors; ++F)
+    Tables[F] = G.factor(F).Table.data();
 
   double Delta = 1.0;
   unsigned Iter = 0;
@@ -64,57 +114,117 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
     Delta = 0.0;
 
     // Variable -> factor messages: prior times incoming factor messages
-    // from all other adjacent factors.
+    // from all other adjacent factors, via prefix/suffix products.
     for (unsigned V = 0; V != NumVars; ++V) {
-      for (auto [F, K] : Adjacency[V]) {
-        double True = G.variable(V).Prior;
-        double False = 1.0 - True;
-        for (auto [F2, K2] : Adjacency[V]) {
-          if (F2 == F && K2 == K)
-            continue;
-          True *= clampProb(FactorToVar[F2][K2]);
-          False *= clampProb(1.0 - FactorToVar[F2][K2]);
-        }
-        double Sum = True + False;
-        double NewMsg = Sum > 0 ? True / Sum : 0.5;
-        NewMsg = (1.0 - Opts.Damping) * NewMsg +
-                 Opts.Damping * VarToFactor[F][K];
-        Delta = std::max(Delta, std::fabs(NewMsg - VarToFactor[F][K]));
-        VarToFactor[F][K] = NewMsg;
+      const uint32_t Begin = L.VarOffset[V];
+      const uint32_t Deg = L.VarOffset[V + 1] - Begin;
+      if (Deg == 0)
+        continue;
+      SufT[Deg] = SufF[Deg] = 1.0;
+      for (uint32_t I = Deg; I-- != 0;) {
+        const double In = FactorToVar[VarEdges[Begin + I]];
+        const double T = clampFast(In);
+        const double Fa = clampFast(1.0 - In);
+        InT[I] = T;
+        InF[I] = Fa;
+        SufT[I] = T * SufT[I + 1];
+        SufF[I] = Fa * SufF[I + 1];
       }
+      double PreT = Priors[V];
+      double PreF = 1.0 - PreT;
+      for (uint32_t I = 0; I != Deg; ++I) {
+        const uint32_t E = VarEdges[Begin + I];
+        const double True = PreT * SufT[I + 1];
+        const double False = PreF * SufF[I + 1];
+        const double Sum = True + False;
+        double NewMsg = Sum > 0 ? True / Sum : 0.5;
+        NewMsg = OneMinusDamping * NewMsg + Damping * VarToFactor[E];
+        const double Change = std::fabs(NewMsg - VarToFactor[E]);
+        Delta = std::max(Delta, Change);
+        VarToFactor[E] = NewMsg;
+        if (Scheduling)
+          PendingIn[EdgeFactor[E]] += Change;
+        PreT *= InT[I];
+        PreF *= InF[I];
+      }
+      Updates += Deg;
     }
 
-    // Factor -> variable messages: marginalize the table against incoming
-    // variable messages.
+    // Factor -> variable messages: one sweep over the table computes all
+    // outgoing messages. Factors whose inputs are quiet since an already
+    // sub-tolerance update are skipped (their outputs cannot move by
+    // more than a fraction of the tolerance) except on refresh rounds.
+    const bool Refresh =
+        Opts.RefreshInterval != 0 &&
+        (Iter % Opts.RefreshInterval) == Opts.RefreshInterval - 1;
     for (unsigned F = 0; F != NumFactors; ++F) {
-      const FactorGraph::Factor &Factor = G.factor(F);
-      const size_t Degree = Factor.Scope.size();
-      const size_t TableSize = Factor.Table.size();
-      for (uint32_t K = 0; K != Degree; ++K) {
-        double True = 0.0, False = 0.0;
+      if (Opts.ResidualScheduling && !Refresh &&
+          PendingIn[F] <= SkipTolerance && LastOut[F] <= Opts.Tolerance) {
+        ++Skipped;
+        continue;
+      }
+      const uint32_t Begin = L.FactorOffset[F];
+      const uint32_t Deg = L.FactorOffset[F + 1] - Begin;
+      const double *Table = Tables[F];
+      // Closed forms for the dominant shapes (unary evidence and
+      // pairwise equality factors); the general path is the single
+      // table sweep with per-slot prefix/suffix weight products. All
+      // three accumulate contributions in table-index order, so the
+      // specializations are float-for-float the general path.
+      if (Deg == 1) {
+        OutF[0] = Table[0];
+        OutT[0] = Table[1];
+      } else if (Deg == 2) {
+        const double M0T = VarToFactor[Begin];
+        const double M0F = 1.0 - M0T;
+        const double M1T = VarToFactor[Begin + 1];
+        const double M1F = 1.0 - M1T;
+        OutF[0] = Table[0] * M1F + Table[2] * M1T;
+        OutT[0] = Table[1] * M1F + Table[3] * M1T;
+        OutF[1] = Table[0] * M0F + Table[1] * M0T;
+        OutT[1] = Table[2] * M0F + Table[3] * M0T;
+      } else {
+        const size_t TableSize = size_t{1} << Deg;
+        for (uint32_t K = 0; K != Deg; ++K) {
+          MsgT[K] = VarToFactor[Begin + K];
+          MsgF[K] = 1.0 - MsgT[K];
+          OutT[K] = OutF[K] = 0.0;
+        }
         for (size_t Index = 0; Index != TableSize; ++Index) {
-          double Weight = Factor.Table[Index];
+          const double Weight = Table[Index];
           if (Weight == 0.0)
             continue;
-          for (uint32_t K2 = 0; K2 != Degree; ++K2) {
-            if (K2 == K)
-              continue;
-            bool Bit = (Index >> K2) & 1;
-            Weight *= Bit ? VarToFactor[F][K2]
-                          : 1.0 - VarToFactor[F][K2];
+          PreW[0] = Weight;
+          for (uint32_t K = 0; K != Deg; ++K)
+            PreW[K + 1] =
+                PreW[K] * (((Index >> K) & 1) ? MsgT[K] : MsgF[K]);
+          SufW[Deg] = 1.0;
+          for (uint32_t K = Deg; K-- != 0;)
+            SufW[K] =
+                SufW[K + 1] * (((Index >> K) & 1) ? MsgT[K] : MsgF[K]);
+          for (uint32_t K = 0; K != Deg; ++K) {
+            const double Contrib = PreW[K] * SufW[K + 1];
+            if ((Index >> K) & 1)
+              OutT[K] += Contrib;
+            else
+              OutF[K] += Contrib;
           }
-          if ((Index >> K) & 1)
-            True += Weight;
-          else
-            False += Weight;
         }
-        double Sum = True + False;
-        double NewMsg = Sum > 0 ? True / Sum : 0.5;
-        NewMsg = (1.0 - Opts.Damping) * NewMsg +
-                 Opts.Damping * FactorToVar[F][K];
-        Delta = std::max(Delta, std::fabs(NewMsg - FactorToVar[F][K]));
-        FactorToVar[F][K] = NewMsg;
       }
+      double MaxChange = 0.0;
+      for (uint32_t K = 0; K != Deg; ++K) {
+        const uint32_t E = Begin + K;
+        const double Sum = OutT[K] + OutF[K];
+        double NewMsg = Sum > 0 ? OutT[K] / Sum : 0.5;
+        NewMsg = OneMinusDamping * NewMsg + Damping * FactorToVar[E];
+        const double Change = std::fabs(NewMsg - FactorToVar[E]);
+        MaxChange = std::max(MaxChange, Change);
+        FactorToVar[E] = NewMsg;
+      }
+      Delta = std::max(Delta, MaxChange);
+      PendingIn[F] = 0.0;
+      LastOut[F] = MaxChange;
+      Updates += Deg;
     }
   }
   LastIterations = Iter;
@@ -124,6 +234,8 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
     Report->DeadlineExpired = DeadlineExpired;
     Report->Converged =
         !ForcedNonConvergence && !DeadlineExpired && Delta <= Opts.Tolerance;
+    Report->Updates = Updates;
+    Report->SkippedUpdates = Skipped;
   }
 
   // Beliefs: prior times all incoming factor messages.
@@ -134,17 +246,20 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
     double True = G.variable(V).Prior;
     double False = 1.0 - True;
     double GraphTrue = 1.0, GraphFalse = 1.0;
-    for (auto [F, K] : Adjacency[V]) {
-      True *= clampProb(FactorToVar[F][K]);
-      False *= clampProb(1.0 - FactorToVar[F][K]);
-      GraphTrue *= clampProb(FactorToVar[F][K]);
-      GraphFalse *= clampProb(1.0 - FactorToVar[F][K]);
+    for (uint32_t I = L.VarOffset[V]; I != L.VarOffset[V + 1]; ++I) {
+      const double In = FactorToVar[L.VarEdges[I]];
+      const double MsgTrue = clampProb(In);
+      const double MsgFalse = clampProb(1.0 - In);
+      True *= MsgTrue;
+      False *= MsgFalse;
+      GraphTrue *= MsgTrue;
+      GraphFalse *= MsgFalse;
       // Renormalize as we go so long products stay in range.
-      double Scale = GraphTrue + GraphFalse;
+      const double Scale = GraphTrue + GraphFalse;
       GraphTrue /= Scale;
       GraphFalse /= Scale;
     }
-    double Sum = True + False;
+    const double Sum = True + False;
     Result[V] = Sum > 0 ? True / Sum : 0.5;
     if (GraphLikelihood)
       (*GraphLikelihood)[V] = GraphTrue;
@@ -196,7 +311,8 @@ Expected<Marginals> ExactSolver::solve(const FactorGraph &G,
 
 std::optional<uint64_t>
 ExactSolver::countSatisfying(const FactorGraph &G, unsigned VarLimit,
-                             double Threshold) const {
+                             double Threshold,
+                             const Deadline &Budget) const {
   const unsigned NumVars = G.variableCount();
   if (NumVars > VarLimit || NumVars > 62)
     return std::nullopt; // The deterministic solver gives up: DNF.
@@ -204,6 +320,8 @@ ExactSolver::countSatisfying(const FactorGraph &G, unsigned VarLimit,
   std::vector<bool> Assignment(NumVars);
   const uint64_t Count = uint64_t{1} << NumVars;
   for (uint64_t Index = 0; Index != Count; ++Index) {
+    if ((Index & 0xFFF) == 0 && Budget.expired())
+      return std::nullopt; // Budget expired mid-enumeration: DNF.
     for (unsigned V = 0; V != NumVars; ++V)
       Assignment[V] = (Index >> V) & 1;
     bool Ok = true;
@@ -222,7 +340,7 @@ ExactSolver::countSatisfying(const FactorGraph &G, unsigned VarLimit,
 
 std::optional<Marginals>
 ExactSolver::solveLogical(const FactorGraph &G, unsigned VarLimit,
-                          double Threshold) const {
+                          double Threshold, const Deadline &Budget) const {
   const unsigned NumVars = G.variableCount();
   if (NumVars > VarLimit || NumVars > 62)
     return std::nullopt; // Too large: the deterministic solver gives up.
@@ -231,6 +349,8 @@ ExactSolver::solveLogical(const FactorGraph &G, unsigned VarLimit,
   std::vector<bool> Assignment(NumVars);
   const uint64_t Count = uint64_t{1} << NumVars;
   for (uint64_t Index = 0; Index != Count; ++Index) {
+    if ((Index & 0xFFF) == 0 && Budget.expired())
+      return std::nullopt; // Budget expired mid-enumeration: DNF.
     for (unsigned V = 0; V != NumVars; ++V)
       Assignment[V] = (Index >> V) & 1;
     bool Ok = true;
@@ -274,16 +394,33 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
     return {};
   }
   Rng Random(Opts.Seed);
-  const auto &VarIndex = G.varToFactors();
+  const FactorGraph::EdgeLayout &L = G.edgeLayout();
+  const unsigned NumFactors = G.factorCount();
 
   // Initialize from priors.
-  std::vector<bool> State(NumVars);
+  std::vector<uint8_t> State(NumVars);
   for (unsigned V = 0; V != NumVars; ++V)
     State[V] = Random.flip(G.variable(V).Prior);
+
+  // Incremental conditional evaluation: each factor's current table
+  // index is cached and maintained under flips (flipping V XORs V's
+  // slot bits into every adjacent factor's index), so a conditional
+  // weight is one table load per adjacent factor instead of an index
+  // rebuild over that factor's whole scope.
+  std::vector<uint32_t> CurIndex(NumFactors, 0);
+  for (uint32_t E = 0; E != L.edgeCount(); ++E)
+    if (State[L.EdgeVar[E]])
+      CurIndex[L.EdgeFactor[E]] |= L.EdgeSlotBit[E];
+  // Table base pointers are stable while the graph (and thus the cached
+  // layout) is unmodified.
+  std::vector<const double *> Tables(NumFactors);
+  for (uint32_t F = 0; F != NumFactors; ++F)
+    Tables[F] = G.factor(F).Table.data();
 
   std::vector<uint32_t> TrueCounts(NumVars, 0);
   unsigned Collected = 0;
   bool DeadlineExpired = false;
+  uint64_t Updates = 0;
   const unsigned Sweeps = Opts.BurnIn + Opts.Samples;
   unsigned Sweep = 0;
   for (; Sweep != Sweeps; ++Sweep) {
@@ -299,23 +436,31 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
         DeadlineExpired = true;
         break;
       }
-      // Conditional weight of X_V = b given the rest.
-      double Weight[2];
-      for (int B = 0; B != 2; ++B) {
-        State[V] = B;
-        double W = B ? G.variable(V).Prior : 1.0 - G.variable(V).Prior;
-        for (uint32_t F : VarIndex[V]) {
-          const FactorGraph::Factor &Factor = G.factor(F);
-          size_t Index = 0;
-          for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
-            if (State[Factor.Scope[Bit]])
-              Index |= size_t{1} << Bit;
-          W *= Factor.Table[Index];
-        }
-        Weight[B] = W;
+      // Conditional weight of X_V = b given the rest. EdgeVarMask covers
+      // every slot of V in the factor, so a factor whose scope repeats V
+      // still evaluates both occurrences at the same value (and, like
+      // the pre-CSR kernel, contributes one table load per occurrence).
+      double W0 = 1.0 - G.variable(V).Prior;
+      double W1 = G.variable(V).Prior;
+      for (uint32_t I = L.VarOffset[V]; I != L.VarOffset[V + 1]; ++I) {
+        const uint32_t E = L.VarEdges[I];
+        const uint32_t F = L.EdgeFactor[E];
+        const uint32_t Mask = L.EdgeVarMask[E];
+        const uint32_t Base = CurIndex[F] & ~Mask;
+        W0 *= Tables[F][Base];
+        W1 *= Tables[F][Base | Mask];
       }
-      double Sum = Weight[0] + Weight[1];
-      State[V] = Sum > 0 ? Random.flip(Weight[1] / Sum) : Random.flip(0.5);
+      ++Updates;
+      const double Sum = W0 + W1;
+      const bool NewBit =
+          Sum > 0 ? Random.flip(W1 / Sum) : Random.flip(0.5);
+      if (NewBit != static_cast<bool>(State[V])) {
+        State[V] = NewBit;
+        for (uint32_t I = L.VarOffset[V]; I != L.VarOffset[V + 1]; ++I) {
+          const uint32_t E = L.VarEdges[I];
+          CurIndex[L.EdgeFactor[E]] ^= L.EdgeSlotBit[E];
+        }
+      }
     }
     if (DeadlineExpired)
       break; // Do not sample a half-updated sweep.
@@ -341,6 +486,7 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
     // success.
     Report->Converged = Opts.Samples > 0 && Collected == Opts.Samples;
     Report->Residual = 0.0;
+    Report->Updates = Updates;
     Report->Seconds = SolveTimer.seconds();
   }
   return Result;

@@ -50,6 +50,13 @@ struct SolveReport {
   double Seconds = 0.0;
   /// True when the Deadline budget cut the solve short.
   bool DeadlineExpired = false;
+  /// Raw kernel work done: messages computed (BP) or single-variable
+  /// resampling steps (Gibbs). Updates / Seconds is the throughput the
+  /// bench suite tracks.
+  uint64_t Updates = 0;
+  /// Factor updates elided by residual scheduling (BP only): sweeps over
+  /// factors whose inputs had not moved since their last update.
+  uint64_t SkippedUpdates = 0;
 };
 
 /// Loopy belief propagation (sum-product) with a flooding schedule.
@@ -64,6 +71,17 @@ public:
     double Damping = 0.15;
     /// Wall-clock budget checked once per iteration (default unlimited).
     Deadline Budget;
+    /// Residual-driven factor scheduling: skip a factor's table sweep
+    /// when its incoming messages have accumulated less than half the
+    /// tolerance of change since its last update *and* that update
+    /// already moved its outgoing messages by at most the tolerance —
+    /// converged regions stop paying per-iteration cost. Skipping is a
+    /// pure function of message values, so it is deterministic.
+    bool ResidualScheduling = true;
+    /// Every RefreshInterval-th iteration recomputes every factor
+    /// regardless of residual, so sub-threshold drift cannot accumulate
+    /// unseen. 0 disables the periodic refresh.
+    unsigned RefreshInterval = 8;
   };
 
   SumProductSolver() = default;
@@ -106,22 +124,27 @@ public:
   /// Interprets every factor as a hard constraint (weight > Threshold
   /// means "satisfied") and counts satisfying assignments; the engine of
   /// the deterministic "Anek Logical" configuration. Returns std::nullopt
-  /// when the variable count exceeds \p VarLimit — the deterministic
-  /// analogue of the paper's Logical run that "ran out of memory before a
-  /// fixed point was reached" (DNF).
+  /// when the variable count exceeds \p VarLimit or \p Budget expires
+  /// mid-enumeration — the deterministic analogue of the paper's Logical
+  /// run that "ran out of memory before a fixed point was reached" (DNF).
   std::optional<uint64_t> countSatisfying(const FactorGraph &G,
                                           unsigned VarLimit,
-                                          double Threshold = 0.5) const;
+                                          double Threshold = 0.5,
+                                          const Deadline &Budget =
+                                              Deadline()) const;
 
   /// Deterministic-solutions marginals: the fraction of *satisfying*
   /// assignments (every factor weight > Threshold) in which each variable
   /// is true. Returns std::nullopt when the graph exceeds \p VarLimit
-  /// (DNF) or no assignment satisfies all constraints (a buggy program
-  /// makes the logical system unsatisfiable — exactly the failure mode
-  /// the paper's probabilistic encoding exists to avoid).
+  /// (DNF), \p Budget expires mid-enumeration, or no assignment satisfies
+  /// all constraints (a buggy program makes the logical system
+  /// unsatisfiable — exactly the failure mode the paper's probabilistic
+  /// encoding exists to avoid).
   std::optional<Marginals> solveLogical(const FactorGraph &G,
                                         unsigned VarLimit,
-                                        double Threshold = 0.5) const;
+                                        double Threshold = 0.5,
+                                        const Deadline &Budget =
+                                            Deadline()) const;
 };
 
 /// Gibbs sampling with a deterministic seed.

@@ -342,9 +342,13 @@ Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
                                                       : ""));
 
   // Stage 2: heavier damping and a longer leash tame most oscillations.
+  // The retry also turns residual scheduling off: a solve that already
+  // missed its contract should not skip any factor update, however
+  // quiet, while it hunts for the fixed point.
   SumProductSolver::Options Damped;
   Damped.Damping = 0.6;
   Damped.MaxIterations = BpOpts.MaxIterations * 2;
+  Damped.ResidualScheduling = false;
   Marginals DampedM = RunBp(Damped);
   if (Report.Solve.Converged)
     return DampedM;

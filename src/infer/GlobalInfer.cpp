@@ -269,9 +269,16 @@ LogicalResult anek::runLogicalInfer(Program &Prog, unsigned VarLimit,
   Result.TotalFactors = FG.factorCount();
   Result.Log2SearchSpace = static_cast<double>(FG.variableCount());
 
+  // The logical enumeration honors the same per-solve wall-clock budget
+  // as the probabilistic solvers; an expired budget is one more way the
+  // deterministic configuration DNFs.
+  Deadline Budget = Opts.SolveBudgetSeconds > 0.0
+                        ? Deadline::afterSeconds(Opts.SolveBudgetSeconds)
+                        : Deadline();
   Timer SolveTimer;
   ExactSolver Solver;
-  std::optional<Marginals> Solution = Solver.solveLogical(FG, VarLimit);
+  std::optional<Marginals> Solution =
+      Solver.solveLogical(FG, VarLimit, 0.5, Budget);
   Result.SolveSeconds = SolveTimer.seconds();
 
   if (!Solution) {
@@ -281,6 +288,10 @@ LogicalResult anek::runLogicalInfer(Program &Prog, unsigned VarLimit,
           "search space 2^%u assignments exceeds the enumeration budget "
           "of 2^%u (out of memory before a fixed point)",
           FG.variableCount(), VarLimit);
+    else if (Budget.expired())
+      Result.FailureReason = formatStr(
+          "enumeration budget of %.3gs expired before a fixed point",
+          Opts.SolveBudgetSeconds);
     else
       Result.FailureReason =
           "constraint system unsatisfiable (conflicting constraints)";

@@ -142,9 +142,11 @@ TEST_P(BpVsExactTest, CloseToExact) {
     EXPECT_NEAR(Bp[V], Exact[V], 0.2) << "var " << V;
   // Decisions (above/below 0.5) should nearly always agree when the
   // marginal is not borderline.
-  for (unsigned V = 0; V != NumVars; ++V)
-    if (std::fabs(Exact[V] - 0.5) > 0.15)
+  for (unsigned V = 0; V != NumVars; ++V) {
+    if (std::fabs(Exact[V] - 0.5) > 0.15) {
       EXPECT_EQ(Bp[V] > 0.5, Exact[V] > 0.5) << "var " << V;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BpVsExactTest, testing::Range(0, 20));

@@ -211,6 +211,34 @@ TEST_F(RobustnessTest, GibbsReturnsPartialEstimateOnExpiry) {
     EXPECT_TRUE(P >= 0.0 && P <= 1.0);
 }
 
+TEST_F(RobustnessTest, CountSatisfyingHonorsBudget) {
+  // A 20-variable graph is 2^20 assignments: far past the first budget
+  // poll, so an already-expired deadline must stop the count as a DNF
+  // instead of burning through the whole enumeration.
+  FactorGraph G;
+  for (int I = 0; I != 20; ++I)
+    G.addVariable(0.5);
+  ASSERT_TRUE(ExactSolver().countSatisfying(G, 24).has_value());
+  EXPECT_FALSE(ExactSolver()
+                   .countSatisfying(G, 24, 0.5, Deadline::afterSeconds(0.0))
+                   .has_value());
+  // The injected 'deadline' fault expires even an unlimited budget.
+  faults::ScopedFault Fault(FaultKind::DeadlineExpiry);
+  EXPECT_FALSE(ExactSolver().countSatisfying(G, 24).has_value());
+}
+
+TEST_F(RobustnessTest, SolveLogicalHonorsBudget) {
+  FactorGraph G;
+  for (int I = 0; I != 20; ++I)
+    G.addVariable(0.5);
+  ASSERT_TRUE(ExactSolver().solveLogical(G, 24).has_value());
+  EXPECT_FALSE(ExactSolver()
+                   .solveLogical(G, 24, 0.5, Deadline::afterSeconds(0.0))
+                   .has_value());
+  faults::ScopedFault Fault(FaultKind::DeadlineExpiry);
+  EXPECT_FALSE(ExactSolver().solveLogical(G, 24).has_value());
+}
+
 //===----------------------------------------------------------------------===//
 // Fallback cascade
 //===----------------------------------------------------------------------===//
