@@ -72,6 +72,7 @@ Score score(const InferOptions &Opts) {
 } // namespace
 
 int main() {
+  BenchTelemetry Telemetry("ablation_heuristics");
   struct Config {
     const char *Name;
     InferOptions Opts;

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "analysis/IrBuilder.h"
 #include "constraints/ConstraintGen.h"
 #include "corpus/ExampleSources.h"
@@ -122,5 +124,10 @@ BENCHMARK(BM_EndToEndInference)
     ->ArgNames({"solver"});
 
 } // namespace
+
+// BENCHMARK_MAIN supplies main, so the metrics emitter lives at
+// file scope: constructed before the registered benchmarks run,
+// flushed after they finish.
+static BenchTelemetry Telemetry("ablation_solvers");
 
 BENCHMARK_MAIN();

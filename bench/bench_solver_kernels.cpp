@@ -252,6 +252,12 @@ struct ConfigResult {
 } // namespace
 
 int main() {
+  BenchTelemetry Telemetry("solver_kernels");
+  // The timed kernel loops run with collection off: this bench's numbers
+  // double as the guard for the disabled-telemetry contract (one relaxed
+  // load per site), so an instrumentation regression shows up directly
+  // as lost throughput. Summary gauges are recorded after the loops.
+  telemetry::setTraceLevel(telemetry::TraceLevel::Off);
   std::puts("Solver kernel throughput: CSR kernels vs pre-CSR reference");
   rule();
   std::printf("%6s %4s %7s | %11s %11s %7s | %11s %11s %7s\n", "vars",
@@ -375,6 +381,16 @@ int main() {
   std::printf("marginal agreement: BP max |diff| %.2e, Gibbs max |diff| "
               "%.2e (Gibbs must be 0)\n",
               MaxBpDiff, MaxGibbsDiff);
+
+  telemetry::setTraceLevel(telemetry::TraceLevel::Phase);
+  telemetry::gauge("bench.solver_kernels.min_bp_speedup_deg8")
+      .set(MinBpSpeedup);
+  telemetry::gauge("bench.solver_kernels.min_gibbs_speedup_deg8")
+      .set(MinGibbsSpeedup);
+  telemetry::gauge("bench.solver_kernels.max_bp_marginal_diff")
+      .set(MaxBpDiff);
+  telemetry::gauge("bench.solver_kernels.max_gibbs_marginal_diff")
+      .set(MaxGibbsDiff);
 
   std::ofstream Json("bench_solver_kernels.json");
   Json << "{\n  \"bench\": \"solver_kernels\",\n"

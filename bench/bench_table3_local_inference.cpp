@@ -65,6 +65,7 @@ Measurement measure(unsigned Helpers) {
 } // namespace
 
 int main() {
+  BenchTelemetry Telemetry("table3_local_inference");
   const unsigned Headline = 768;
   Measurement Big = measure(Headline);
 

@@ -2,6 +2,9 @@
 
 #include "analysis/CallGraph.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -105,12 +108,19 @@ void CallGraph::scanStmt(MethodDecl *Caller, const Stmt *S) {
 }
 
 CallGraph::CallGraph(const Program &Prog) {
+  telemetry::Span S("analysis.callgraph", telemetry::TraceLevel::Phase,
+                    "analysis");
   for (const auto &Type : Prog.Types) {
     for (const auto &Method : Type->Methods) {
       AllMethods.push_back(Method.get());
       if (Method->Body)
         scanStmt(Method.get(), Method->Body.get());
     }
+  }
+  if (S.active()) {
+    S.arg("methods", static_cast<uint64_t>(AllMethods.size()));
+    S.arg("edges", static_cast<uint64_t>(NumEdges));
+    telemetry::counter("analysis.callgraph.edges").add(NumEdges);
   }
 }
 
@@ -129,6 +139,8 @@ CallGraph::callers(const MethodDecl *Callee) const {
 }
 
 std::vector<std::vector<MethodDecl *>> CallGraph::sccWaves() const {
+  telemetry::Span Span("analysis.sccwaves", telemetry::TraceLevel::Phase,
+                       "analysis");
   // Iterative Tarjan over callee edges. AllMethods and each callees()
   // vector are in deterministic (declaration/scan) order, so component
   // ids and the waves derived from them are too.

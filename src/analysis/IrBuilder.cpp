@@ -3,6 +3,8 @@
 #include "analysis/IrBuilder.h"
 
 #include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -474,6 +476,16 @@ MethodIr IrLowering::run() {
 
 MethodIr anek::lowerToIr(MethodDecl &Method) {
   assert(Method.Body && "cannot lower a bodiless method");
+  telemetry::Span S("analysis.ir", telemetry::TraceLevel::Method,
+                    "analysis");
   IrLowering Lowering(Method);
-  return Lowering.run();
+  MethodIr Ir = Lowering.run();
+  if (S.active()) {
+    S.arg("method", Method.qualifiedName());
+    S.arg("blocks", static_cast<uint64_t>(Ir.Blocks.size()));
+    telemetry::counter("analysis.ir.methods").add(1);
+    telemetry::histogram("analysis.ir.blocks")
+        .record(static_cast<double>(Ir.Blocks.size()));
+  }
+  return Ir;
 }

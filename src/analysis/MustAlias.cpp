@@ -2,6 +2,9 @@
 
 #include "analysis/MustAlias.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cassert>
 #include <map>
 
@@ -42,6 +45,12 @@ uint32_t MustAliasAnalysis::freshBaseFor(uint32_t Block) const {
 }
 
 MustAliasAnalysis::MustAliasAnalysis(const MethodIr &Ir) : Ir(Ir) {
+  telemetry::Span Span("analysis.alias", telemetry::TraceLevel::Method,
+                       "analysis");
+  if (Span.active() && Ir.Method)
+    Span.arg("method", Ir.Method->qualifiedName());
+  if (telemetry::enabled(telemetry::TraceLevel::Phase))
+    telemetry::counter("analysis.alias.runs").add(1);
   const size_t NumLocals = Ir.Locals.size();
   const size_t NumBlocks = Ir.Blocks.size();
 

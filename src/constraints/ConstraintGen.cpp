@@ -2,7 +2,9 @@
 
 #include "constraints/ConstraintGen.h"
 
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -296,6 +298,8 @@ static void generateHeuristics(GenContext &Ctx) {
 ConstraintStats anek::generateConstraints(const Pfg &P, FactorGraph &G,
                                           const PfgVarMap &Vars,
                                           const ConstraintOptions &Opts) {
+  telemetry::Span Span("constraints.generate",
+                       telemetry::TraceLevel::Method, "constraints");
   GenContext Ctx{P, G, Vars, Opts, {}};
 
   for (PfgNodeId N = 0; N != P.nodeCount(); ++N) {
@@ -324,5 +328,17 @@ ConstraintStats anek::generateConstraints(const Pfg &P, FactorGraph &G,
     }
   }
 
+  if (Span.active()) {
+    Span.arg("vars", G.variableCount());
+    Span.arg("factors", G.factorCount());
+    Span.arg("heuristic_factors", Ctx.Stats.HeuristicFactors);
+  }
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("constraints.runs").add(1);
+    telemetry::counter("constraints.variables").add(G.variableCount());
+    telemetry::counter("constraints.factors").add(G.factorCount());
+    telemetry::counter("constraints.heuristic_factors")
+        .add(Ctx.Stats.HeuristicFactors);
+  }
   return Ctx.Stats;
 }

@@ -4,7 +4,9 @@
 
 #include "support/FaultInject.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cmath>
 #include <limits>
@@ -54,6 +56,12 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
                                   Marginals *GraphLikelihood,
                                   SolveReport *Report) const {
   Timer SolveTimer;
+  // Telemetry gates, hoisted out of the message loops: when tracing is
+  // off each costs one relaxed load here and a dead branch below.
+  telemetry::Span SolveSpan("solver.bp", telemetry::TraceLevel::Method,
+                            "solver");
+  const bool TraceIters =
+      telemetry::enabled(telemetry::TraceLevel::Solver);
   const unsigned NumVars = G.variableCount();
   const unsigned NumFactors = G.factorCount();
   const FactorGraph::EdgeLayout &L = G.edgeLayout();
@@ -111,6 +119,9 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
       DeadlineExpired = true;
       break;
     }
+    if (TraceIters && Iter != 0)
+      telemetry::counterSample("bp.residual", telemetry::TraceLevel::Solver,
+                               "solver", "residual", Delta);
     Delta = 0.0;
 
     // Variable -> factor messages: prior times incoming factor messages
@@ -228,14 +239,45 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
     }
   }
   LastIterations = Iter;
+  const bool Converged =
+      !ForcedNonConvergence && !DeadlineExpired && Delta <= Opts.Tolerance;
   if (Report) {
     Report->Iterations = Iter;
     Report->Residual = Delta;
     Report->DeadlineExpired = DeadlineExpired;
-    Report->Converged =
-        !ForcedNonConvergence && !DeadlineExpired && Delta <= Opts.Tolerance;
+    Report->Converged = Converged;
     Report->Updates = Updates;
     Report->SkippedUpdates = Skipped;
+    Report->Reason.clear();
+    if (!Converged)
+      Report->Reason = formatStr(
+          "residual %.2g after %u iterations%s%s", Delta, Iter,
+          DeadlineExpired ? ", budget expired" : "",
+          ForcedNonConvergence ? ", injected non-convergence" : "");
+  }
+  if (TraceIters)
+    telemetry::counterSample("bp.residual", telemetry::TraceLevel::Solver,
+                             "solver", "residual", Delta);
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("solver.bp.solves").add(1);
+    telemetry::counter("solver.bp.messages").add(Updates);
+    telemetry::counter("solver.bp.skipped_updates").add(Skipped);
+    if (!Converged)
+      telemetry::counter("solver.bp.nonconverged").add(1);
+    telemetry::histogram("solver.bp.iterations")
+        .record(static_cast<double>(Iter));
+    telemetry::histogram("solver.bp.residual").record(Delta);
+    telemetry::histogram("solver.bp.seconds").record(SolveTimer.seconds());
+  }
+  if (SolveSpan.active()) {
+    SolveSpan.arg("vars", NumVars);
+    SolveSpan.arg("factors", NumFactors);
+    SolveSpan.arg("iters", Iter);
+    SolveSpan.arg("residual", Delta);
+    SolveSpan.argBool("converged", Converged);
+    SolveSpan.arg("messages", Updates);
+    if (!Opts.Budget.unlimited())
+      SolveSpan.arg("budget_remaining_s", Opts.Budget.remainingSeconds());
   }
 
   // Beliefs: prior times all incoming factor messages.
@@ -275,7 +317,16 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
 
 Expected<Marginals> ExactSolver::solve(const FactorGraph &G,
                                        const Deadline &Budget) const {
+  telemetry::Span SolveSpan("solver.exact", telemetry::TraceLevel::Method,
+                            "solver");
   const unsigned NumVars = G.variableCount();
+  if (SolveSpan.active())
+    SolveSpan.arg("vars", NumVars);
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("solver.exact.solves").add(1);
+    telemetry::histogram("solver.exact.vars")
+        .record(static_cast<double>(NumVars));
+  }
   if (NumVars > MaxVariables)
     return Status::error(
         ErrorCode::ResourceExhausted,
@@ -385,11 +436,15 @@ ExactSolver::solveLogical(const FactorGraph &G, unsigned VarLimit,
 Marginals GibbsSolver::solve(const FactorGraph &G,
                              SolveReport *Report) const {
   Timer SolveTimer;
+  telemetry::Span SolveSpan("solver.gibbs", telemetry::TraceLevel::Method,
+                            "solver");
   const unsigned NumVars = G.variableCount();
   if (NumVars == 0) {
     if (Report) {
       *Report = SolveReport();
       Report->Converged = Opts.Samples > 0;
+      if (!Report->Converged)
+        Report->Reason = "no samples requested (Samples == 0)";
     }
     return {};
   }
@@ -422,12 +477,18 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
   bool DeadlineExpired = false;
   uint64_t Updates = 0;
   const unsigned Sweeps = Opts.BurnIn + Opts.Samples;
+  const bool TraceSweeps =
+      telemetry::enabled(telemetry::TraceLevel::Solver);
   unsigned Sweep = 0;
   for (; Sweep != Sweeps; ++Sweep) {
     if (Opts.Budget.expired(Sweep)) {
       DeadlineExpired = true;
       break;
     }
+    if (TraceSweeps && (Sweep & 0xFF) == 0)
+      telemetry::counterSample("gibbs.progress",
+                               telemetry::TraceLevel::Solver, "solver",
+                               "sweep", static_cast<double>(Sweep));
     for (unsigned V = 0; V != NumVars; ++V) {
       // On large graphs a single sweep can outlast the whole budget, so
       // re-check the wall clock every 64 variables; small graphs keep
@@ -478,16 +539,52 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
     for (unsigned V = 0; V != NumVars; ++V)
       Result[V] = static_cast<double>(TrueCounts[V]) /
                   static_cast<double>(Collected);
+  // Samples == 0 collects nothing by construction: that is a
+  // non-convergent run over uninformative marginals, not a vacuous
+  // success.
+  const bool Converged = Opts.Samples > 0 && Collected == Opts.Samples;
   if (Report) {
     Report->Iterations = Sweep;
     Report->DeadlineExpired = DeadlineExpired;
-    // Samples == 0 collects nothing by construction: that is a
-    // non-convergent run over uninformative marginals, not a vacuous
-    // success.
-    Report->Converged = Opts.Samples > 0 && Collected == Opts.Samples;
+    Report->Converged = Converged;
     Report->Residual = 0.0;
     Report->Updates = Updates;
     Report->Seconds = SolveTimer.seconds();
+    Report->Reason.clear();
+    if (!Converged) {
+      // Every non-convergent outcome names its cause, so the cascade's
+      // Diagnostics and the trace agree on why the stage was abandoned
+      // (including the Samples == 0 degenerate request, which used to
+      // surface as a reasonless "Samples == 0" non-convergence).
+      if (Opts.Samples == 0)
+        Report->Reason = "no samples requested (Samples == 0)";
+      else
+        Report->Reason = formatStr(
+            "deadline expired after %u of %u sweeps, %u/%u samples "
+            "collected",
+            Sweep, Sweeps, Collected, Opts.Samples);
+    }
+  }
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("solver.gibbs.solves").add(1);
+    telemetry::counter("solver.gibbs.flips").add(Updates);
+    if (!Converged)
+      telemetry::counter("solver.gibbs.nonconverged").add(1);
+    telemetry::histogram("solver.gibbs.sweeps")
+        .record(static_cast<double>(Sweep));
+    telemetry::histogram("solver.gibbs.samples")
+        .record(static_cast<double>(Collected));
+    telemetry::histogram("solver.gibbs.seconds")
+        .record(SolveTimer.seconds());
+  }
+  if (SolveSpan.active()) {
+    SolveSpan.arg("vars", NumVars);
+    SolveSpan.arg("sweeps", Sweep);
+    SolveSpan.arg("samples", Collected);
+    SolveSpan.arg("flips", Updates);
+    SolveSpan.argBool("converged", Converged);
+    if (!Opts.Budget.unlimited())
+      SolveSpan.arg("budget_remaining_s", Opts.Budget.remainingSeconds());
   }
   return Result;
 }

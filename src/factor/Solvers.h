@@ -57,6 +57,12 @@ struct SolveReport {
   /// Factor updates elided by residual scheduling (BP only): sweeps over
   /// factors whose inputs had not moved since their last update.
   uint64_t SkippedUpdates = 0;
+  /// Why the solver missed its convergence contract, in the solver's own
+  /// words ("deadline expired after 3 of 2200 sweeps, 0/2000 samples
+  /// collected"); empty when Converged. The fallback cascade threads
+  /// this into MethodReport::Reason, so Diagnostics and traces agree on
+  /// why a stage was abandoned.
+  std::string Reason;
 };
 
 /// Loopy belief propagation (sum-product) with a flooding schedule.

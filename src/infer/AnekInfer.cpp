@@ -8,9 +8,11 @@
 #include "pfg/PfgBuilder.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -84,11 +86,23 @@ std::vector<double> transformPrior(std::vector<double> P,
   return P;
 }
 
-/// Appends one cascade decision to a report's reason trail.
+/// Appends one cascade decision to a report's reason trail and mirrors it
+/// into the trace, so `--report` output and a Perfetto view of the same
+/// run tell one story.
 void appendReason(MethodReport &Report, std::string Why) {
+  if (telemetry::enabled(telemetry::TraceLevel::Solver))
+    telemetry::instant("cascade.transition", telemetry::TraceLevel::Solver,
+                       "infer",
+                       "\"reason\":" + telemetry::jsonQuote(Why));
   if (!Report.Reason.empty())
     Report.Reason += "; ";
   Report.Reason += std::move(Why);
+}
+
+/// Counts one cascade stage entry (Phase-level metrics).
+void countCascadeStage(const char *Stage) {
+  if (telemetry::enabled(telemetry::TraceLevel::Phase))
+    telemetry::counter(std::string("cascade.stage.") + Stage).add(1);
 }
 
 /// The engine behind runAnekInfer.
@@ -334,12 +348,11 @@ Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
     return M;
 
   Report.Fallback = true;
+  // The solver names its own failure (SolveReport::Reason); the cascade
+  // only adds which stage it is leaving.
   appendReason(Report,
-               formatStr("bp missed convergence (residual %.2g after %u "
-                         "iterations%s)",
-                         Report.Solve.Residual, Report.Solve.Iterations,
-                         Report.Solve.DeadlineExpired ? ", budget expired"
-                                                      : ""));
+               "bp missed convergence (" + Report.Solve.Reason + ")");
+  countCascadeStage("damped_bp");
 
   // Stage 2: heavier damping and a longer leash tame most oscillations.
   // The retry also turns residual scheduling off: a solve that already
@@ -369,16 +382,26 @@ Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
   appendReason(Report, formatStr("damped bp retry missed convergence "
                                  "(residual %.2g)",
                                  Report.Solve.Residual));
+  countCascadeStage("gibbs");
 
   // Stage 3: seeded Gibbs does not depend on message convergence at all.
   Marginals GibbsM = RunGibbs();
   if (Report.Solve.Converged)
     return GibbsM;
   bool GibbsCollectedSome = Report.Solve.Iterations > 0;
-  appendReason(Report, "gibbs chain cut short");
+  // Thread the sampler's own reason through: before SolveReport carried
+  // one, a Samples == 0 non-convergence left this stage reasonless in
+  // the trail, so Diagnostics and traces disagreed on why Gibbs was
+  // abandoned.
+  appendReason(Report, "gibbs chain cut short (" +
+                           (Report.Solve.Reason.empty()
+                                ? std::string("no reason reported")
+                                : Report.Solve.Reason) +
+                           ")");
 
   // Stage 4: exact enumeration when the graph is small enough.
   if (G.variableCount() <= ExactSolver::MaxVariables) {
+    countCascadeStage("exact");
     Expected<Marginals> ExactM = RunExact();
     if (ExactM)
       return ExactM;
@@ -389,6 +412,8 @@ Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
   // Gibbs estimate when any samples were collected, else the damped
   // (unconverged) BP beliefs. Still a usable approximation, and the
   // report says exactly how it was obtained.
+  if (telemetry::enabled(telemetry::TraceLevel::Phase))
+    telemetry::counter("cascade.kept_degraded").add(1);
   if (GibbsCollectedSome) {
     appendReason(Report, "using partial gibbs estimate");
     return GibbsM;
@@ -534,7 +559,11 @@ InferResult InferEngine::run() {
   // Phase 1 (Figure 9 lines 2-6): initialize variables, models, worklist.
   // Model construction is isolated per method: one body the lowering
   // chokes on must not take whole-program inference down with it.
+  telemetry::Span Phase1("infer.phase1.models", telemetry::TraceLevel::Phase,
+                         "infer");
   std::vector<MethodDecl *> Bodies = Prog.methodsWithBodies();
+  if (Phase1.active())
+    Phase1.arg("methods", static_cast<uint64_t>(Bodies.size()));
   for (MethodDecl *M : Bodies) {
     try {
       MethodData MD;
@@ -559,6 +588,8 @@ InferResult InferEngine::run() {
                         MethodSummary::forMethod(*M, Opts.SpecHi,
                                                  Opts.SpecLo));
 
+  Phase1.close();
+
   unsigned MaxIters =
       Opts.MaxIters ? Opts.MaxIters
                     : static_cast<unsigned>(3 * Bodies.size());
@@ -571,12 +602,17 @@ InferResult InferEngine::run() {
   // isolated: it keeps its conservative default summary (declared priors
   // only), a buffered diagnostic records why, and the schedule moves on
   // so every other method still gets a spec.
+  telemetry::Span Phase2("infer.phase2.waves", telemetry::TraceLevel::Phase,
+                         "infer");
   std::vector<std::vector<MethodDecl *>> Waves = Graph.sccWaves();
   unsigned JobCount =
       Opts.Parallelism ? Opts.Parallelism : ThreadPool::defaultParallelism();
   std::unique_ptr<ThreadPool> Pool;
   if (JobCount > 1)
     Pool = std::make_unique<ThreadPool>(JobCount);
+  if (telemetry::enabled(telemetry::TraceLevel::Phase))
+    telemetry::gauge("infer.parallelism")
+        .set(static_cast<double>(JobCount));
 
   std::set<MethodDecl *, DeclIndexLess> Dirty;
   std::set<MethodDecl *, DeclIndexLess> FailedMethods;
@@ -589,8 +625,10 @@ InferResult InferEngine::run() {
   // which round or wave a method happened to fail in.
   MethodDeclMap<std::string> BufferedWarnings;
 
+  unsigned Round = 0, WaveIndex = 0;
   while (!Dirty.empty() && Result.WorklistPicks < MaxIters) {
     bool AnyRun = false;
+    ++Round;
     for (const auto &Wave : Waves) {
       // The wave is already in declaration order; so is the batch.
       std::vector<MethodDecl *> Batch;
@@ -606,9 +644,35 @@ InferResult InferEngine::run() {
       Result.WorklistPicks += static_cast<unsigned>(Batch.size());
       AnyRun = true;
 
+      telemetry::Span WaveSpan("infer.wave", telemetry::TraceLevel::Phase,
+                               "infer");
+      if (WaveSpan.active()) {
+        WaveSpan.arg("round", Round);
+        WaveSpan.arg("wave", WaveIndex);
+        WaveSpan.arg("methods", static_cast<uint64_t>(Batch.size()));
+        telemetry::counter("infer.waves").add(1);
+      }
+      ++WaveIndex;
+
       // Build + solve every job in the batch against the frozen store.
+      // Each job wraps itself in a method span that records where its
+      // wall-clock went: time spent queued behind other jobs (wait_us,
+      // measured from wave dispatch to job start) vs. time actually
+      // analyzing (the span duration).
+      const int64_t DispatchUs =
+          telemetry::enabled() ? telemetry::nowUs() : 0;
       std::vector<MethodOutcome> Outcomes(Batch.size());
       parallelFor(Pool.get(), Batch.size(), [&](size_t I) {
+        telemetry::Span JobSpan("infer.method",
+                                telemetry::TraceLevel::Method, "infer");
+        int64_t WaitUs = 0;
+        if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+          WaitUs = telemetry::nowUs() - DispatchUs;
+          telemetry::histogram("infer.queue_wait_us")
+              .record(static_cast<double>(WaitUs));
+        }
+        const int64_t RunStartUs =
+            telemetry::enabled() ? telemetry::nowUs() : 0;
         try {
           Outcomes[I] = analyzeOne(Batch[I]);
         } catch (const std::exception &E) {
@@ -616,9 +680,28 @@ InferResult InferEngine::run() {
           Outcomes[I].Error =
               Status::error(ErrorCode::Internal, E.what()).str();
         }
+        if (telemetry::enabled(telemetry::TraceLevel::Phase))
+          telemetry::histogram("infer.method_run_us")
+              .record(static_cast<double>(telemetry::nowUs() - RunStartUs));
+        if (JobSpan.active()) {
+          const MethodOutcome &Out = Outcomes[I];
+          JobSpan.arg("method", Batch[I]->qualifiedName());
+          JobSpan.arg("wait_us", WaitUs);
+          if (Out.Failed) {
+            JobSpan.argBool("failed", true);
+          } else {
+            JobSpan.arg("vars", Out.Variables);
+            JobSpan.arg("factors", Out.Factors);
+            JobSpan.arg("solver", solverChoiceName(Out.Report.Used));
+            JobSpan.argBool("fallback", Out.Report.Fallback);
+          }
+        }
       });
 
       // Merge, in declaration (= batch) order, on this thread only.
+      telemetry::Span MergeSpan("infer.merge", telemetry::TraceLevel::Phase,
+                                "infer");
+      unsigned MergedUpdates = 0, Requeued = 0;
       for (size_t I = 0; I != Batch.size(); ++I) {
         MethodDecl *M = Batch[I];
         MethodOutcome &Out = Outcomes[I];
@@ -652,11 +735,13 @@ InferResult InferEngine::run() {
         for (PendingUpdate &U : Out.Updates) {
           if (!U.DebugLine.empty())
             std::fprintf(stderr, "evidence %s\n", U.DebugLine.c_str());
+          ++MergedUpdates;
           double Delta =
               U.IsSelf ? U.Target->setSelfOdds(std::move(U.Odds))
                        : U.Target->setSiteOdds(U.Site, std::move(U.Odds));
           if (Delta <= Opts.SummaryTolerance)
             continue;
+          ++Requeued;
           auto MarkDirty = [&](MethodDecl *T) {
             if (Data.count(T) && !FailedMethods.count(T))
               Dirty.insert(T);
@@ -666,6 +751,12 @@ InferResult InferEngine::run() {
             MarkDirty(Caller);
         }
       }
+      if (MergeSpan.active()) {
+        MergeSpan.arg("updates", MergedUpdates);
+        MergeSpan.arg("requeued", Requeued);
+      }
+      if (telemetry::enabled(telemetry::TraceLevel::Phase))
+        telemetry::counter("infer.summary_updates").add(MergedUpdates);
       if (Result.WorklistPicks >= MaxIters)
         break;
     }
@@ -676,6 +767,12 @@ InferResult InferEngine::run() {
     if (Diags)
       Diags->warning(M->Loc, Message);
   Result.MethodsAnalyzed = static_cast<unsigned>(Bodies.size());
+  if (Phase2.active())
+    Phase2.arg("picks", Result.WorklistPicks);
+  Phase2.close();
+
+  telemetry::Span Phase3("infer.phase3.extract",
+                         telemetry::TraceLevel::Phase, "infer");
 
   // Phase 3 (lines 22-29): extract deterministic specifications. A failed
   // method is conservatively silent: no inferred spec beats a spec built
@@ -701,6 +798,17 @@ InferResult InferEngine::run() {
   for (auto &[M, Summary] : Summaries)
     Result.Summaries.emplace(M, Summary);
   Result.Reports = Reports;
+  if (Phase3.active())
+    Phase3.arg("inferred", static_cast<uint64_t>(Result.Inferred.size()));
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("infer.worklist_picks").add(Result.WorklistPicks);
+    telemetry::counter("infer.methods_analyzed")
+        .add(Result.MethodsAnalyzed);
+    telemetry::counter("infer.methods_failed").add(Result.MethodsFailed);
+    telemetry::counter("infer.fallback_solves").add(Result.FallbackSolves);
+    telemetry::counter("infer.specs_inferred")
+        .add(Result.Inferred.size());
+  }
   return Result;
 }
 

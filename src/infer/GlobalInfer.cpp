@@ -8,6 +8,7 @@
 #include "support/FaultInject.h"
 #include "support/Format.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cmath>
 #include <stdexcept>
@@ -185,12 +186,18 @@ extractAll(const std::vector<MethodModel> &Models, const Marginals &Solution,
 
 GlobalResult anek::runGlobalInfer(Program &Prog, const InferOptions &Opts,
                                   DiagnosticEngine *Diags) {
+  telemetry::Span Span("global.infer", telemetry::TraceLevel::Phase,
+                       "infer");
   GlobalResult Result;
   FactorGraph FG;
   std::vector<MethodModel> Models =
       buildJointGraph(Prog, FG, Opts, Diags, &Result.MethodsFailed);
   Result.TotalVariables = FG.variableCount();
   Result.TotalFactors = FG.factorCount();
+  if (Span.active()) {
+    Span.arg("vars", Result.TotalVariables);
+    Span.arg("factors", Result.TotalFactors);
+  }
 
   Deadline Budget = Opts.SolveBudgetSeconds > 0.0
                         ? Deadline::afterSeconds(Opts.SolveBudgetSeconds)

@@ -2,6 +2,9 @@
 
 #include "lang/Lexer.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cassert>
 #include <cctype>
 #include <unordered_map>
@@ -185,6 +188,11 @@ void Lexer::skipTrivia() {
 }
 
 Token Lexer::lexToken() {
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    static telemetry::Counter &Tokens =
+        telemetry::counter("frontend.tokens");
+    Tokens.add(1);
+  }
   skipTrivia();
   Token Tok;
   Tok.Loc = here();

@@ -3,6 +3,7 @@
 #include "lang/Sema.h"
 
 #include "lang/Parser.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -488,10 +489,24 @@ bool anek::runSema(Program &Prog, DiagnosticEngine &Diags) {
 
 std::unique_ptr<Program> anek::parseAndAnalyze(const std::string &Source,
                                                DiagnosticEngine &Diags) {
-  std::unique_ptr<Program> Prog = Parser::parse(Source, Diags);
+  std::unique_ptr<Program> Prog;
+  {
+    // Lexing is interleaved with parsing (the parser pulls tokens on
+    // demand), so this span covers both; frontend.tokens counts the lex
+    // side on its own.
+    telemetry::Span S("frontend.parse", telemetry::TraceLevel::Phase,
+                      "frontend");
+    if (S.active())
+      S.arg("bytes", static_cast<uint64_t>(Source.size()));
+    Prog = Parser::parse(Source, Diags);
+  }
   if (Diags.hasErrors())
     return nullptr;
+  telemetry::Span S("frontend.sema", telemetry::TraceLevel::Phase,
+                    "frontend");
   if (!runSema(*Prog, Diags))
     return nullptr;
+  if (S.active())
+    S.arg("types", static_cast<uint64_t>(Prog->Types.size()));
   return Prog;
 }

@@ -2,6 +2,9 @@
 
 #include "pfg/PfgBuilder.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cassert>
 #include <map>
 
@@ -380,6 +383,22 @@ Pfg Builder::run() {
 
 Pfg anek::buildPfg(const MethodIr &Ir) {
   assert(Ir.Method && "IR without method");
+  telemetry::Span S("pfg.build", telemetry::TraceLevel::Method, "pfg");
   Builder B(Ir);
-  return B.run();
+  Pfg G = B.run();
+  if (S.active()) {
+    S.arg("method", Ir.Method->qualifiedName());
+    S.arg("nodes", G.nodeCount());
+    S.arg("edges", G.edgeCount());
+    S.arg("call_sites", static_cast<uint64_t>(G.CallSites.size()));
+  }
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("pfg.builds").add(1);
+    telemetry::counter("pfg.nodes").add(G.nodeCount());
+    telemetry::counter("pfg.edges").add(G.edgeCount());
+    telemetry::counter("pfg.call_sites").add(G.CallSites.size());
+    telemetry::histogram("pfg.nodes_per_method")
+        .record(static_cast<double>(G.nodeCount()));
+  }
+  return G;
 }

@@ -1,0 +1,174 @@
+//===- Metrics.cpp - Named counters, gauges and histograms -----------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Trace.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace anek;
+using namespace anek::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+void Histogram::record(double Sample) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  double Cur = Min.load(std::memory_order_relaxed);
+  while (Sample < Cur &&
+         !Min.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Max.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::min() const {
+  return count() ? Min.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() ? Max.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::mean() const {
+  uint64_t N = count();
+  return N ? sum() / static_cast<double>(N) : 0.0;
+}
+
+void Histogram::reset() {
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0.0, std::memory_order_relaxed);
+  Min.store(std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+  Max.store(-std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// std::map keeps names sorted, giving the exporter its stable key order
+/// for free. Entries are never erased, so references handed out by the
+/// lookup functions stay valid for the process lifetime.
+struct MetricsRegistry {
+  std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+MetricsRegistry &registry() {
+  static MetricsRegistry *R = new MetricsRegistry(); // Never destroyed:
+  return *R; // cached references must survive static teardown.
+}
+
+template <typename T>
+T &lookup(std::map<std::string, std::unique_ptr<T>> &Map,
+          const std::string &Name, std::mutex &Mutex) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<T> &Slot = Map[Name];
+  if (!Slot)
+    Slot = std::make_unique<T>();
+  return *Slot;
+}
+
+} // namespace
+
+Counter &anek::telemetry::counter(const std::string &Name) {
+  MetricsRegistry &R = registry();
+  return lookup(R.Counters, Name, R.Mutex);
+}
+
+Gauge &anek::telemetry::gauge(const std::string &Name) {
+  MetricsRegistry &R = registry();
+  return lookup(R.Gauges, Name, R.Mutex);
+}
+
+Histogram &anek::telemetry::histogram(const std::string &Name) {
+  MetricsRegistry &R = registry();
+  return lookup(R.Histograms, Name, R.Mutex);
+}
+
+//===----------------------------------------------------------------------===//
+// Export
+//===----------------------------------------------------------------------===//
+
+std::string anek::telemetry::metricsJson() {
+  MetricsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out;
+  Out += "{\n  \"schema\": \"anek-metrics-v1\",\n";
+  Out += "  \"traceLevel\": ";
+  Out += jsonQuote(traceLevelName(traceLevel()));
+  Out += ",\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : R.Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + jsonQuote(Name) + ": " +
+           std::to_string(static_cast<unsigned long long>(C->value()));
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : R.Gauges) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + jsonQuote(Name) + ": " + jsonNumber(G->value());
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : R.Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + jsonQuote(Name) + ": {\"count\": " +
+           std::to_string(static_cast<unsigned long long>(H->count())) +
+           ", \"sum\": " + jsonNumber(H->sum()) +
+           ", \"min\": " + jsonNumber(H->min()) +
+           ", \"max\": " + jsonNumber(H->max()) +
+           ", \"mean\": " + jsonNumber(H->mean()) + "}";
+  }
+  Out += First ? "}\n" : "\n  }\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool anek::telemetry::writeMetricsFile(const std::string &Path,
+                                       std::string *Error) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << metricsJson();
+  Out.flush();
+  if (!Out) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+void anek::telemetry::resetMetricsForTest() {
+  MetricsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (auto &[Name, C] : R.Counters)
+    C->reset();
+  for (auto &[Name, G] : R.Gauges)
+    G->reset();
+  for (auto &[Name, H] : R.Histograms)
+    H->reset();
+}

@@ -13,6 +13,12 @@
 // hardware thread; 1 = fully sequential). Output is byte-identical for
 // every N.
 //
+// --trace FILE writes a Chrome trace_event JSON timeline (load it in
+// chrome://tracing or ui.perfetto.dev); --metrics FILE writes the flat
+// anek-metrics-v1 counters document. Either implies --trace-level solver
+// unless --trace-level {off,phase,method,solver} narrows the collection.
+// Telemetry never changes the inferred specs (see DESIGN.md, Telemetry).
+//
 // Built-in examples: spreadsheet, file, field.
 //
 // Exit codes (the driver contract, see DESIGN.md):
@@ -32,9 +38,12 @@
 #include "plural/Checker.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <sstream>
@@ -52,8 +61,47 @@ void usage() {
   std::fputs("usage: anek <infer|check|verify|pfg|ir> "
              "<file.mjava | --example spreadsheet|file|field> "
              "[--dot] [--method NAME] [--report] [--fault SPEC] "
-             "[--jobs N | -j N]\n",
+             "[--jobs N | -j N] [--trace FILE] [--metrics FILE] "
+             "[--trace-level off|phase|method|solver]\n",
              stderr);
+}
+
+/// Writes the requested telemetry artifacts when the driver exits through
+/// any path (success, diagnostics, even an exception unwinding through
+/// run()); a partial trace of a failed run is exactly when you want one.
+class TelemetryFlusher {
+public:
+  std::string TracePath;
+  std::string MetricsPath;
+
+  ~TelemetryFlusher() {
+    std::string Error;
+    if (!TracePath.empty() &&
+        !telemetry::writeChromeTrace(TracePath, &Error))
+      std::fprintf(stderr, "anek: %s\n", Error.c_str());
+    if (!MetricsPath.empty() &&
+        !telemetry::writeMetricsFile(MetricsPath, &Error))
+      std::fprintf(stderr, "anek: %s\n", Error.c_str());
+  }
+};
+
+/// Splits "--flag=value" and "--flag value" into a value; false when the
+/// flag does not match or the value is missing.
+bool flagValue(const std::vector<std::string> &Args, size_t &I,
+               const char *Flag, std::string &Out) {
+  const std::string &Arg = Args[I];
+  size_t FlagLen = std::strlen(Flag);
+  if (Arg.compare(0, FlagLen, Flag) != 0)
+    return false;
+  if (Arg.size() > FlagLen && Arg[FlagLen] == '=') {
+    Out = Arg.substr(FlagLen + 1);
+    return true;
+  }
+  if (Arg.size() == FlagLen && I + 1 < Args.size()) {
+    Out = Args[++I];
+    return true;
+  }
+  return false;
 }
 
 bool loadSource(const std::string &Arg, bool IsExample, std::string &Out) {
@@ -125,7 +173,31 @@ int run(int Argc, char **Argv) {
   // value produce byte-identical output, so auto is a safe default.
   unsigned Jobs = 0;
   std::string MethodFilter;
+  TelemetryFlusher Telemetry;
+  bool HaveTraceLevel = false;
   for (size_t I = 1; I < Args.size(); ++I) {
+    std::string Value;
+    if (flagValue(Args, I, "--trace", Value)) {
+      Telemetry.TracePath = Value;
+      continue;
+    }
+    if (flagValue(Args, I, "--metrics", Value)) {
+      Telemetry.MetricsPath = Value;
+      continue;
+    }
+    if (flagValue(Args, I, "--trace-level", Value)) {
+      telemetry::TraceLevel Level;
+      if (!telemetry::parseTraceLevel(Value, Level)) {
+        std::fprintf(stderr,
+                     "anek: bad trace level '%s' "
+                     "(want off|phase|method|solver)\n",
+                     Value.c_str());
+        return ExitUsage;
+      }
+      telemetry::setTraceLevel(Level);
+      HaveTraceLevel = true;
+      continue;
+    }
     if (Args[I] == "--example" && I + 1 < Args.size()) {
       IsExample = true;
       Input = Args[++I];
@@ -133,17 +205,22 @@ int run(int Argc, char **Argv) {
       WantDot = true;
     } else if (Args[I] == "--report") {
       WantReport = true;
-    } else if ((Args[I] == "--jobs" || Args[I] == "-j") &&
-               I + 1 < Args.size()) {
+    } else if (((Args[I] == "--jobs" || Args[I] == "-j") &&
+                I + 1 < Args.size()) ||
+               (Args[I].size() > 2 && Args[I].compare(0, 2, "-j") == 0)) {
+      // Accept "-j N", "--jobs N" and the joined "-jN" spelling.
+      const std::string &Count =
+          Args[I].size() > 2 ? Args[I].substr(2) : Args[I + 1];
       char *End = nullptr;
-      unsigned long Value = std::strtoul(Args[I + 1].c_str(), &End, 10);
+      unsigned long Value = std::strtoul(Count.c_str(), &End, 10);
       if (!End || *End != '\0' || Value == 0) {
         std::fprintf(stderr, "anek: bad thread count '%s' (want N >= 1)\n",
-                     Args[I + 1].c_str());
+                     Count.c_str());
         return ExitUsage;
       }
       Jobs = static_cast<unsigned>(Value);
-      ++I;
+      if (Args[I].size() == 2 || Args[I] == "--jobs")
+        ++I;
     } else if (Args[I] == "--method" && I + 1 < Args.size()) {
       MethodFilter = Args[++I];
     } else if (Args[I] == "--fault" && I + 1 < Args.size()) {
@@ -159,6 +236,12 @@ int run(int Argc, char **Argv) {
       Input = Args[I];
     }
   }
+  // Requesting an output implies collection: default to the finest level
+  // so --trace/--metrics alone capture everything. --trace-level still
+  // wins (including an explicit "off" to measure the disabled cost).
+  if (!HaveTraceLevel &&
+      (!Telemetry.TracePath.empty() || !Telemetry.MetricsPath.empty()))
+    telemetry::setTraceLevel(telemetry::TraceLevel::Solver);
   if (Input.empty()) {
     usage();
     return ExitUsage;
