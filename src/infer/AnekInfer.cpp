@@ -436,9 +436,14 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
   };
 
   // Fault 'solve-fail': this method's SOLVE step fails outright, proving
-  // the isolation path keeps the rest of the program inferable.
+  // the isolation path keeps the rest of the program inferable. Under a
+  // batch FaultScope the scoped label "<scope>/<method>" also matches, so
+  // one request can be poisoned without touching its neighbors.
   if (faults::anyActive() &&
-      faults::active(FaultKind::SolveFailure, M->qualifiedName()))
+      (faults::active(FaultKind::SolveFailure, M->qualifiedName()) ||
+       (!Opts.FaultScope.empty() &&
+        faults::active(FaultKind::SolveFailure,
+                       Opts.FaultScope + "/" + M->qualifiedName()))))
     return Fail(
         faults::injectedError(FaultKind::SolveFailure, M->qualifiedName()));
 
@@ -605,14 +610,32 @@ InferResult InferEngine::run() {
   telemetry::Span Phase2("infer.phase2.waves", telemetry::TraceLevel::Phase,
                          "infer");
   std::vector<std::vector<MethodDecl *>> Waves = Graph.sccWaves();
+  // An externally owned pool (the batch serving layer shares one across
+  // requests) overrides Parallelism; otherwise the engine owns its own.
+  ThreadPool *Pool = Opts.Pool;
+  std::unique_ptr<ThreadPool> OwnedPool;
   unsigned JobCount =
       Opts.Parallelism ? Opts.Parallelism : ThreadPool::defaultParallelism();
-  std::unique_ptr<ThreadPool> Pool;
-  if (JobCount > 1)
-    Pool = std::make_unique<ThreadPool>(JobCount);
+  if (!Pool && JobCount > 1) {
+    OwnedPool = std::make_unique<ThreadPool>(JobCount);
+    Pool = OwnedPool.get();
+  }
   if (telemetry::enabled(telemetry::TraceLevel::Phase))
     telemetry::gauge("infer.parallelism")
-        .set(static_cast<double>(JobCount));
+        .set(static_cast<double>(Pool ? Pool->threadCount() : 1));
+
+  // Cooperative cancellation/budget poll, consulted at wave boundaries
+  // only: inside a wave the jobs run to completion (their SOLVE steps are
+  // individually bounded by SolveBudgetSeconds), so an abort never leaves
+  // a half-merged summary store.
+  auto AbortStatus = [&]() -> Status {
+    if (Opts.Cancel && Opts.Cancel->cancelled())
+      return Opts.Cancel->status();
+    if (!Opts.RunBudget.unlimited() && Opts.RunBudget.expired())
+      return Status::error(ErrorCode::DeadlineExceeded,
+                           "run budget expired at wave boundary");
+    return Status::ok();
+  };
 
   std::set<MethodDecl *, DeclIndexLess> Dirty;
   std::set<MethodDecl *, DeclIndexLess> FailedMethods;
@@ -626,10 +649,18 @@ InferResult InferEngine::run() {
   MethodDeclMap<std::string> BufferedWarnings;
 
   unsigned Round = 0, WaveIndex = 0;
-  while (!Dirty.empty() && Result.WorklistPicks < MaxIters) {
+  while (!Dirty.empty() && Result.WorklistPicks < MaxIters &&
+         Result.Aborted.isOk()) {
     bool AnyRun = false;
     ++Round;
     for (const auto &Wave : Waves) {
+      // Wave boundary: the only place a governed run may be cut short.
+      if (Status S = AbortStatus(); !S) {
+        Result.Aborted = std::move(S);
+        if (telemetry::enabled(telemetry::TraceLevel::Phase))
+          telemetry::counter("infer.aborted").add(1);
+        break;
+      }
       // The wave is already in declaration order; so is the batch.
       std::vector<MethodDecl *> Batch;
       for (MethodDecl *M : Wave)
@@ -662,7 +693,11 @@ InferResult InferEngine::run() {
       const int64_t DispatchUs =
           telemetry::enabled() ? telemetry::nowUs() : 0;
       std::vector<MethodOutcome> Outcomes(Batch.size());
-      parallelFor(Pool.get(), Batch.size(), [&](size_t I) {
+      parallelFor(Pool, Batch.size(), [&](size_t I) {
+        // Attribute the job's allocations to the governing request (a
+        // no-op when ungoverned). Pool workers are shared across batch
+        // requests, so enrollment must happen per job, not per thread.
+        memtrack::MemScope MemGuard(Opts.Memory);
         telemetry::Span JobSpan("infer.method",
                                 telemetry::TraceLevel::Method, "infer");
         int64_t WaitUs = 0;
@@ -776,8 +811,11 @@ InferResult InferEngine::run() {
 
   // Phase 3 (lines 22-29): extract deterministic specifications. A failed
   // method is conservatively silent: no inferred spec beats a spec built
-  // from a summary its own evidence never reached.
+  // from a summary its own evidence never reached. An aborted run
+  // extracts nothing: partial summaries must not masquerade as specs.
   for (MethodDecl *M : Bodies) {
+    if (!Result.Aborted.isOk())
+      break;
     if (auto It = Reports.find(M); It != Reports.end() && It->second.Failed)
       continue;
     if (Opts.RespectDeclared && M->HasDeclaredSpec)

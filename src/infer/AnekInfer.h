@@ -28,12 +28,17 @@
 #include "factor/Solvers.h"
 #include "infer/Summary.h"
 #include "lang/Ast.h"
+#include "support/Cancel.h"
+#include "support/Deadline.h"
 #include "support/Diagnostics.h"
+#include "support/MemTrack.h"
 
 #include <map>
 #include <memory>
 
 namespace anek {
+
+class ThreadPool;
 
 /// Which marginal solver ANEK-INFER's SOLVE step uses.
 enum class SolverChoice { SumProduct, Gibbs, Exact };
@@ -80,6 +85,29 @@ struct InferOptions {
   /// Gibbs chain is seeded from a stable hash of its qualified name plus
   /// this value, so sampling does not depend on scheduling order.
   uint64_t Seed = 1;
+
+  // Serving integration (DESIGN.md, "Serving model"). All four default to
+  // "not governed"; single-request callers pay nothing.
+  /// Externally owned worker pool for wave jobs; overrides Parallelism
+  /// when set. The batch serving layer shares one pool across requests.
+  ThreadPool *Pool = nullptr;
+  /// Cooperative cancellation, polled at wave boundaries: a cancelled run
+  /// stops scheduling waves and returns with InferResult::Aborted set to
+  /// the token's status. The work already merged stays in the result.
+  const CancelToken *Cancel = nullptr;
+  /// Whole-run wall-clock budget, polled at the same wave boundaries
+  /// (SolveBudgetSeconds bounds individual SOLVE steps). Unlimited by
+  /// default; an explicitly limited budget that expires aborts the run
+  /// with DeadlineExceeded.
+  Deadline RunBudget;
+  /// When set, every inference thread (scheduler and wave workers alike)
+  /// enrolls its allocations here, so a batch request's peak-memory
+  /// watermark covers the whole solve.
+  memtrack::MemCharge *Memory = nullptr;
+  /// Request-scoped fault label prefix: site-filtered faults also match
+  /// "<FaultScope>/<qualified-method>", so a batch request can be faulted
+  /// without perturbing concurrent requests over the same program.
+  std::string FaultScope;
 };
 
 /// How one method's SOLVE step went, cascade decisions included.
@@ -123,6 +151,11 @@ struct InferResult {
   unsigned TotalVariables = 0;
   unsigned TotalFactors = 0;
   double SolveSeconds = 0.0;
+
+  /// Non-ok when the run was cut short by InferOptions::Cancel or
+  /// RunBudget at a wave boundary. Summaries and reports reflect the work
+  /// merged before the abort; no specs are extracted from an aborted run.
+  Status Aborted;
 
   /// The spec to use for \p Method: declared when present, else inferred,
   /// else an empty spec.

@@ -1,0 +1,78 @@
+//===- RequestQueue.cpp - Bounded admission-controlled queue ----------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RequestQueue.h"
+
+#include "support/FaultInject.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+using namespace anek;
+using namespace anek::serve;
+
+RequestQueue::RequestQueue(size_t Capacity) : Cap(Capacity ? Capacity : 1) {}
+
+RequestQueue::Admission RequestQueue::admit(BatchRequest R, bool Block) {
+  bool Admitted = false;
+  size_t Depth = 0;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    // The fault is checked before capacity so it sheds deterministically
+    // regardless of how fast workers are draining.
+    bool Faulted = faults::anyActive() &&
+                   faults::active(FaultKind::QueueFull, R.Id);
+    if (!Faulted) {
+      if (Block)
+        NotFull.wait(Lock, [this] { return Closed || Queue.size() < Cap; });
+      if (!Closed && Queue.size() < Cap) {
+        Queue.push_back(std::move(R));
+        Admitted = true;
+      }
+    }
+    Depth = Queue.size();
+  }
+  if (Admitted)
+    Ready.notify_one();
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter(Admitted ? "serve.admitted" : "serve.shed").add(1);
+    telemetry::gauge("serve.queue.depth").set(static_cast<double>(Depth));
+  }
+  return Admitted ? Admission::Admitted : Admission::Shed;
+}
+
+std::optional<BatchRequest> RequestQueue::pop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Ready.wait(Lock, [this] { return Closed || !Queue.empty(); });
+  if (Queue.empty())
+    return std::nullopt;
+  BatchRequest R = std::move(Queue.front());
+  Queue.pop_front();
+  size_t Depth = Queue.size();
+  Lock.unlock();
+  NotFull.notify_one();
+  if (telemetry::enabled(telemetry::TraceLevel::Phase))
+    telemetry::gauge("serve.queue.depth").set(static_cast<double>(Depth));
+  return R;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+  }
+  Ready.notify_all();
+  NotFull.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Closed;
+}
+
+size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}

@@ -1,0 +1,79 @@
+//===- RequestQueue.h - Bounded admission-controlled queue -------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission boundary of the serving layer (DESIGN.md, "Serving
+/// model"): a bounded MPMC queue with deterministic load shedding. A
+/// request is shed only for a deterministic reason — the queue was closed
+/// (drain), the `queue-full` fault matches its id, or the caller chose
+/// non-blocking admission (load tests / the throughput bench) and the
+/// queue is at capacity. The batch driver uses blocking admission, so a
+/// manifest longer than the queue capacity is backpressured, never
+/// racily shed; bounding the queue is what keeps memory and tail latency
+/// bounded under overload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SERVE_REQUESTQUEUE_H
+#define ANEK_SERVE_REQUESTQUEUE_H
+
+#include "serve/Serve.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace anek {
+namespace serve {
+
+/// Bounded FIFO of pending requests shared by the producer (admission)
+/// and the serving workers (pop). Thread-safe.
+class RequestQueue {
+public:
+  enum class Admission {
+    Admitted, ///< Queued; a worker will pop it.
+    Shed,     ///< Rejected: fault, closed queue, or full in Block=false.
+  };
+
+  /// \p Capacity 0 means a capacity of 1 (a zero-capacity queue would
+  /// shed everything, which is never what a caller wants).
+  explicit RequestQueue(size_t Capacity);
+
+  /// Admits \p R. With \p Block, waits for room while the queue is at
+  /// capacity (backpressure); without, a full queue sheds immediately.
+  /// Always sheds when the queue is closed or the `queue-full` fault
+  /// matches R.Id. Updates the serve.admitted / serve.shed counters and
+  /// the serve.queue.depth gauge.
+  Admission admit(BatchRequest R, bool Block);
+
+  /// Blocks until a request is available or the queue is closed; nullopt
+  /// means closed-and-drained (the worker should exit).
+  std::optional<BatchRequest> pop();
+
+  /// Stops admission and wakes every blocked admit()/pop(). Requests
+  /// already queued are still handed out (graceful drain finishes
+  /// in-flight and queued work; only new admissions are refused).
+  void close();
+
+  bool closed() const;
+  size_t depth() const;
+  size_t capacity() const { return Cap; }
+
+private:
+  const size_t Cap;
+  mutable std::mutex Mutex;
+  std::condition_variable Ready;   ///< Signals queued work / close.
+  std::condition_variable NotFull; ///< Signals room for a blocked admit.
+  std::deque<BatchRequest> Queue;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace anek
+
+#endif // ANEK_SERVE_REQUESTQUEUE_H

@@ -1,0 +1,36 @@
+//===- RetryPolicy.cpp - Transient-failure retry with backoff ---------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RetryPolicy.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace anek;
+using namespace anek::serve;
+
+double RetryPolicy::delaySeconds(const std::string &Label,
+                                 unsigned Attempt) const {
+  if (Attempt < 2)
+    return 0.0;
+  double Exp = BaseDelaySeconds;
+  for (unsigned I = 2; I < Attempt && Exp < MaxDelaySeconds; ++I)
+    Exp *= 2.0;
+  Exp = std::min(Exp, MaxDelaySeconds);
+
+  // splitmix64-style finalizer over the seed (same recipe as the per-method
+  // solver seeds), XORed with a stable hash of the retry site, so the
+  // jitter decorrelates concurrent requests yet reproduces across runs.
+  uint64_t S = Seed + 0x9E3779B97F4A7C15ULL;
+  S = (S ^ (S >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  S = (S ^ (S >> 27)) * 0x94D049BB133111EBULL;
+  S ^= S >> 31;
+  uint64_t Hash = stableHash64(Label + "#" + std::to_string(Attempt)) ^ S;
+  // Map the top 53 bits into [0, 1), then into a [0.5, 1.0] multiplier.
+  double Unit = static_cast<double>(Hash >> 11) * 0x1.0p-53;
+  return Exp * (0.5 + 0.5 * Unit);
+}

@@ -1,0 +1,51 @@
+//===- Serve.cpp - Batch serving layer: requests and results ----------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "support/Trace.h"
+
+namespace anek {
+namespace serve {
+
+const char *terminalStateName(TerminalState State) {
+  switch (State) {
+  case TerminalState::Ok:
+    return "ok";
+  case TerminalState::Degraded:
+    return "degraded";
+  case TerminalState::Failed:
+    return "failed";
+  case TerminalState::Timeout:
+    return "timeout";
+  case TerminalState::Shed:
+    return "shed";
+  }
+  return "failed";
+}
+
+std::string BatchResult::jsonLine() const {
+  using telemetry::jsonNumber;
+  using telemetry::jsonQuote;
+  std::string Line = "{\"schema\": \"anek-batch-v1\"";
+  Line += ", \"index\": " + jsonNumber(Index);
+  Line += ", \"id\": " + jsonQuote(Id);
+  Line += ", \"input\": " + jsonQuote(Input);
+  Line += ", \"state\": " + jsonQuote(terminalStateName(State));
+  Line += ", \"attempts\": " + jsonNumber(Attempts);
+  if (!Reason.empty())
+    Line += ", \"reason\": " + jsonQuote(Reason);
+  Line += ", \"specs\": " + jsonNumber(SpecCount);
+  Line += ", \"seconds\": " + jsonNumber(Seconds);
+  Line += ", \"peak_bytes\": " + jsonNumber(static_cast<double>(PeakBytes));
+  if (!Output.empty())
+    Line += ", \"output\": " + jsonQuote(Output);
+  Line += "}";
+  return Line;
+}
+
+} // namespace serve
+} // namespace anek

@@ -1,0 +1,67 @@
+//===- Cancel.h - Cooperative cancellation token -----------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A first-cancel-wins token for cooperative cancellation. The serving
+/// layer's ResourceGovernor cancels a request's token when its deadline or
+/// memory budget is exhausted; the inference engine polls cancelled() at
+/// wave boundaries (one relaxed atomic load) and aborts the run with the
+/// recorded Status instead of being killed mid-solve. See DESIGN.md,
+/// "Serving model".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_CANCEL_H
+#define ANEK_SUPPORT_CANCEL_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace anek {
+
+/// Sticky cancellation flag plus the reason that set it. Thread-safe: any
+/// thread may cancel, any thread may poll; the first cancel wins and later
+/// ones are ignored, so the recorded reason names the original trigger.
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Records \p Code/\p Why and trips the flag; a no-op once cancelled.
+  void cancel(ErrorCode Code, std::string Why) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Flag.load(std::memory_order_relaxed))
+      return; // First cancel wins.
+    this->Code = Code;
+    this->Why = std::move(Why);
+    Flag.store(true, std::memory_order_release);
+  }
+
+  /// One atomic load: the whole cost of a poll on the hot path.
+  bool cancelled() const { return Flag.load(std::memory_order_acquire); }
+
+  /// The cancellation reason; ok() while not cancelled.
+  Status status() const {
+    if (!cancelled())
+      return Status::ok();
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Status::error(Code, Why);
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  mutable std::mutex Mutex;
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Why;
+};
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_CANCEL_H

@@ -4,6 +4,7 @@
 
 #include "support/StringUtils.h"
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -14,10 +15,14 @@ using namespace anek;
 
 namespace {
 
-/// One activation: a kind plus an optional site filter (empty = all sites).
+/// One activation: a kind, an optional site filter (empty = all sites),
+/// and an optional fire budget consumed by faults::consumeFire.
 struct Activation {
   FaultKind Kind;
   std::string Filter;
+  /// Remaining consuming fires: -1 = unlimited, 0 = exhausted (the
+  /// activation no longer matches), > 0 = that many fires left.
+  long Remaining = -1;
 };
 
 /// Guards the activation registry. Worker threads in the parallel
@@ -43,6 +48,36 @@ std::atomic<unsigned> ActiveCount{0};
 /// True until the one-time ANEK_FAULT environment read happened.
 std::atomic<bool> EnvPending{true};
 
+/// Name + one-liner per kind, indexed by the enum value. The static_assert
+/// is the keep-in-sync contract: adding a FaultKind without describing it
+/// here fails the build, so `anek faults` can never go stale.
+struct FaultInfo {
+  const char *Name;
+  const char *Description;
+};
+
+constexpr std::array<FaultInfo, NumFaultKinds> FaultTable = {{
+    {"bp-nonconverge",
+     "belief propagation reports non-convergence (cascade probe)"},
+    {"deadline", "every Deadline reports itself expired"},
+    {"alloc-perturb",
+     "FactorGraph interleaves padding variables, shifting allocation "
+     "order/ids (order-dependence probe)"},
+    {"solve-fail",
+     "a method's SOLVE step fails outright (isolation probe)"},
+    {"queue-full",
+     "batch admission control behaves as if the request queue were "
+     "saturated; the request is shed"},
+    {"transient-solve",
+     "a batch attempt fails retryably until the *N fire budget is "
+     "exhausted (exercises retry/backoff)"},
+    {"mem-spike",
+     "the resource governor observes a synthetic allocation spike that "
+     "blows any memory budget"},
+}};
+static_assert(FaultTable.size() == NumFaultKinds,
+              "every FaultKind needs a name and a one-line description");
+
 std::optional<FaultKind> kindByName(const std::string &Name) {
   for (unsigned K = 0; K != NumFaultKinds; ++K)
     if (Name == faultKindName(static_cast<FaultKind>(K)))
@@ -50,7 +85,8 @@ std::optional<FaultKind> kindByName(const std::string &Name) {
   return std::nullopt;
 }
 
-/// Parses \p Spec into activations without touching shared state.
+/// Parses \p Spec into activations without touching shared state. Token
+/// grammar: name[*N][:filter].
 Expected<std::vector<Activation>> parseSpec(const std::string &Spec) {
   std::vector<Activation> Parsed;
   for (const std::string &Trimmed : splitAndTrim(Spec, ',')) {
@@ -59,12 +95,24 @@ Expected<std::vector<Activation>> parseSpec(const std::string &Spec) {
       Name = Trimmed.substr(0, Colon);
       Filter = Trimmed.substr(Colon + 1);
     }
+    long Remaining = -1;
+    if (size_t Star = Name.find('*'); Star != std::string::npos) {
+      std::string Count = Name.substr(Star + 1);
+      Name = Name.substr(0, Star);
+      char *End = nullptr;
+      long Value = std::strtol(Count.c_str(), &End, 10);
+      if (Count.empty() || !End || *End != '\0' || Value < 1)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bad fire budget '" + Count + "' in spec '" +
+                                 Spec + "' (want *N with N >= 1)");
+      Remaining = Value;
+    }
     std::optional<FaultKind> Kind = kindByName(Name);
     if (!Kind)
       return Status::error(ErrorCode::InvalidArgument,
                            "unknown fault '" + Name + "' in spec '" + Spec +
                                "'");
-    Parsed.push_back({*Kind, std::move(Filter)});
+    Parsed.push_back({*Kind, std::move(Filter), Remaining});
   }
   return Parsed;
 }
@@ -87,20 +135,21 @@ void consumeEnv() {
   EnvPending.store(false, std::memory_order_release);
 }
 
+bool matches(const Activation &A, FaultKind Kind, const std::string &Label) {
+  return A.Kind == Kind && A.Remaining != 0 &&
+         (A.Filter.empty() || A.Filter == Label);
+}
+
 } // namespace
 
 const char *anek::faultKindName(FaultKind Kind) {
-  switch (Kind) {
-  case FaultKind::BpNonConvergence:
-    return "bp-nonconverge";
-  case FaultKind::DeadlineExpiry:
-    return "deadline";
-  case FaultKind::AllocPerturb:
-    return "alloc-perturb";
-  case FaultKind::SolveFailure:
-    return "solve-fail";
-  }
-  return "unknown";
+  unsigned Index = static_cast<unsigned>(Kind);
+  return Index < NumFaultKinds ? FaultTable[Index].Name : "unknown";
+}
+
+const char *anek::faultKindDescription(FaultKind Kind) {
+  unsigned Index = static_cast<unsigned>(Kind);
+  return Index < NumFaultKinds ? FaultTable[Index].Description : "unknown";
 }
 
 bool faults::anyActive() {
@@ -114,8 +163,21 @@ bool faults::active(FaultKind Kind, const std::string &Label) {
     return false;
   std::unique_lock<std::mutex> Lock(registryMutex());
   for (const Activation &A : activations())
-    if (A.Kind == Kind && (A.Filter.empty() || A.Filter == Label))
+    if (matches(A, Kind, Label))
       return true;
+  return false;
+}
+
+bool faults::consumeFire(FaultKind Kind, const std::string &Label) {
+  if (!anyActive())
+    return false;
+  std::unique_lock<std::mutex> Lock(registryMutex());
+  for (Activation &A : activations())
+    if (matches(A, Kind, Label)) {
+      if (A.Remaining > 0)
+        --A.Remaining;
+      return true;
+    }
   return false;
 }
 
@@ -124,7 +186,11 @@ Status faults::injectedError(FaultKind Kind, const std::string &Label) {
                         "' injected";
   if (!Label.empty())
     Message += " at " + Label;
-  return Status::error(ErrorCode::FaultInjected, Message);
+  // Transient kinds are the retryable class (see RetryPolicy).
+  ErrorCode Code = Kind == FaultKind::TransientSolve
+                       ? ErrorCode::Unavailable
+                       : ErrorCode::FaultInjected;
+  return Status::error(Code, Message);
 }
 
 Status faults::activateSpec(const std::string &Spec) {
@@ -146,11 +212,12 @@ void faults::reset() {
   EnvPending.store(true, std::memory_order_release);
 }
 
-faults::ScopedFault::ScopedFault(FaultKind Kind, std::string Filter)
+faults::ScopedFault::ScopedFault(FaultKind Kind, std::string Filter,
+                                 long FireBudget)
     : Kind(Kind), Filter(std::move(Filter)) {
   std::unique_lock<std::mutex> Lock(registryMutex());
   auto &List = activations();
-  List.push_back({this->Kind, this->Filter});
+  List.push_back({this->Kind, this->Filter, FireBudget});
   ActiveCount.store(static_cast<unsigned>(List.size()),
                     std::memory_order_relaxed);
 }

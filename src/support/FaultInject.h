@@ -12,17 +12,26 @@
 ///
 /// Activation is either programmatic (faults::ScopedFault, for tests) or
 /// via the ANEK_FAULT environment variable / `anek --fault`, whose spec is
-/// a comma-separated list of fault names with an optional `:filter` suffix
-/// matched against a site label (a method's qualified name):
+/// a comma-separated list of fault names, each with an optional `*N` fire
+/// budget (the fault fires for the first N consuming checks, then clears)
+/// and an optional `:filter` suffix matched against a site label (a
+/// method's qualified name, or a batch request id):
 ///
 ///   ANEK_FAULT=bp-nonconverge,solve-fail:Row.createColIter anek infer ...
+///   anek batch m.txt --fault transient-solve*2:req7
 ///
-/// Faults available:
+/// Run `anek faults` for the live fault vocabulary; the kinds are:
 ///   bp-nonconverge  belief propagation reports non-convergence
 ///   deadline        every Deadline reports itself expired
 ///   alloc-perturb   FactorGraph interleaves padding variables, shifting
 ///                   every allocation order/id (order-dependence probe)
 ///   solve-fail      a method's SOLVE step fails outright (isolation probe)
+///   queue-full      batch admission control behaves as if the request
+///                   queue were saturated (the request is shed)
+///   transient-solve a batch attempt fails retryably until the fire
+///                   budget is exhausted (exercises retry/backoff)
+///   mem-spike       the resource governor observes a synthetic
+///                   allocation spike that blows any memory budget
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,17 +44,25 @@
 
 namespace anek {
 
-/// The injectable faults. Keep in sync with faultKindName/parse.
+/// The injectable faults. Keep in sync with faultKindName/parse and the
+/// description table in FaultInject.cpp (a static_assert on NumFaultKinds
+/// catches a kind added without a description).
 enum class FaultKind : unsigned {
   BpNonConvergence = 0,
   DeadlineExpiry,
   AllocPerturb,
   SolveFailure,
+  QueueFull,
+  TransientSolve,
+  MemSpike,
 };
-constexpr unsigned NumFaultKinds = 4;
+constexpr unsigned NumFaultKinds = 7;
 
 /// Spec name of a fault kind ("bp-nonconverge", ...).
 const char *faultKindName(FaultKind Kind);
+
+/// One-line human description of a fault kind (`anek faults` output).
+const char *faultKindDescription(FaultKind Kind);
 
 namespace faults {
 
@@ -59,13 +76,24 @@ bool anyActive();
 
 /// True when \p Kind is active with no site filter, or with a filter equal
 /// to \p Label. Pass an empty label from sites that have no useful name.
+/// Activations whose fire budget is exhausted no longer match.
 bool active(FaultKind Kind, const std::string &Label = std::string());
 
-/// Convenience: a FaultInjected error naming the fault, for sites that
-/// surface the fault as a Status.
+/// Consuming check for budgeted faults: like active(), but decrements the
+/// matching activation's fire budget. Returns true while the budget holds
+/// (an unbudgeted activation fires forever); once a budget reaches zero
+/// the activation is exhausted and stops matching. The `transient-solve`
+/// control point uses this so "fails the first N attempts, then succeeds"
+/// is one spec: `transient-solve*N:site`.
+bool consumeFire(FaultKind Kind, const std::string &Label = std::string());
+
+/// Convenience: an error Status naming the fault, for sites that surface
+/// the fault as a Status. Transient kinds (transient-solve) yield
+/// ErrorCode::Unavailable — the retryable class — all others
+/// ErrorCode::FaultInjected.
 Status injectedError(FaultKind Kind, const std::string &Label);
 
-/// Activates \p Spec ("name[,name:filter]...") on top of the current
+/// Activates \p Spec ("name[*N][:filter][,...]") on top of the current
 /// state. Returns InvalidArgument naming the bad token on a malformed
 /// spec; on error nothing is activated.
 Status activateSpec(const std::string &Spec);
@@ -75,10 +103,12 @@ Status activateSpec(const std::string &Spec);
 /// themselves; the env respec applies on the next query.
 void reset();
 
-/// RAII activation of one fault for a test's scope.
+/// RAII activation of one fault for a test's scope. \p FireBudget < 0
+/// means unlimited; >= 1 arms a consumable budget (see consumeFire).
 class ScopedFault {
 public:
-  explicit ScopedFault(FaultKind Kind, std::string Filter = std::string());
+  explicit ScopedFault(FaultKind Kind, std::string Filter = std::string(),
+                       long FireBudget = -1);
   ~ScopedFault();
 
   ScopedFault(const ScopedFault &) = delete;

@@ -1,0 +1,122 @@
+//===- MemTrack.cpp - Per-request allocation tracking ----------------------===//
+//
+// The global operator new/delete replacements live here so that linking any
+// MemCharge/MemScope user (the serving layer, its tests, the soak harness)
+// pulls them in, while binaries that never touch memory governance keep the
+// default allocator. Within one binary the accounting is therefore always
+// consistent: either every allocation goes through the hook or none does.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemTrack.h"
+
+#include "support/Format.h"
+
+#include <cstdlib>
+#include <new>
+
+using namespace anek;
+using namespace anek::memtrack;
+
+namespace {
+
+/// The calling thread's enrollment. Plain thread_local pointer: one load
+/// per allocation when not enrolled, zero-initialized for threads that
+/// never enroll.
+thread_local MemCharge *ActiveCharge = nullptr;
+
+} // namespace
+
+void MemCharge::charge(long long Bytes) {
+  long long Now = Current.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  long long P = Peak.load(std::memory_order_relaxed);
+  while (Now > P &&
+         !Peak.compare_exchange_weak(P, Now, std::memory_order_relaxed)) {
+  }
+  // Budget enforcement. Blown is exchanged before the cancel message is
+  // composed: composing allocates, which re-enters charge(), and the flag
+  // is what cuts that recursion after one level.
+  if (Budget > 0 && Now > Budget && Token &&
+      !Blown.exchange(true, std::memory_order_relaxed))
+    Token->cancel(ErrorCode::ResourceExhausted,
+                  formatStr("mem-budget: %lld bytes live exceeds budget of "
+                            "%lld bytes",
+                            Now, Budget));
+}
+
+MemScope::MemScope(MemCharge *Charge) : Previous(ActiveCharge) {
+  if (Charge)
+    ActiveCharge = Charge;
+}
+
+MemScope::~MemScope() { ActiveCharge = Previous; }
+
+MemCharge *memtrack::activeCharge() { return ActiveCharge; }
+
+//===----------------------------------------------------------------------===//
+// Global allocator replacements
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void *trackedAlloc(std::size_t Size) {
+  void *P = std::malloc(Size ? Size : 1);
+  if (P && ActiveCharge)
+    ActiveCharge->charge(static_cast<long long>(Size));
+  return P;
+}
+
+void trackedFree(void *P, std::size_t Size) {
+  if (P && ActiveCharge)
+    ActiveCharge->release(static_cast<long long>(Size));
+  std::free(P);
+}
+
+} // namespace
+
+// Weak definitions so a test binary that replaces the global allocator
+// itself (trace_test's allocation counter) overrides these at link time;
+// within one binary the accounting stays all-or-nothing either way.
+#define ANEK_MEMTRACK_WEAK __attribute__((weak))
+
+ANEK_MEMTRACK_WEAK void *operator new(std::size_t Size) {
+  if (void *P = trackedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+ANEK_MEMTRACK_WEAK void *operator new[](std::size_t Size) {
+  if (void *P = trackedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+ANEK_MEMTRACK_WEAK void *operator new(std::size_t Size,
+                                      const std::nothrow_t &) noexcept {
+  return trackedAlloc(Size);
+}
+
+ANEK_MEMTRACK_WEAK void *operator new[](std::size_t Size,
+                                        const std::nothrow_t &) noexcept {
+  return trackedAlloc(Size);
+}
+
+// Unsized deallocation cannot release (the byte count is unknown); the
+// charge drifts conservatively upward. Sized deallocation releases.
+ANEK_MEMTRACK_WEAK void operator delete(void *P) noexcept { std::free(P); }
+ANEK_MEMTRACK_WEAK void operator delete[](void *P) noexcept { std::free(P); }
+ANEK_MEMTRACK_WEAK void operator delete(void *P, std::size_t Size) noexcept {
+  trackedFree(P, Size);
+}
+ANEK_MEMTRACK_WEAK void operator delete[](void *P,
+                                          std::size_t Size) noexcept {
+  trackedFree(P, Size);
+}
+ANEK_MEMTRACK_WEAK void operator delete(void *P,
+                                        const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+ANEK_MEMTRACK_WEAK void operator delete[](void *P,
+                                          const std::nothrow_t &) noexcept {
+  std::free(P);
+}

@@ -1,0 +1,111 @@
+//===- MemTrack.h - Per-request allocation tracking --------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tracking-allocation hook for per-request memory governance (DESIGN.md,
+/// "Serving model"). A thread enrolls in a MemCharge with a MemScope;
+/// while enrolled, every global operator new/delete on that thread charges
+/// or releases bytes against the charge, which maintains a live-byte count
+/// and a peak watermark. A charge bound to a budget and a CancelToken
+/// cancels the token the moment the watermark crosses the budget — the
+/// request then fails with a `mem-budget` status at the next cooperative
+/// checkpoint instead of the process being OOM-killed.
+///
+/// Accounting contract (deliberately conservative):
+///  - Only threads enrolled via MemScope are charged; unenrolled threads
+///    cost exactly one thread-local load per allocation.
+///  - Unsized deallocations are not released (the byte count is unknown),
+///    so cross-TU frees drift the watermark upward, never downward.
+///  - A free of memory allocated before enrollment may push the live count
+///    negative; the peak watermark only ever ratchets up.
+///
+/// The operator new/delete replacements live in MemTrack.cpp; linking any
+/// MemCharge/MemScope user pulls them into the binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_MEMTRACK_H
+#define ANEK_SUPPORT_MEMTRACK_H
+
+#include "support/Cancel.h"
+
+#include <atomic>
+#include <cstddef>
+
+namespace anek {
+namespace memtrack {
+
+/// Live-byte counter + peak watermark for one request, updated by every
+/// enrolled thread. Optionally bound to a budget and a CancelToken.
+class MemCharge {
+public:
+  MemCharge() = default;
+  MemCharge(const MemCharge &) = delete;
+  MemCharge &operator=(const MemCharge &) = delete;
+
+  /// Arms budget enforcement: once the live count exceeds \p BudgetBytes,
+  /// \p Token is cancelled (ResourceExhausted, "mem-budget: ...") exactly
+  /// once. \p BudgetBytes == 0 disables enforcement (tracking only).
+  /// Must be called before any thread enrolls.
+  void bind(long long BudgetBytes, CancelToken *Token) {
+    Budget = BudgetBytes;
+    this->Token = Token;
+  }
+
+  /// Adds \p Bytes to the live count, ratchets the peak, and enforces the
+  /// budget. Safe from any thread, including inside operator new.
+  void charge(long long Bytes);
+
+  /// Subtracts \p Bytes from the live count (sized deallocation).
+  void release(long long Bytes) {
+    Current.fetch_sub(Bytes, std::memory_order_relaxed);
+  }
+
+  /// A synthetic allocation that is never released: the `mem-spike` fault
+  /// uses this to blow a budget deterministically without real memory.
+  void spike(long long Bytes) { charge(Bytes); }
+
+  long long current() const {
+    return Current.load(std::memory_order_relaxed);
+  }
+  long long peak() const { return Peak.load(std::memory_order_relaxed); }
+
+  /// True once the budget was crossed (and the token cancelled).
+  bool budgetBlown() const {
+    return Blown.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<long long> Current{0};
+  std::atomic<long long> Peak{0};
+  std::atomic<bool> Blown{false};
+  long long Budget = 0;
+  CancelToken *Token = nullptr;
+};
+
+/// RAII enrollment of the calling thread into \p Charge (nullptr = no-op).
+/// Scopes nest: the previous enrollment is restored on destruction. The
+/// constructor/destructor are out-of-line on purpose — referencing them is
+/// what links the operator new/delete replacements into a binary.
+class MemScope {
+public:
+  explicit MemScope(MemCharge *Charge);
+  ~MemScope();
+
+  MemScope(const MemScope &) = delete;
+  MemScope &operator=(const MemScope &) = delete;
+
+private:
+  MemCharge *Previous;
+};
+
+/// The calling thread's active charge (nullptr when not enrolled).
+MemCharge *activeCharge();
+
+} // namespace memtrack
+} // namespace anek
+
+#endif // ANEK_SUPPORT_MEMTRACK_H

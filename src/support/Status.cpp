@@ -18,6 +18,8 @@ const char *anek::errorCodeName(ErrorCode Code) {
     return "unsatisfiable";
   case ErrorCode::FaultInjected:
     return "fault-injected";
+  case ErrorCode::Unavailable:
+    return "unavailable";
   case ErrorCode::Internal:
     return "internal";
   }

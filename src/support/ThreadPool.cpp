@@ -78,12 +78,42 @@ void ThreadPool::workerLoop() {
 
 void anek::parallelFor(ThreadPool *Pool, size_t Count,
                        const std::function<void(size_t)> &Fn) {
-  if (!Pool || Pool->threadCount() <= 1) {
+  if (!Pool || Pool->threadCount() <= 1 || Count <= 1) {
     for (size_t I = 0; I != Count; ++I)
       Fn(I);
     return;
   }
+  // Per-call completion latch rather than Pool->wait(): several
+  // parallelFor calls may drive one shared pool concurrently (the batch
+  // serving layer runs many inference requests over a single pool), and
+  // pool-global wait() would block on — and steal exceptions from —
+  // unrelated callers' jobs. Stack references stay valid because this
+  // call blocks until its own Remaining hits zero.
+  struct Latch {
+    std::mutex Mutex;
+    std::condition_variable Done;
+    size_t Remaining;
+    std::exception_ptr First;
+  } L;
+  L.Remaining = Count;
   for (size_t I = 0; I != Count; ++I)
-    Pool->submit([&Fn, I] { Fn(I); });
-  Pool->wait();
+    Pool->submit([&L, &Fn, I] {
+      try {
+        Fn(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(L.Mutex);
+        if (!L.First)
+          L.First = std::current_exception();
+      }
+      std::lock_guard<std::mutex> Lock(L.Mutex);
+      if (--L.Remaining == 0)
+        L.Done.notify_all();
+    });
+  std::unique_lock<std::mutex> Lock(L.Mutex);
+  L.Done.wait(Lock, [&L] { return L.Remaining == 0; });
+  if (L.First) {
+    std::exception_ptr Error = L.First;
+    Lock.unlock();
+    std::rethrow_exception(Error);
+  }
 }

@@ -74,10 +74,15 @@ private:
 
 /// Runs Fn(0), ..., Fn(Count-1). With a null \p Pool (or a single-threaded
 /// one) the calls run inline in index order; otherwise they are submitted
-/// as pool jobs and this blocks until all complete (worker exceptions
-/// rethrow here, exactly like ThreadPool::wait). Callers must make Fn
-/// calls independent: the parallel inference scheduler relies on this to
-/// run wave jobs against a read-only snapshot.
+/// as pool jobs and this blocks until all complete (the first worker
+/// exception rethrows here). Completion is tracked per call, not via
+/// ThreadPool::wait, so any number of parallelFor calls may share one
+/// pool concurrently — the batch serving layer drives many inference
+/// requests over a single pool this way. Callers must make Fn calls
+/// independent: the parallel inference scheduler relies on this to run
+/// wave jobs against a read-only snapshot. Must not be called from inside
+/// a pool job of the same pool (the blocked worker would deadlock a
+/// saturated pool).
 void parallelFor(ThreadPool *Pool, size_t Count,
                  const std::function<void(size_t)> &Fn);
 

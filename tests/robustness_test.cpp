@@ -23,6 +23,7 @@
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <set>
 #include <sstream>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -471,6 +472,124 @@ TEST_F(RobustnessTest, StatusAndExpectedBasics) {
   Expected<int> Failed(Err);
   EXPECT_FALSE(Failed.hasValue());
   EXPECT_EQ(Failed.status().code(), ErrorCode::DeadlineExceeded);
+}
+
+//===----------------------------------------------------------------------===//
+// Serving-layer fault kinds, fire budgets, and site filters
+//===----------------------------------------------------------------------===//
+
+TEST_F(RobustnessTest, FaultVocabularyIsCompleteAndListed) {
+  // The static_assert in FaultInject.cpp keeps the table in sync at
+  // compile time; this checks the runtime surface: every kind has a
+  // distinct name, a description, and shows up in `anek faults`.
+  ASSERT_EQ(NumFaultKinds, 7u);
+  std::string FaultsOutput;
+  EXPECT_EQ(runTool("faults", &FaultsOutput), 0);
+  std::string ListOutput;
+  EXPECT_EQ(runTool("infer --fault list", &ListOutput), 0);
+  std::set<std::string> Names;
+  for (unsigned K = 0; K != NumFaultKinds; ++K) {
+    FaultKind Kind = static_cast<FaultKind>(K);
+    std::string Name = faultKindName(Kind);
+    EXPECT_FALSE(Name.empty());
+    EXPECT_STRNE(faultKindDescription(Kind), "");
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate name " << Name;
+    EXPECT_NE(FaultsOutput.find(Name), std::string::npos)
+        << "`anek faults` does not list " << Name;
+    EXPECT_NE(ListOutput.find(Name), std::string::npos)
+        << "`anek --fault list` does not list " << Name;
+  }
+}
+
+TEST_F(RobustnessTest, NewFaultKindsActivateAndClassify) {
+  Status Ok = faults::activateSpec(
+      "queue-full:reqA, transient-solve*1:reqB, mem-spike");
+  ASSERT_TRUE(Ok.isOk()) << Ok.str();
+  EXPECT_TRUE(faults::active(FaultKind::QueueFull, "reqA"));
+  EXPECT_FALSE(faults::active(FaultKind::QueueFull, "reqZ"));
+  EXPECT_TRUE(faults::active(FaultKind::TransientSolve, "reqB"));
+  EXPECT_TRUE(faults::active(FaultKind::MemSpike, "anything"));
+
+  // transient-solve is the retryable class; the others are not.
+  EXPECT_EQ(faults::injectedError(FaultKind::TransientSolve, "reqB").code(),
+            ErrorCode::Unavailable);
+  EXPECT_EQ(faults::injectedError(FaultKind::MemSpike, "x").code(),
+            ErrorCode::FaultInjected);
+}
+
+TEST_F(RobustnessTest, FireBudgetConsumesAndExhausts) {
+  ASSERT_TRUE(faults::activateSpec("transient-solve*2:req1").isOk());
+  // Non-consuming queries never burn the budget.
+  EXPECT_TRUE(faults::active(FaultKind::TransientSolve, "req1"));
+  EXPECT_TRUE(faults::active(FaultKind::TransientSolve, "req1"));
+  // Two consuming fires, then the activation is exhausted.
+  EXPECT_TRUE(faults::consumeFire(FaultKind::TransientSolve, "req1"));
+  EXPECT_TRUE(faults::consumeFire(FaultKind::TransientSolve, "req1"));
+  EXPECT_FALSE(faults::consumeFire(FaultKind::TransientSolve, "req1"));
+  EXPECT_FALSE(faults::active(FaultKind::TransientSolve, "req1"));
+
+  // Malformed budgets are rejected atomically.
+  EXPECT_EQ(faults::activateSpec("transient-solve*zero").code(),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(faults::activateSpec("transient-solve*0").code(),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(faults::activateSpec("transient-solve*").code(),
+            ErrorCode::InvalidArgument);
+}
+
+TEST_F(RobustnessTest, StackedScopedFaultsCoexistAndUnwind) {
+  faults::ScopedFault Queue(FaultKind::QueueFull, "reqA");
+  {
+    faults::ScopedFault Spike(FaultKind::MemSpike);
+    faults::ScopedFault Transient(FaultKind::TransientSolve, "reqB", 1);
+    EXPECT_TRUE(faults::active(FaultKind::QueueFull, "reqA"));
+    EXPECT_TRUE(faults::active(FaultKind::MemSpike));
+    EXPECT_TRUE(faults::consumeFire(FaultKind::TransientSolve, "reqB"));
+    EXPECT_FALSE(faults::consumeFire(FaultKind::TransientSolve, "reqB"));
+  }
+  // Inner scopes unwound; the outer activation is untouched.
+  EXPECT_TRUE(faults::active(FaultKind::QueueFull, "reqA"));
+  EXPECT_FALSE(faults::active(FaultKind::MemSpike));
+  EXPECT_FALSE(faults::active(FaultKind::TransientSolve, "reqB"));
+}
+
+TEST_F(RobustnessTest, FaultScopePrefixesSolveFailureSites) {
+  // A batch request faults its own inference via the "<scope>/<method>"
+  // site label; the same program solved under another scope is untouched.
+  auto Prog = analyze(iteratorApiSource() + spreadsheetSource());
+  InferResult Baseline = runAnekInfer(*Prog);
+  ASSERT_GT(Baseline.inferredAnnotationCount(), 1u);
+  const MethodDecl *Victim = Baseline.Inferred.begin()->first;
+
+  faults::ScopedFault Fault(FaultKind::SolveFailure,
+                            "req1/" + Victim->qualifiedName());
+
+  InferOptions Scoped;
+  Scoped.FaultScope = "req1";
+  DiagnosticEngine Diags;
+  InferResult Faulted = runAnekInfer(*Prog, Scoped, &Diags);
+  EXPECT_EQ(Faulted.MethodsFailed, 1u);
+
+  InferOptions Other;
+  Other.FaultScope = "req2";
+  InferResult Clean = runAnekInfer(*Prog, Other);
+  EXPECT_EQ(Clean.MethodsFailed, 0u);
+  // No scope at all: the bare qualified name does not match either.
+  InferResult NoScope = runAnekInfer(*Prog);
+  EXPECT_EQ(NoScope.MethodsFailed, 0u);
+}
+
+TEST_F(RobustnessTest, DriverAcceptsJoinedFaultSpelling) {
+  // --fault=SPEC goes through flagValue like every other value flag.
+  std::string Output;
+  int Exit = runTool(
+      "infer --example spreadsheet --report --fault=bp-nonconverge",
+      &Output);
+  EXPECT_EQ(Exit, 0) << Output;
+  EXPECT_NE(Output.find("(fallback)"), std::string::npos) << Output;
+  // Malformed specs are usage errors in either spelling.
+  EXPECT_EQ(runTool("infer --example file --fault=transient-solve*zero"), 2);
+  EXPECT_EQ(runTool("infer --example file --fault transient-solve*zero"), 2);
 }
 
 } // namespace

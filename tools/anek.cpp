@@ -8,6 +8,15 @@
 //   anek verify <file.mjava | --example NAME>   infer, then check
 //   anek pfg    <file.mjava | --example NAME> [--dot] [--method M]
 //   anek ir     <file.mjava | --example NAME>
+//   anek batch  <manifest.txt | ->              serve a request stream
+//   anek faults                                 list injectable faults
+//
+// `anek batch` reads one request per manifest line ("-" = stdin; see
+// src/serve/Manifest.h for the line grammar), drives them through the
+// resource-governed serving layer (bounded queue, per-request deadlines
+// and memory budgets, retry with backoff), and emits one JSONL line per
+// request in completion order. SIGINT/SIGTERM drain gracefully: admission
+// stops, in-flight requests finish, every request still gets its line.
 //
 // --jobs/-j N runs inference on N worker threads (default: one per
 // hardware thread; 1 = fully sequential). Output is byte-identical for
@@ -36,18 +45,23 @@
 #include "lang/Sema.h"
 #include "pfg/PfgBuilder.h"
 #include "plural/Checker.h"
+#include "serve/BatchRunner.h"
+#include "serve/Manifest.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace anek;
@@ -62,8 +76,37 @@ void usage() {
              "<file.mjava | --example spreadsheet|file|field> "
              "[--dot] [--method NAME] [--report] [--fault SPEC] "
              "[--jobs N | -j N] [--trace FILE] [--metrics FILE] "
-             "[--trace-level off|phase|method|solver]\n",
+             "[--trace-level off|phase|method|solver]\n"
+             "       anek batch <manifest.txt | -> [--workers N] "
+             "[--queue-cap N] [--retries N] [--deadline SECS] "
+             "[--mem-budget BYTES[k|m|g]] [--jobs N | -j N] [--seed N] "
+             "[--out FILE] [--shed-when-full] [--fault SPEC] "
+             "[--trace FILE] [--metrics FILE] [--trace-level LEVEL]\n"
+             "       anek faults\n"
+             "(--fault list prints the fault vocabulary; %p in --out/"
+             "--trace/--metrics paths expands to the pid)\n",
              stderr);
+}
+
+/// Lists every injectable fault kind with its one-line description.
+void printFaultTable() {
+  for (unsigned K = 0; K != NumFaultKinds; ++K) {
+    FaultKind Kind = static_cast<FaultKind>(K);
+    std::printf("%-16s %s\n", faultKindName(Kind),
+                faultKindDescription(Kind));
+  }
+}
+
+/// Expands "%p" to the pid, so concurrent batch runs sharing a path
+/// template never clobber each other's artifacts.
+std::string expandPathTemplate(std::string Path) {
+  std::string Pid = std::to_string(static_cast<long>(::getpid()));
+  size_t Pos = 0;
+  while ((Pos = Path.find("%p", Pos)) != std::string::npos) {
+    Path.replace(Pos, 2, Pid);
+    Pos += Pid.size();
+  }
+  return Path;
 }
 
 /// Writes the requested telemetry artifacts when the driver exits through
@@ -152,6 +195,190 @@ void printReports(const InferResult &Inference) {
   }
 }
 
+/// Set by the SIGINT/SIGTERM handler; the batch runner polls it and
+/// drains gracefully (finish in-flight, shed the rest, flush output).
+volatile std::sig_atomic_t BatchDrainFlag = 0;
+
+void batchDrainHandler(int) { BatchDrainFlag = 1; }
+
+int runBatch(const std::vector<std::string> &Args) {
+  serve::BatchOptions Opts;
+  std::string ManifestPath, OutPath;
+  TelemetryFlusher Telemetry;
+  bool HaveTraceLevel = false;
+
+  auto ParseUnsigned = [](const std::string &Value, unsigned &Out) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(Value.c_str(), &End, 10);
+    if (!End || *End != '\0' || Value.empty())
+      return false;
+    Out = static_cast<unsigned>(V);
+    return true;
+  };
+
+  for (size_t I = 1; I < Args.size(); ++I) {
+    std::string Value;
+    unsigned Parsed = 0;
+    if (flagValue(Args, I, "--trace", Value)) {
+      Telemetry.TracePath = expandPathTemplate(Value);
+    } else if (flagValue(Args, I, "--metrics", Value)) {
+      Telemetry.MetricsPath = expandPathTemplate(Value);
+    } else if (flagValue(Args, I, "--trace-level", Value)) {
+      telemetry::TraceLevel Level;
+      if (!telemetry::parseTraceLevel(Value, Level)) {
+        std::fprintf(stderr, "anek: bad trace level '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      telemetry::setTraceLevel(Level);
+      HaveTraceLevel = true;
+    } else if (flagValue(Args, I, "--out", Value)) {
+      OutPath = expandPathTemplate(Value);
+    } else if (flagValue(Args, I, "--workers", Value)) {
+      if (!ParseUnsigned(Value, Parsed) || Parsed == 0) {
+        std::fprintf(stderr, "anek: bad worker count '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      Opts.Workers = Parsed;
+    } else if (flagValue(Args, I, "--queue-cap", Value)) {
+      if (!ParseUnsigned(Value, Parsed) || Parsed == 0) {
+        std::fprintf(stderr, "anek: bad queue cap '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      Opts.QueueCap = Parsed;
+    } else if (flagValue(Args, I, "--retries", Value)) {
+      if (!ParseUnsigned(Value, Parsed) || Parsed == 0) {
+        std::fprintf(stderr, "anek: bad retry count '%s' (want total "
+                             "attempts >= 1)\n",
+                     Value.c_str());
+        return ExitUsage;
+      }
+      Opts.MaxAttempts = Parsed;
+    } else if (flagValue(Args, I, "--seed", Value)) {
+      char *End = nullptr;
+      Opts.Seed = std::strtoull(Value.c_str(), &End, 10);
+      if (!End || *End != '\0' || Value.empty()) {
+        std::fprintf(stderr, "anek: bad seed '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+    } else if (flagValue(Args, I, "--deadline", Value)) {
+      char *End = nullptr;
+      Opts.DefaultDeadlineSeconds = std::strtod(Value.c_str(), &End);
+      if (!End || *End != '\0' || Opts.DefaultDeadlineSeconds < 0.0) {
+        std::fprintf(stderr, "anek: bad deadline '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+    } else if (flagValue(Args, I, "--mem-budget", Value)) {
+      // Reuse the manifest's byte-count grammar (k/m/g suffixes).
+      Expected<std::vector<serve::BatchRequest>> R =
+          serve::parseManifest("probe mem=" + Value);
+      if (!R || R->size() != 1) {
+        std::fprintf(stderr, "anek: bad mem budget '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      Opts.DefaultMemBudgetBytes = (*R)[0].MemBudgetBytes;
+    } else if (flagValue(Args, I, "--jobs", Value) ||
+               flagValue(Args, I, "-j", Value)) {
+      if (!ParseUnsigned(Value, Parsed) || Parsed == 0) {
+        std::fprintf(stderr, "anek: bad thread count '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      Opts.DefaultJobs = Parsed;
+    } else if (Args[I] == "--shed-when-full") {
+      Opts.ShedWhenFull = true;
+    } else if (flagValue(Args, I, "--fault", Value)) {
+      if (Value == "list") {
+        printFaultTable();
+        return ExitOk;
+      }
+      if (Status S = faults::activateSpec(Value); !S) {
+        std::fprintf(stderr, "anek: %s\n", S.str().c_str());
+        return ExitUsage;
+      }
+    } else if (Args[I] == "-" || Args[I][0] != '-') {
+      ManifestPath = Args[I];
+    } else {
+      std::fprintf(stderr, "anek: unknown flag '%s'\n", Args[I].c_str());
+      usage();
+      return ExitUsage;
+    }
+  }
+  if (!HaveTraceLevel &&
+      (!Telemetry.TracePath.empty() || !Telemetry.MetricsPath.empty()))
+    telemetry::setTraceLevel(telemetry::TraceLevel::Phase);
+  if (ManifestPath.empty()) {
+    usage();
+    return ExitUsage;
+  }
+
+  std::string ManifestText;
+  if (ManifestPath == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    ManifestText = Buffer.str();
+  } else {
+    std::ifstream In(ManifestPath);
+    if (!In) {
+      std::fprintf(stderr, "anek: cannot open '%s'\n", ManifestPath.c_str());
+      return ExitDiagnostics;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    ManifestText = Buffer.str();
+  }
+  Expected<std::vector<serve::BatchRequest>> Requests =
+      serve::parseManifest(ManifestText);
+  if (!Requests) {
+    std::fprintf(stderr, "anek: %s\n", Requests.status().str().c_str());
+    return ExitDiagnostics;
+  }
+
+  std::ofstream OutFile;
+  std::FILE *OutStream = stdout;
+  if (!OutPath.empty()) {
+    OutFile.open(OutPath);
+    if (!OutFile) {
+      std::fprintf(stderr, "anek: cannot write '%s'\n", OutPath.c_str());
+      return ExitDiagnostics;
+    }
+  }
+  // One JSONL line per terminal result, flushed immediately: a consumer
+  // tailing the stream (or a drained run) never sees a partial batch
+  // without the lines that were already decided.
+  Opts.Sink = [&](const serve::BatchResult &Res) {
+    std::string Line = Res.jsonLine();
+    if (OutFile.is_open()) {
+      OutFile << Line << '\n';
+      OutFile.flush();
+    } else {
+      std::fprintf(OutStream, "%s\n", Line.c_str());
+      std::fflush(OutStream);
+    }
+  };
+  Opts.DrainSignal = &BatchDrainFlag;
+  std::signal(SIGINT, batchDrainHandler);
+  std::signal(SIGTERM, batchDrainHandler);
+
+  serve::BatchRunner Runner(Opts);
+  std::vector<serve::BatchResult> Results = Runner.run(Requests.take());
+
+  unsigned Counts[serve::NumTerminalStates] = {};
+  for (const serve::BatchResult &Res : Results)
+    Counts[static_cast<unsigned>(Res.State)]++;
+  std::fprintf(stderr,
+               "anek: batch: %zu request(s): %u ok, %u degraded, %u failed, "
+               "%u timeout, %u shed%s\n",
+               Results.size(),
+               Counts[static_cast<unsigned>(serve::TerminalState::Ok)],
+               Counts[static_cast<unsigned>(serve::TerminalState::Degraded)],
+               Counts[static_cast<unsigned>(serve::TerminalState::Failed)],
+               Counts[static_cast<unsigned>(serve::TerminalState::Timeout)],
+               Counts[static_cast<unsigned>(serve::TerminalState::Shed)],
+               Runner.drainRequested() ? " (drained)" : "");
+  bool AllOk = Counts[static_cast<unsigned>(serve::TerminalState::Ok)] ==
+               Results.size();
+  return AllOk ? ExitOk : ExitDiagnostics;
+}
+
 int run(int Argc, char **Argv) {
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   if (Args.empty()) {
@@ -159,6 +386,12 @@ int run(int Argc, char **Argv) {
     return ExitUsage;
   }
   std::string Command = Args[0];
+  if (Command == "faults") {
+    printFaultTable();
+    return ExitOk;
+  }
+  if (Command == "batch")
+    return runBatch(Args);
   if (Command != "infer" && Command != "check" && Command != "verify" &&
       Command != "pfg" && Command != "ir") {
     std::fprintf(stderr, "anek: unknown command '%s'\n", Command.c_str());
@@ -178,11 +411,11 @@ int run(int Argc, char **Argv) {
   for (size_t I = 1; I < Args.size(); ++I) {
     std::string Value;
     if (flagValue(Args, I, "--trace", Value)) {
-      Telemetry.TracePath = Value;
+      Telemetry.TracePath = expandPathTemplate(Value);
       continue;
     }
     if (flagValue(Args, I, "--metrics", Value)) {
-      Telemetry.MetricsPath = Value;
+      Telemetry.MetricsPath = expandPathTemplate(Value);
       continue;
     }
     if (flagValue(Args, I, "--trace-level", Value)) {
@@ -223,8 +456,12 @@ int run(int Argc, char **Argv) {
         ++I;
     } else if (Args[I] == "--method" && I + 1 < Args.size()) {
       MethodFilter = Args[++I];
-    } else if (Args[I] == "--fault" && I + 1 < Args.size()) {
-      if (Status S = faults::activateSpec(Args[++I]); !S) {
+    } else if (flagValue(Args, I, "--fault", Value)) {
+      if (Value == "list") {
+        printFaultTable();
+        return ExitOk;
+      }
+      if (Status S = faults::activateSpec(Value); !S) {
         std::fprintf(stderr, "anek: %s\n", S.str().c_str());
         return ExitUsage;
       }
