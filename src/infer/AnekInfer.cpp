@@ -123,6 +123,13 @@ public:
 
   InferResult run();
 
+  /// Worker-side shard body (see runShardMethods): skeleton store +
+  /// snapshot overlay, then sequential analyzeOne over the shard's
+  /// methods in declaration-index order.
+  Expected<std::vector<summaryio::ShardMethodOutcome>>
+  analyzeShard(const std::vector<unsigned> &DeclIndices,
+               const std::string &Snapshot);
+
 private:
   struct MethodData {
     MethodIr Ir;
@@ -135,6 +142,12 @@ private:
     TargetSummary *Target = nullptr;
     /// Method whose summary the target belongs to (requeue key).
     MethodDecl *SummaryOwner = nullptr;
+    /// Which interface target of the owner (with ParamIndex for the
+    /// Param* roles). Redundant with Target in process; it is the
+    /// process-independent name the shard wire format uses instead of
+    /// the pointer.
+    summaryio::SummaryTargetRole Role = summaryio::SummaryTargetRole::RecvPre;
+    uint32_t ParamIndex = 0;
     bool IsSelf = false;
     CallSiteKey Site{nullptr, 0};
     std::vector<double> Odds;
@@ -154,6 +167,23 @@ private:
     double SolveSeconds = 0.0;
   };
 
+  /// Record of one summary-prior application so its evidence can be
+  /// divided back out after the solve.
+  struct Application {
+    PfgNodeId Node = NoPfgNode;
+    TargetSummary *Target = nullptr;
+    /// Method whose summary the target belongs to.
+    MethodDecl *SummaryOwner = nullptr;
+    summaryio::SummaryTargetRole Role = summaryio::SummaryTargetRole::RecvPre;
+    uint32_t ParamIndex = 0;
+    std::vector<double> Applied;
+    bool IsSelf = false;
+    /// True for call-site precondition nodes: a site may only weaken a
+    /// requirement, never strengthen it (requirements come from bodies).
+    bool IsRequirement = false;
+    CallSiteKey Site{nullptr, 0};
+  };
+
   /// Builds and solves one method's model against the current (frozen)
   /// summary store. Pure with respect to engine state: all writes are
   /// returned as deferred updates inside the outcome. Safe to run
@@ -161,16 +191,35 @@ private:
   MethodOutcome analyzeOne(MethodDecl *M);
 
   /// Per-target evidence helper: converts the solved marginals /
-  /// graph-side cavity beliefs into an odds vector. \p WeakenOnly caps
-  /// odds at 1 (call-site evidence on preconditions). Appends a deferred
-  /// update to \p Updates; no engine state is touched.
+  /// graph-side cavity beliefs into an odds vector (call-site evidence
+  /// on preconditions is weaken-only: odds capped at 1). Appends a
+  /// deferred update to \p Updates; no engine state is touched.
   void computeEvidence(std::vector<PendingUpdate> &Updates,
-                       TargetSummary *Target,
-                       const std::vector<double> &Applied,
+                       const Application &App,
                        const std::vector<double> &Marginals,
-                       const std::vector<double> &GraphBelief,
-                       MethodDecl *SummaryOwner, bool IsSelf,
-                       bool WeakenOnly, CallSiteKey Site) const;
+                       const std::vector<double> &GraphBelief) const;
+
+  /// Converts a shard executor's wire outcomes back into engine
+  /// outcomes, resolving declaration indices against this program and
+  /// validating shape end to end (one outcome per batch method, known
+  /// owners/callers, matching odds arity). \p Outcomes is indexed like
+  /// \p Batch. Any violation returns an error and the caller discards
+  /// the whole wave result (the wave then reruns in process).
+  Status adoptWireOutcomes(std::vector<summaryio::ShardMethodOutcome> Wire,
+                           const std::vector<MethodDecl *> &Batch,
+                           std::vector<MethodOutcome> &Outcomes);
+
+  /// The target a (role, param-index) pair names inside \p Summary, or
+  /// null when that interface position carries no summary.
+  static TargetSummary *resolveTarget(MethodSummary &Summary,
+                                      summaryio::SummaryTargetRole Role,
+                                      uint32_t ParamIndex);
+
+  /// Builds the decl-index lookup shard wire identification relies on.
+  /// False when indices are not globally unique (hand-built ASTs Sema
+  /// never numbered): shard mode is then unusable and the engine runs
+  /// in process.
+  bool buildDeclIndexLookup();
 
   /// Runs the configured solver, walking the fallback cascade when the
   /// primary misses its convergence contract; fills \p GraphBelief with
@@ -195,17 +244,23 @@ private:
   MethodDeclMap<MethodReport> Reports;
   MethodDeclMap<MethodData> Data;
   MethodDeclMap<MethodSummary> Summaries;
+  /// Declaration index -> method, for shard wire identification. Only
+  /// populated when shard mode is in play (see buildDeclIndexLookup).
+  std::map<uint32_t, MethodDecl *> DeclsByIndex;
 };
 
 } // namespace
 
 void InferEngine::computeEvidence(std::vector<PendingUpdate> &Updates,
-                                  TargetSummary *Target,
-                                  const std::vector<double> &Applied,
+                                  const Application &App,
                                   const std::vector<double> &Marginals,
-                                  const std::vector<double> &GraphBelief,
-                                  MethodDecl *SummaryOwner, bool IsSelf,
-                                  bool WeakenOnly, CallSiteKey Site) const {
+                                  const std::vector<double> &GraphBelief) const {
+  TargetSummary *Target = App.Target;
+  const std::vector<double> &Applied = App.Applied;
+  MethodDecl *SummaryOwner = App.SummaryOwner;
+  const bool IsSelf = App.IsSelf;
+  const bool WeakenOnly = !App.IsSelf && App.IsRequirement;
+  const CallSiteKey &Site = App.Site;
   // Two evidence channels, chosen by direction:
   //
   //  - Requirement-side call votes (WeakenOnly) use the graph-side cavity
@@ -249,6 +304,8 @@ void InferEngine::computeEvidence(std::vector<PendingUpdate> &Updates,
   PendingUpdate Update;
   Update.Target = Target;
   Update.SummaryOwner = SummaryOwner;
+  Update.Role = App.Role;
+  Update.ParamIndex = App.ParamIndex;
   Update.IsSelf = IsSelf;
   Update.Site = Site;
   if (std::getenv("ANEK_DEBUG_EVIDENCE")) {
@@ -457,22 +514,12 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
   // Records of every prior application so evidence can be divided out.
   // Everything read below comes from the wave's frozen summary store;
   // the writes go through deferred PendingUpdates.
-  struct Application {
-    PfgNodeId Node = NoPfgNode;
-    TargetSummary *Target = nullptr;
-    /// Method whose summary the target belongs to.
-    MethodDecl *SummaryOwner = nullptr;
-    std::vector<double> Applied;
-    bool IsSelf = false;
-    /// True for call-site precondition nodes: a site may only weaken a
-    /// requirement, never strengthen it (requirements come from bodies).
-    bool IsRequirement = false;
-    CallSiteKey Site{nullptr, 0};
-  };
   std::vector<Application> Applications;
 
+  using summaryio::SummaryTargetRole;
   auto Apply = [&](PfgNodeId Node, TargetSummary *Target,
-                   MethodDecl *SummaryOwner, bool IsSelf, CallSiteKey Site,
+                   MethodDecl *SummaryOwner, SummaryTargetRole Role,
+                   uint32_t ParamIndex, bool IsSelf, CallSiteKey Site,
                    bool IsRequirement = false) {
     if (Node == NoPfgNode || !Target)
       return;
@@ -480,6 +527,8 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
     App.Node = Node;
     App.Target = Target;
     App.SummaryOwner = SummaryOwner;
+    App.Role = Role;
+    App.ParamIndex = ParamIndex;
     App.IsSelf = IsSelf;
     App.Site = Site;
     App.IsRequirement = IsRequirement;
@@ -494,18 +543,23 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
   // The method's own interface nodes: prior = summary minus own evidence.
   MethodSummary &Self = Summaries.at(M);
   CallSiteKey NoSite{nullptr, 0};
-  Apply(G.ReceiverPre, Self.RecvPre ? &*Self.RecvPre : nullptr, M, true,
-        NoSite);
-  Apply(G.ReceiverPost, Self.RecvPost ? &*Self.RecvPost : nullptr, M, true,
-        NoSite);
+  Apply(G.ReceiverPre, Self.RecvPre ? &*Self.RecvPre : nullptr, M,
+        SummaryTargetRole::RecvPre, 0, true, NoSite);
+  Apply(G.ReceiverPost, Self.RecvPost ? &*Self.RecvPost : nullptr, M,
+        SummaryTargetRole::RecvPost, 0, true, NoSite);
   for (size_t I = 0; I != G.ParamPre.size(); ++I) {
     if (I < Self.ParamPre.size() && Self.ParamPre[I])
-      Apply(G.ParamPre[I], &*Self.ParamPre[I], M, true, NoSite);
+      Apply(G.ParamPre[I], &*Self.ParamPre[I], M,
+            SummaryTargetRole::ParamPre, static_cast<uint32_t>(I), true,
+            NoSite);
     if (I < Self.ParamPost.size() && Self.ParamPost[I])
-      Apply(G.ParamPost[I], &*Self.ParamPost[I], M, true, NoSite);
+      Apply(G.ParamPost[I], &*Self.ParamPost[I], M,
+            SummaryTargetRole::ParamPost, static_cast<uint32_t>(I), true,
+            NoSite);
   }
   if (Self.Result)
-    Apply(G.ResultNode, &*Self.Result, M, true, NoSite);
+    Apply(G.ResultNode, &*Self.Result, M, SummaryTargetRole::Result, 0, true,
+          NoSite);
 
   // Call sites: cavity priors from callee summaries (APPLYSUMMARY).
   for (uint32_t S = 0; S != G.CallSites.size(); ++S) {
@@ -519,18 +573,22 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
     MethodDecl *D = Site.Callee;
     CallSiteKey Key{M, S};
     Apply(Site.RecvPre, Callee.RecvPre ? &*Callee.RecvPre : nullptr, D,
-          false, Key, /*IsRequirement=*/true);
+          SummaryTargetRole::RecvPre, 0, false, Key, /*IsRequirement=*/true);
     Apply(Site.RecvPost, Callee.RecvPost ? &*Callee.RecvPost : nullptr, D,
-          false, Key);
+          SummaryTargetRole::RecvPost, 0, false, Key);
     for (size_t I = 0; I != Site.ArgPre.size(); ++I) {
       if (I < Callee.ParamPre.size() && Callee.ParamPre[I])
-        Apply(Site.ArgPre[I], &*Callee.ParamPre[I], D, false, Key,
-              /*IsRequirement=*/true);
+        Apply(Site.ArgPre[I], &*Callee.ParamPre[I], D,
+              SummaryTargetRole::ParamPre, static_cast<uint32_t>(I), false,
+              Key, /*IsRequirement=*/true);
       if (I < Callee.ParamPost.size() && Callee.ParamPost[I])
-        Apply(Site.ArgPost[I], &*Callee.ParamPost[I], D, false, Key);
+        Apply(Site.ArgPost[I], &*Callee.ParamPost[I], D,
+              SummaryTargetRole::ParamPost, static_cast<uint32_t>(I), false,
+              Key);
     }
     if (Callee.Result)
-      Apply(Site.Result, &*Callee.Result, D, false, Key);
+      Apply(Site.Result, &*Callee.Result, D, SummaryTargetRole::Result, 0,
+            false, Key);
   }
 
   Timer SolveTimer;
@@ -551,11 +609,206 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
         readMarginals(Vars.node(App.Node), Solution);
     std::vector<double> NodeBelief =
         readMarginals(Vars.node(App.Node), GraphBelief);
-    computeEvidence(Out.Updates, App.Target, App.Applied, NodeMarginals,
-                    NodeBelief, App.SummaryOwner, App.IsSelf,
-                    !App.IsSelf && App.IsRequirement, App.Site);
+    computeEvidence(Out.Updates, App, NodeMarginals, NodeBelief);
   }
   return Out;
+}
+
+TargetSummary *InferEngine::resolveTarget(MethodSummary &Summary,
+                                          summaryio::SummaryTargetRole Role,
+                                          uint32_t ParamIndex) {
+  using summaryio::SummaryTargetRole;
+  switch (Role) {
+  case SummaryTargetRole::RecvPre:
+    return Summary.RecvPre ? &*Summary.RecvPre : nullptr;
+  case SummaryTargetRole::RecvPost:
+    return Summary.RecvPost ? &*Summary.RecvPost : nullptr;
+  case SummaryTargetRole::ParamPre:
+    return ParamIndex < Summary.ParamPre.size() && Summary.ParamPre[ParamIndex]
+               ? &*Summary.ParamPre[ParamIndex]
+               : nullptr;
+  case SummaryTargetRole::ParamPost:
+    return ParamIndex < Summary.ParamPost.size() &&
+                   Summary.ParamPost[ParamIndex]
+               ? &*Summary.ParamPost[ParamIndex]
+               : nullptr;
+  case SummaryTargetRole::Result:
+    return Summary.Result ? &*Summary.Result : nullptr;
+  }
+  return nullptr;
+}
+
+bool InferEngine::buildDeclIndexLookup() {
+  DeclsByIndex.clear();
+  for (const auto &Type : Prog.Types)
+    for (const auto &M : Type->Methods)
+      if (!DeclsByIndex.emplace(M->DeclIndex, M.get()).second)
+        return false; // Unnumbered (hand-built) decls collide on index 0.
+  return true;
+}
+
+Status InferEngine::adoptWireOutcomes(
+    std::vector<summaryio::ShardMethodOutcome> Wire,
+    const std::vector<MethodDecl *> &Batch,
+    std::vector<MethodOutcome> &Outcomes) {
+  auto Reject = [](const std::string &Why) {
+    return Status::error(ErrorCode::InvalidArgument,
+                         "shard wave result rejected: " + Why);
+  };
+  if (Wire.size() != Batch.size())
+    return Reject("got " + std::to_string(Wire.size()) + " outcomes for a " +
+                  std::to_string(Batch.size()) + "-method batch");
+
+  std::map<uint32_t, size_t> Slot;
+  for (size_t I = 0; I != Batch.size(); ++I)
+    Slot.emplace(Batch[I]->DeclIndex, I);
+  std::vector<bool> Filled(Batch.size(), false);
+
+  for (summaryio::ShardMethodOutcome &W : Wire) {
+    auto SlotIt = Slot.find(W.DeclIndex);
+    if (SlotIt == Slot.end())
+      return Reject("outcome for method #" + std::to_string(W.DeclIndex) +
+                    " which is not in this wave");
+    if (Filled[SlotIt->second])
+      return Reject("duplicate outcome for method #" +
+                    std::to_string(W.DeclIndex));
+    Filled[SlotIt->second] = true;
+
+    MethodOutcome Out;
+    Out.Failed = W.Failed;
+    Out.Error = std::move(W.Error);
+    if (W.SolverUsed > static_cast<uint8_t>(SolverChoice::Exact))
+      return Reject("unknown solver id " + std::to_string(W.SolverUsed));
+    Out.Report.Used = static_cast<SolverChoice>(W.SolverUsed);
+    Out.Report.Fallback = W.FallbackUsed;
+    Out.Report.Reason = std::move(W.Reason);
+    Out.Report.Solve = std::move(W.Solve);
+    Out.Report.Solves = W.Solves;
+    Out.Variables = static_cast<unsigned>(W.Variables);
+    Out.Factors = static_cast<unsigned>(W.Factors);
+    Out.SolveSeconds = W.SolveSeconds;
+
+    for (summaryio::SummaryUpdate &U : W.Updates) {
+      auto OwnerIt = DeclsByIndex.find(U.OwnerDeclIndex);
+      if (OwnerIt == DeclsByIndex.end())
+        return Reject("update names unknown method #" +
+                      std::to_string(U.OwnerDeclIndex));
+      MethodDecl *Owner = OwnerIt->second;
+      auto SumIt = Summaries.find(Owner);
+      if (SumIt == Summaries.end())
+        return Reject("update names unsummarized method '" +
+                      Owner->qualifiedName() + "'");
+      TargetSummary *Target =
+          resolveTarget(SumIt->second, U.Role, U.ParamIndex);
+      if (!Target)
+        return Reject("update names missing target " +
+                      std::string(summaryio::summaryTargetRoleName(U.Role)) +
+                      "#" + std::to_string(U.ParamIndex) + " of '" +
+                      Owner->qualifiedName() + "'");
+      if (U.Odds.size() != Target->size())
+        return Reject("odds arity mismatch for '" + Owner->qualifiedName() +
+                      "' (" + std::to_string(U.Odds.size()) + " vs " +
+                      std::to_string(Target->size()) + ")");
+      PendingUpdate P;
+      P.Target = Target;
+      P.SummaryOwner = Owner;
+      P.Role = U.Role;
+      P.ParamIndex = U.ParamIndex;
+      P.IsSelf = U.IsSelf;
+      if (!U.IsSelf) {
+        auto CallerIt = DeclsByIndex.find(U.SiteCallerDeclIndex);
+        if (CallerIt == DeclsByIndex.end())
+          return Reject("site update names unknown caller #" +
+                        std::to_string(U.SiteCallerDeclIndex));
+        P.Site = {CallerIt->second, U.SiteIndex};
+      }
+      P.Odds = std::move(U.Odds);
+      P.DebugLine = std::move(U.DebugLine);
+      Out.Updates.push_back(std::move(P));
+    }
+    Outcomes[SlotIt->second] = std::move(Out);
+  }
+  return Status::ok();
+}
+
+Expected<std::vector<summaryio::ShardMethodOutcome>>
+InferEngine::analyzeShard(const std::vector<unsigned> &DeclIndices,
+                          const std::string &Snapshot) {
+  if (!buildDeclIndexLookup())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "shard execution needs globally unique declaration "
+                         "indices (program was not Sema-numbered)");
+
+  // Skeleton store over the whole program: priors and shapes are a pure
+  // function of the AST + SpecHi/SpecLo, so both sides rebuild them and
+  // the snapshot only carries evidence.
+  for (const auto &Type : Prog.Types)
+    for (const auto &M : Type->Methods)
+      Summaries.emplace(M.get(), MethodSummary::forMethod(*M, Opts.SpecHi,
+                                                          Opts.SpecLo));
+  if (Status S = summaryio::decodeSnapshot(Snapshot, Summaries); !S)
+    return S;
+
+  // Resolve and order the shard (declaration-index order; the
+  // coordinator merges by batch slot, so our order only needs to be
+  // deterministic, not to match the request).
+  std::vector<MethodDecl *> Methods;
+  Methods.reserve(DeclIndices.size());
+  for (unsigned Index : DeclIndices) {
+    auto It = DeclsByIndex.find(Index);
+    if (It == DeclsByIndex.end())
+      return Status::error(ErrorCode::InvalidArgument,
+                           "shard names unknown method #" +
+                               std::to_string(Index));
+    if (!It->second->Body)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "shard names bodiless method '" +
+                               It->second->qualifiedName() + "'");
+    Methods.push_back(It->second);
+  }
+  std::sort(Methods.begin(), Methods.end(), DeclIndexLess());
+
+  std::vector<summaryio::ShardMethodOutcome> Wire;
+  Wire.reserve(Methods.size());
+  for (MethodDecl *M : Methods) {
+    summaryio::ShardMethodOutcome W;
+    W.DeclIndex = M->DeclIndex;
+    MethodOutcome Out;
+    try {
+      MethodData MD;
+      MD.Ir = lowerToIr(*M);
+      MD.G = buildPfg(MD.Ir);
+      Data.emplace(M, std::move(MD));
+      Out = analyzeOne(M);
+    } catch (const std::exception &E) {
+      Out.Failed = true;
+      Out.Error = Status::error(ErrorCode::Internal, E.what()).str();
+    }
+    W.Failed = Out.Failed;
+    W.Error = std::move(Out.Error);
+    W.SolverUsed = static_cast<uint8_t>(Out.Report.Used);
+    W.FallbackUsed = Out.Report.Fallback;
+    W.Reason = std::move(Out.Report.Reason);
+    W.Solve = std::move(Out.Report.Solve);
+    W.Solves = Out.Report.Solves;
+    W.Variables = Out.Variables;
+    W.Factors = Out.Factors;
+    W.SolveSeconds = Out.SolveSeconds;
+    for (PendingUpdate &U : Out.Updates) {
+      summaryio::SummaryUpdate WU;
+      WU.OwnerDeclIndex = U.SummaryOwner ? U.SummaryOwner->DeclIndex : 0;
+      WU.Role = U.Role;
+      WU.ParamIndex = U.ParamIndex;
+      WU.IsSelf = U.IsSelf;
+      WU.SiteCallerDeclIndex = U.Site.first ? U.Site.first->DeclIndex : 0;
+      WU.SiteIndex = U.Site.second;
+      WU.Odds = std::move(U.Odds);
+      WU.DebugLine = std::move(U.DebugLine);
+      W.Updates.push_back(std::move(WU));
+    }
+    Wire.push_back(std::move(W));
+  }
+  return Wire;
 }
 
 InferResult InferEngine::run() {
@@ -623,6 +876,11 @@ InferResult InferEngine::run() {
   if (telemetry::enabled(telemetry::TraceLevel::Phase))
     telemetry::gauge("infer.parallelism")
         .set(static_cast<double>(Pool ? Pool->threadCount() : 1));
+
+  // Sharded execution is only usable when methods have globally unique
+  // declaration indices (any Sema-checked program); otherwise wire
+  // identification is ambiguous and the engine quietly stays in process.
+  const bool ShardUsable = Opts.ShardExec && buildDeclIndexLookup();
 
   // Cooperative cancellation/budget poll, consulted at wave boundaries
   // only: inside a wave the jobs run to completion (their SOLVE steps are
@@ -693,7 +951,49 @@ InferResult InferEngine::run() {
       const int64_t DispatchUs =
           telemetry::enabled() ? telemetry::nowUs() : 0;
       std::vector<MethodOutcome> Outcomes(Batch.size());
-      parallelFor(Pool, Batch.size(), [&](size_t I) {
+
+      // Sharded path: freeze the store into a snapshot, hand the batch
+      // to the executor, and adopt its outcomes in place of running the
+      // jobs here. Validation failures and executor errors degrade the
+      // wave back to the in-process scheduler — identical results either
+      // way (the executor contract), so degradation is invisible in the
+      // output and the run can never be lost to infrastructure.
+      bool RemoteMerged = false;
+      if (ShardUsable) {
+        telemetry::Span ShardWave("shard.wave", telemetry::TraceLevel::Phase,
+                                  "shard");
+        if (ShardWave.active())
+          ShardWave.arg("methods", static_cast<uint64_t>(Batch.size()));
+        std::vector<unsigned> Indices;
+        Indices.reserve(Batch.size());
+        for (MethodDecl *M : Batch)
+          Indices.push_back(M->DeclIndex);
+        Expected<std::vector<summaryio::ShardMethodOutcome>> Remote =
+            Opts.ShardExec->executeWave(Indices,
+                                        summaryio::encodeSnapshot(Summaries));
+        Status Adopt = Remote
+                           ? adoptWireOutcomes(Remote.take(), Batch, Outcomes)
+                           : Remote.status();
+        if (Adopt) {
+          RemoteMerged = true;
+          ++Result.Shard.WavesRemote;
+        } else {
+          ++Result.Shard.WavesDegraded;
+          if (telemetry::enabled(telemetry::TraceLevel::Phase))
+            telemetry::counter("shard.wave_degraded").add(1);
+          if (Diags)
+            Diags->warning(Batch.front()->Loc,
+                           "shard executor failed for a " +
+                               std::to_string(Batch.size()) +
+                               "-method wave (" + Adopt.str() +
+                               "); wave re-run in process");
+          // A rejected result may have filled some slots; start clean.
+          Outcomes.assign(Batch.size(), MethodOutcome());
+        }
+      }
+
+      if (!RemoteMerged)
+        parallelFor(Pool, Batch.size(), [&](size_t I) {
         // Attribute the job's allocations to the governing request (a
         // no-op when ungoverned). Pool workers are shared across batch
         // requests, so enrollment must happen per job, not per thread.
@@ -836,6 +1136,19 @@ InferResult InferEngine::run() {
   for (auto &[M, Summary] : Summaries)
     Result.Summaries.emplace(M, Summary);
   Result.Reports = Reports;
+  if (Opts.ShardExec) {
+    // Dispatch-side counters live in the executor; the wave-level view
+    // is ours. Merge both into the result.
+    ShardStats S = Opts.ShardExec->stats();
+    S.WavesRemote = Result.Shard.WavesRemote;
+    S.WavesDegraded = Result.Shard.WavesDegraded;
+    Result.Shard = S;
+    if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+      telemetry::counter("shard.waves_remote").add(S.WavesRemote);
+      telemetry::counter("shard.workers_lost").add(S.WorkersLost);
+      telemetry::counter("shard.quarantined").add(S.ShardsQuarantined);
+    }
+  }
   if (Phase3.active())
     Phase3.arg("inferred", static_cast<uint64_t>(Result.Inferred.size()));
   if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
@@ -854,4 +1167,16 @@ InferResult anek::runAnekInfer(Program &Prog, const InferOptions &Opts,
                                DiagnosticEngine *Diags) {
   InferEngine Engine(Prog, Opts, Diags);
   return Engine.run();
+}
+
+Expected<std::vector<summaryio::ShardMethodOutcome>>
+anek::runShardMethods(Program &Prog,
+                      const std::vector<unsigned> &DeclIndices,
+                      const std::string &Snapshot,
+                      const InferOptions &Opts) {
+  // The worker is strictly a leaf: it must never re-shard.
+  InferOptions Leaf = Opts;
+  Leaf.ShardExec = nullptr;
+  InferEngine Engine(Prog, Leaf, nullptr);
+  return Engine.analyzeShard(DeclIndices, Snapshot);
 }

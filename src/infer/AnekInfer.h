@@ -27,6 +27,7 @@
 #include "constraints/ConstraintGen.h"
 #include "factor/Solvers.h"
 #include "infer/Summary.h"
+#include "infer/SummaryIO.h"
 #include "lang/Ast.h"
 #include "support/Cancel.h"
 #include "support/Deadline.h"
@@ -45,6 +46,58 @@ enum class SolverChoice { SumProduct, Gibbs, Exact };
 
 /// Renders a SolverChoice as "bp"/"gibbs"/"exact".
 const char *solverChoiceName(SolverChoice Choice);
+
+/// Counters of the sharded execution tier (src/shard/), carried in
+/// InferResult so the serving layer can classify a run that survived
+/// worker losses as degraded rather than silently clean.
+struct ShardStats {
+  /// Wave batches the executor ran remotely.
+  unsigned WavesRemote = 0;
+  /// Waves that fell back to in-process execution after the executor
+  /// failed outright or returned an unusable result.
+  unsigned WavesDegraded = 0;
+  /// Shard dispatches to worker processes, re-dispatches included.
+  unsigned ShardsDispatched = 0;
+  /// Dispatches that were retries after a worker loss.
+  unsigned Redispatches = 0;
+  /// Worker processes lost: crashed, hung past the heartbeat deadline,
+  /// or recycled after an unreadable frame.
+  unsigned WorkersLost = 0;
+  unsigned WorkersSpawned = 0;
+  /// Shards that exhausted their loss budget and were degraded to
+  /// in-process sequential execution (terminal state
+  /// degraded(shard-quarantine); the work is never lost).
+  unsigned ShardsQuarantined = 0;
+};
+
+/// Executes wave batches outside the engine's own process. The engine
+/// stays in charge of the algorithm — wave composition, the frozen
+/// snapshot, merge order — and delegates only the embarrassingly
+/// parallel middle: "analyze these methods against this snapshot".
+///
+/// The contract that keeps `--shards N` byte-identical to `-j1`:
+/// executeWave receives a declaration-ordered batch plus a sealed
+/// summary snapshot (summaryio::encodeSnapshot) and must return exactly
+/// one outcome per requested method, computed as runShardMethods would
+/// compute it with the same options. Outcomes may arrive in any order
+/// (the engine re-sorts into batch order before merging) and may be
+/// computed anywhere, any number of attempts deep — re-dispatch after a
+/// crash re-runs against the same snapshot, so retries are invisible in
+/// the result. An error return degrades the wave to in-process
+/// execution; it never fails the run.
+class WaveShardExecutor {
+public:
+  virtual ~WaveShardExecutor() = default;
+
+  /// Analyzes the methods named by \p DeclIndices against \p Snapshot.
+  virtual Expected<std::vector<summaryio::ShardMethodOutcome>>
+  executeWave(const std::vector<unsigned> &DeclIndices,
+              const std::string &Snapshot) = 0;
+
+  /// Dispatch-side counters accumulated so far (WavesRemote/WavesDegraded
+  /// are filled by the engine; implementations report the rest).
+  virtual ShardStats stats() const { return {}; }
+};
 
 /// Tunables of the inference (paper Sections 3.3-3.4).
 struct InferOptions {
@@ -108,6 +161,14 @@ struct InferOptions {
   /// "<FaultScope>/<qualified-method>", so a batch request can be faulted
   /// without perturbing concurrent requests over the same program.
   std::string FaultScope;
+
+  // Sharded execution (DESIGN.md, "Sharded execution and failure model").
+  /// When set, wave batches are handed to this executor (normally a
+  /// shard::ShardCoordinator farming the batch to worker processes)
+  /// instead of the in-process scheduler. Requires globally unique
+  /// declaration indices (any Sema-checked program); the engine verifies
+  /// and silently runs in process otherwise. Never set in a worker.
+  WaveShardExecutor *ShardExec = nullptr;
 };
 
 /// How one method's SOLVE step went, cascade decisions included.
@@ -152,6 +213,12 @@ struct InferResult {
   unsigned TotalFactors = 0;
   double SolveSeconds = 0.0;
 
+  /// Sharded-execution counters; all zero unless InferOptions::ShardExec
+  /// was set. ShardsQuarantined != 0 or WavesDegraded != 0 means the run
+  /// survived infrastructure failures by degrading (results are still
+  /// byte-identical to -j1 by the executor contract).
+  ShardStats Shard;
+
   /// Non-ok when the run was cut short by InferOptions::Cancel or
   /// RunBudget at a wave boundary. Summaries and reports reflect the work
   /// merged before the abort; no specs are extracted from an aborted run.
@@ -175,6 +242,21 @@ struct InferResult {
 /// the rest of the program is still inferred.
 InferResult runAnekInfer(Program &Prog, const InferOptions &Opts = {},
                          DiagnosticEngine *Diags = nullptr);
+
+/// Worker-side shard entry (`anek --worker`, src/shard/): analyzes the
+/// methods named by \p DeclIndices — sequentially, in declaration-index
+/// order — against the frozen summary \p Snapshot and returns their wire
+/// outcomes. \p Opts must carry the same algorithm knobs (solver,
+/// cascade, SpecHi/SpecLo, seed, constraints) as the coordinating run:
+/// given that, the outcomes are byte-for-byte the evidence the
+/// coordinator's own scheduler would have produced for the same wave.
+/// A method that fails analysis yields a Failed outcome (merged as a
+/// skip); the call itself errors only on structural problems — an
+/// unknown declaration index or a snapshot that does not decode against
+/// this program.
+Expected<std::vector<summaryio::ShardMethodOutcome>>
+runShardMethods(Program &Prog, const std::vector<unsigned> &DeclIndices,
+                const std::string &Snapshot, const InferOptions &Opts);
 
 } // namespace anek
 

@@ -54,6 +54,13 @@ struct CallSiteOrder {
   }
 };
 
+/// Read access to TargetSummary's evidence internals for the wire codec
+/// (SummaryIO.cpp). Serialization must see the raw odds multipliers, not
+/// the pooled probabilities: pooling is a lossy float reduction, and the
+/// shard determinism contract needs the exact operands to cross the
+/// process boundary bit-for-bit.
+struct SummaryWireAccess;
+
 /// Evidence-pooled marginals for one interface target.
 class TargetSummary {
 public:
@@ -91,6 +98,8 @@ public:
   std::vector<double> pooledWithoutSite(CallSiteKey Site) const;
 
 private:
+  friend struct SummaryWireAccess;
+
   std::vector<double> pool(const std::vector<double> *SkipOdds,
                            const CallSiteKey *SkipSite) const;
 

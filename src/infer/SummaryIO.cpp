@@ -1,0 +1,396 @@
+//===- SummaryIO.cpp - Versioned wire codec for summaries ------------------===//
+
+#include "infer/SummaryIO.h"
+
+#include "support/WireFormat.h"
+
+#include <map>
+
+using namespace anek;
+using namespace anek::summaryio;
+
+namespace anek {
+
+// The codec's window into TargetSummary (friend; see Summary.h).
+struct SummaryWireAccess {
+  static const std::vector<double> &selfOdds(const TargetSummary &T) {
+    return T.SelfOdds;
+  }
+  static const std::map<CallSiteKey, std::vector<double>, CallSiteOrder> &
+  siteOdds(const TargetSummary &T) {
+    return T.SiteOdds;
+  }
+};
+
+} // namespace anek
+
+namespace {
+
+/// "ANEKSUM1" as a little-endian u64.
+constexpr uint64_t BlobMagic = 0x314D55534B454E41ULL;
+/// magic(8) + version(4) + kind(4) + length(8) + checksum(8).
+constexpr size_t HeaderBytes = 32;
+
+Status corrupt(const std::string &What) {
+  return Status::error(ErrorCode::InvalidArgument,
+                       "summary blob rejected: " + What);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot payload
+//===----------------------------------------------------------------------===//
+
+void encodeTarget(wire::Writer &W,
+                  const std::optional<TargetSummary> &Target) {
+  W.u8(Target.has_value() ? 1 : 0);
+  if (!Target)
+    return;
+  W.u32(static_cast<uint32_t>(Target->size()));
+  const std::vector<double> &Self = SummaryWireAccess::selfOdds(*Target);
+  W.u32(static_cast<uint32_t>(Self.size()));
+  for (double O : Self)
+    W.f64(O);
+  const auto &Sites = SummaryWireAccess::siteOdds(*Target);
+  W.u32(static_cast<uint32_t>(Sites.size()));
+  for (const auto &[Site, Odds] : Sites) {
+    W.u32(Site.first ? Site.first->DeclIndex : 0);
+    W.u32(Site.second);
+    for (double O : Odds)
+      W.f64(O);
+  }
+}
+
+/// Decl-index lookup built from the store's own keys: snapshots may only
+/// reference methods both sides know about.
+using DeclLookup = std::map<uint32_t, const MethodDecl *>;
+
+Status decodeTarget(wire::Reader &R, std::optional<TargetSummary> &Target,
+                    const DeclLookup &Decls, const std::string &Where) {
+  uint8_t Present = 0;
+  if (!R.u8(Present))
+    return corrupt("truncated at " + Where);
+  if ((Present != 0) != Target.has_value())
+    return corrupt("target presence mismatch at " + Where +
+                   " (the snapshot and the local program disagree about "
+                   "which interface positions are object-typed)");
+  if (!Present)
+    return Status::ok();
+
+  uint32_t Size = 0;
+  if (!R.u32(Size))
+    return corrupt("truncated at " + Where);
+  if (Size != Target->size())
+    return corrupt("target arity mismatch at " + Where + " (snapshot says " +
+                   std::to_string(Size) + " variables, local summary has " +
+                   std::to_string(Target->size()) + ")");
+
+  uint32_t SelfCount = 0;
+  if (!R.count(SelfCount, 8))
+    return corrupt("truncated self odds at " + Where);
+  if (SelfCount != 0 && SelfCount != Size)
+    return corrupt("self odds arity mismatch at " + Where);
+  if (SelfCount != 0) {
+    std::vector<double> Odds(SelfCount);
+    for (double &O : Odds)
+      if (!R.f64(O))
+        return corrupt("truncated self odds at " + Where);
+    Target->setSelfOdds(std::move(Odds));
+  }
+
+  uint32_t SiteCount = 0;
+  if (!R.count(SiteCount, 8))
+    return corrupt("truncated site list at " + Where);
+  for (uint32_t I = 0; I != SiteCount; ++I) {
+    uint32_t CallerIndex = 0, SiteIndex = 0;
+    if (!R.u32(CallerIndex) || !R.u32(SiteIndex))
+      return corrupt("truncated site key at " + Where);
+    auto Caller = Decls.find(CallerIndex);
+    if (Caller == Decls.end())
+      return corrupt("site at " + Where + " references unknown method #" +
+                     std::to_string(CallerIndex));
+    std::vector<double> Odds(Size);
+    for (double &O : Odds)
+      if (!R.f64(O))
+        return corrupt("truncated site odds at " + Where);
+    Target->setSiteOdds({Caller->second, SiteIndex}, std::move(Odds));
+  }
+  return Status::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Outcome payload
+//===----------------------------------------------------------------------===//
+
+void encodeSolveReport(wire::Writer &W, const SolveReport &Solve) {
+  W.u8(Solve.Converged ? 1 : 0);
+  W.f64(Solve.Residual);
+  W.u64(Solve.Iterations);
+  W.f64(Solve.Seconds);
+  W.u8(Solve.DeadlineExpired ? 1 : 0);
+  W.u64(Solve.Updates);
+  W.u64(Solve.SkippedUpdates);
+  W.str(Solve.Reason);
+}
+
+bool decodeSolveReport(wire::Reader &R, SolveReport &Solve) {
+  uint8_t Converged = 0, DeadlineExpired = 0;
+  uint64_t Iterations = 0;
+  bool Ok = R.u8(Converged) && R.f64(Solve.Residual) && R.u64(Iterations) &&
+            R.f64(Solve.Seconds) && R.u8(DeadlineExpired) &&
+            R.u64(Solve.Updates) && R.u64(Solve.SkippedUpdates) &&
+            R.str(Solve.Reason);
+  Solve.Converged = Converged != 0;
+  Solve.DeadlineExpired = DeadlineExpired != 0;
+  Solve.Iterations = static_cast<unsigned>(Iterations);
+  return Ok;
+}
+
+void encodeUpdate(wire::Writer &W, const SummaryUpdate &U) {
+  W.u32(U.OwnerDeclIndex);
+  W.u8(static_cast<uint8_t>(U.Role));
+  W.u32(U.ParamIndex);
+  W.u8(U.IsSelf ? 1 : 0);
+  W.u32(U.SiteCallerDeclIndex);
+  W.u32(U.SiteIndex);
+  W.u32(static_cast<uint32_t>(U.Odds.size()));
+  for (double O : U.Odds)
+    W.f64(O);
+  W.str(U.DebugLine);
+}
+
+bool decodeUpdate(wire::Reader &R, SummaryUpdate &U) {
+  uint8_t Role = 0, IsSelf = 0;
+  if (!(R.u32(U.OwnerDeclIndex) && R.u8(Role) && R.u32(U.ParamIndex) &&
+        R.u8(IsSelf) && R.u32(U.SiteCallerDeclIndex) && R.u32(U.SiteIndex)))
+    return false;
+  if (Role > static_cast<uint8_t>(SummaryTargetRole::Result))
+    return false;
+  U.Role = static_cast<SummaryTargetRole>(Role);
+  U.IsSelf = IsSelf != 0;
+  uint32_t OddsCount = 0;
+  if (!R.count(OddsCount, 8))
+    return false;
+  U.Odds.resize(OddsCount);
+  for (double &O : U.Odds)
+    if (!R.f64(O))
+      return false;
+  return R.str(U.DebugLine);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Envelope
+//===----------------------------------------------------------------------===//
+
+std::string summaryio::sealBlob(BlobKind Kind, std::string Payload) {
+  wire::Writer W;
+  W.u64(BlobMagic);
+  W.u32(WireVersion);
+  W.u32(static_cast<uint32_t>(Kind));
+  W.u64(Payload.size());
+  W.u64(wire::fnv1a64(Payload));
+  std::string Blob = W.take();
+  Blob += Payload;
+  return Blob;
+}
+
+Expected<std::string> summaryio::openBlob(std::string_view Blob,
+                                          BlobKind ExpectKind) {
+  if (Blob.size() < HeaderBytes)
+    return corrupt("truncated header (" + std::to_string(Blob.size()) +
+                   " of " + std::to_string(HeaderBytes) + " bytes)");
+  wire::Reader R(Blob.substr(0, HeaderBytes));
+  uint64_t Magic = 0, Length = 0, Checksum = 0;
+  uint32_t Version = 0, Kind = 0;
+  R.u64(Magic);
+  R.u32(Version);
+  R.u32(Kind);
+  R.u64(Length);
+  R.u64(Checksum);
+  if (Magic != BlobMagic)
+    return corrupt("bad magic");
+  if (Version != WireVersion)
+    return corrupt("unsupported wire version " + std::to_string(Version) +
+                   " (this build speaks version " +
+                   std::to_string(WireVersion) + ")");
+  if (Kind != static_cast<uint32_t>(ExpectKind))
+    return corrupt("unexpected blob kind " + std::to_string(Kind) +
+                   " (want " +
+                   std::to_string(static_cast<uint32_t>(ExpectKind)) + ")");
+  if (Length > MaxBlobBytes)
+    return Status::error(ErrorCode::ResourceExhausted,
+                         "summary blob rejected: declared payload of " +
+                             std::to_string(Length) + " bytes exceeds the " +
+                             std::to_string(MaxBlobBytes) + "-byte cap");
+  if (Length != Blob.size() - HeaderBytes)
+    return corrupt("payload length mismatch (header declares " +
+                   std::to_string(Length) + " bytes, " +
+                   std::to_string(Blob.size() - HeaderBytes) + " present)");
+  std::string_view Payload = Blob.substr(HeaderBytes);
+  if (wire::fnv1a64(Payload) != Checksum)
+    return corrupt("checksum mismatch (payload corrupted in flight)");
+  return std::string(Payload);
+}
+
+const char *summaryio::summaryTargetRoleName(SummaryTargetRole Role) {
+  switch (Role) {
+  case SummaryTargetRole::RecvPre:
+    return "recv-pre";
+  case SummaryTargetRole::RecvPost:
+    return "recv-post";
+  case SummaryTargetRole::ParamPre:
+    return "param-pre";
+  case SummaryTargetRole::ParamPost:
+    return "param-post";
+  case SummaryTargetRole::Result:
+    return "result";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot
+//===----------------------------------------------------------------------===//
+
+std::string
+summaryio::encodeSnapshot(const MethodDeclMap<MethodSummary> &Summaries) {
+  wire::Writer W;
+  W.u32(static_cast<uint32_t>(Summaries.size()));
+  for (const auto &[Method, Summary] : Summaries) {
+    W.u32(Method->DeclIndex);
+    encodeTarget(W, Summary.RecvPre);
+    encodeTarget(W, Summary.RecvPost);
+    W.u32(static_cast<uint32_t>(Summary.ParamPre.size()));
+    for (const auto &Target : Summary.ParamPre)
+      encodeTarget(W, Target);
+    W.u32(static_cast<uint32_t>(Summary.ParamPost.size()));
+    for (const auto &Target : Summary.ParamPost)
+      encodeTarget(W, Target);
+    encodeTarget(W, Summary.Result);
+  }
+  return sealBlob(BlobKind::Snapshot, W.take());
+}
+
+Status summaryio::decodeSnapshot(std::string_view Blob,
+                                 MethodDeclMap<MethodSummary> &Summaries) {
+  Expected<std::string> Payload = openBlob(Blob, BlobKind::Snapshot);
+  if (!Payload)
+    return Payload.status();
+
+  DeclLookup Decls;
+  for (const auto &[Method, Summary] : Summaries)
+    Decls.emplace(Method->DeclIndex, Method);
+
+  wire::Reader R(*Payload);
+  uint32_t MethodCount = 0;
+  if (!R.count(MethodCount, 4))
+    return corrupt("truncated method count");
+  if (MethodCount != Summaries.size())
+    return corrupt("method count mismatch (snapshot has " +
+                   std::to_string(MethodCount) + ", local store has " +
+                   std::to_string(Summaries.size()) + ")");
+  for (uint32_t I = 0; I != MethodCount; ++I) {
+    uint32_t DeclIndex = 0;
+    if (!R.u32(DeclIndex))
+      return corrupt("truncated method record");
+    auto Decl = Decls.find(DeclIndex);
+    if (Decl == Decls.end())
+      return corrupt("snapshot references unknown method #" +
+                     std::to_string(DeclIndex));
+    MethodSummary &Summary = Summaries[Decl->second];
+    const std::string Where = Decl->second->qualifiedName();
+    if (Status S = decodeTarget(R, Summary.RecvPre, Decls, Where + "/recv-pre");
+        !S)
+      return S;
+    if (Status S =
+            decodeTarget(R, Summary.RecvPost, Decls, Where + "/recv-post");
+        !S)
+      return S;
+    for (auto [Vec, Tag] :
+         {std::pair(&Summary.ParamPre, "/param-pre"),
+          std::pair(&Summary.ParamPost, "/param-post")}) {
+      uint32_t ParamCount = 0;
+      if (!R.count(ParamCount, 1))
+        return corrupt("truncated parameter count at " + Where);
+      if (ParamCount != Vec->size())
+        return corrupt("parameter count mismatch at " + Where + Tag);
+      for (uint32_t P = 0; P != ParamCount; ++P)
+        if (Status S = decodeTarget(R, (*Vec)[P], Decls,
+                                    Where + Tag + "#" + std::to_string(P));
+            !S)
+          return S;
+    }
+    if (Status S = decodeTarget(R, Summary.Result, Decls, Where + "/result");
+        !S)
+      return S;
+  }
+  if (!R.done())
+    return corrupt("trailing bytes after the last method record");
+  return Status::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Outcomes
+//===----------------------------------------------------------------------===//
+
+std::string
+summaryio::encodeOutcomes(const std::vector<ShardMethodOutcome> &Outcomes) {
+  wire::Writer W;
+  W.u32(static_cast<uint32_t>(Outcomes.size()));
+  for (const ShardMethodOutcome &O : Outcomes) {
+    W.u32(O.DeclIndex);
+    W.u8(O.Failed ? 1 : 0);
+    W.str(O.Error);
+    W.u8(O.SolverUsed);
+    W.u8(O.FallbackUsed ? 1 : 0);
+    W.str(O.Reason);
+    encodeSolveReport(W, O.Solve);
+    W.u32(O.Solves);
+    W.u64(O.Variables);
+    W.u64(O.Factors);
+    W.f64(O.SolveSeconds);
+    W.u32(static_cast<uint32_t>(O.Updates.size()));
+    for (const SummaryUpdate &U : O.Updates)
+      encodeUpdate(W, U);
+  }
+  return sealBlob(BlobKind::Outcomes, W.take());
+}
+
+Expected<std::vector<ShardMethodOutcome>>
+summaryio::decodeOutcomes(std::string_view Blob) {
+  Expected<std::string> Payload = openBlob(Blob, BlobKind::Outcomes);
+  if (!Payload)
+    return Payload.status();
+  wire::Reader R(*Payload);
+  uint32_t Count = 0;
+  if (!R.count(Count, 4))
+    return corrupt("truncated outcome count");
+  std::vector<ShardMethodOutcome> Outcomes(Count);
+  for (ShardMethodOutcome &O : Outcomes) {
+    uint8_t Failed = 0, FallbackUsed = 0;
+    if (!(R.u32(O.DeclIndex) && R.u8(Failed) && R.str(O.Error) &&
+          R.u8(O.SolverUsed) && R.u8(FallbackUsed) && R.str(O.Reason)))
+      return corrupt("truncated outcome record");
+    O.Failed = Failed != 0;
+    O.FallbackUsed = FallbackUsed != 0;
+    if (!decodeSolveReport(R, O.Solve))
+      return corrupt("truncated solve report");
+    uint64_t Variables = 0, Factors = 0;
+    if (!(R.u32(O.Solves) && R.u64(Variables) && R.u64(Factors) &&
+          R.f64(O.SolveSeconds)))
+      return corrupt("truncated outcome statistics");
+    O.Variables = Variables;
+    O.Factors = Factors;
+    uint32_t UpdateCount = 0;
+    if (!R.count(UpdateCount, 16))
+      return corrupt("truncated update count");
+    O.Updates.resize(UpdateCount);
+    for (SummaryUpdate &U : O.Updates)
+      if (!decodeUpdate(R, U))
+        return corrupt("truncated summary update");
+  }
+  if (!R.done())
+    return corrupt("trailing bytes after the last outcome");
+  return Outcomes;
+}

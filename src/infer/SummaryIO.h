@@ -1,0 +1,164 @@
+//===- SummaryIO.h - Versioned wire codec for summaries ----------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The (de)serialization layer that lets probabilistic summaries cross a
+/// process boundary (src/shard/). Two blob kinds share one envelope:
+///
+///  - a *snapshot* freezes the evidence state of the whole summary store
+///    at a wave boundary (per target: own-body odds and per-call-site
+///    odds, keyed by declaration index). The receiving worker rebuilds
+///    the store skeleton from its own copy of the program (declared-spec
+///    priors and state lists are a pure function of the AST plus
+///    SpecHi/SpecLo), then overlays the snapshot's odds — so the wire
+///    carries only what solving produced, and both sides agree
+///    bit-for-bit because doubles travel as bit-cast u64.
+///
+///  - an *outcomes* blob carries a worker's results back: per analyzed
+///    method a full MethodReport mirror plus the deferred summary
+///    updates ANEK-INFER would have produced in process, each identified
+///    by (owner declaration index, interface role, site key).
+///
+/// Envelope: magic, version, kind, payload length, FNV-1a checksum, then
+/// the payload. Decoding is defensive end to end: truncated headers,
+/// wrong versions, oversized declared lengths, checksum mismatches and
+/// shape mismatches against the local program all come back as Status
+/// errors — corrupt input can fail a shard attempt (the coordinator
+/// classifies that as WorkerLost and re-dispatches) but can never crash
+/// the coordinator or smuggle in a short read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_INFER_SUMMARYIO_H
+#define ANEK_INFER_SUMMARYIO_H
+
+#include "factor/Solvers.h"
+#include "infer/Summary.h"
+#include "lang/Ast.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anek {
+namespace summaryio {
+
+/// Bump on any layout change; decoders reject every other version.
+constexpr uint32_t WireVersion = 1;
+
+/// What a sealed blob carries. The kind is part of the envelope so a
+/// snapshot can never be mistaken for an outcomes blob by a confused
+/// (or corrupted) peer.
+enum class BlobKind : uint32_t {
+  Snapshot = 1,
+  Outcomes = 2,
+};
+
+/// Hard cap on a payload's declared length. A corrupt length field must
+/// bound allocation, not drive it.
+constexpr uint64_t MaxBlobBytes = uint64_t(1) << 30;
+
+/// Wraps \p Payload in the versioned, checksummed envelope.
+std::string sealBlob(BlobKind Kind, std::string Payload);
+
+/// Validates the envelope and returns the payload. Errors (all
+/// ErrorCode::InvalidArgument except the oversize case, which is
+/// ResourceExhausted): truncated header, bad magic, wrong version,
+/// unexpected kind, declared length over MaxBlobBytes or disagreeing
+/// with the actual size, checksum mismatch.
+Expected<std::string> openBlob(std::string_view Blob, BlobKind ExpectKind);
+
+/// Which interface target of a method summary an update addresses.
+enum class SummaryTargetRole : uint8_t {
+  RecvPre = 0,
+  RecvPost,
+  ParamPre,
+  ParamPost,
+  Result,
+};
+
+/// "recv-pre" / "param-post" / ... for diagnostics.
+const char *summaryTargetRoleName(SummaryTargetRole Role);
+
+/// One deferred summary update in wire form: the process-independent
+/// image of the engine's PendingUpdate. Methods and call sites are named
+/// by declaration index (stable across processes parsing the same
+/// source), never by pointer.
+struct SummaryUpdate {
+  /// Declaration index of the method whose summary is updated.
+  uint32_t OwnerDeclIndex = 0;
+  SummaryTargetRole Role = SummaryTargetRole::RecvPre;
+  /// Parameter position for the Param* roles; 0 otherwise.
+  uint32_t ParamIndex = 0;
+  /// True: own-body evidence (setSelfOdds). False: call-site evidence.
+  bool IsSelf = true;
+  /// Call-site key for site evidence: the calling method's declaration
+  /// index and the site's index within that caller's PFG.
+  uint32_t SiteCallerDeclIndex = 0;
+  uint32_t SiteIndex = 0;
+  /// Odds multipliers, one per tracked variable of the target.
+  std::vector<double> Odds;
+  /// ANEK_DEBUG_EVIDENCE annotation; carried so debug output is
+  /// byte-identical whether the update was computed locally or remotely.
+  std::string DebugLine;
+};
+
+/// Everything a worker reports for one analyzed method: a MethodReport
+/// mirror plus the updates and accounting the engine would have produced
+/// had it analyzed the method in process.
+struct ShardMethodOutcome {
+  uint32_t DeclIndex = 0;
+
+  /// Mirror of MethodReport::Failed/Error (the failure already happened
+  /// remotely; it is merged as a skip, exactly like a local failure).
+  bool Failed = false;
+  std::string Error;
+
+  /// MethodReport mirror: solver cascade outcome.
+  uint8_t SolverUsed = 0; ///< SolverChoice as its enum value.
+  bool FallbackUsed = false;
+  std::string Reason;
+  SolveReport Solve;
+  uint32_t Solves = 0;
+
+  /// Run-statistics contributions.
+  uint64_t Variables = 0;
+  uint64_t Factors = 0;
+  double SolveSeconds = 0.0;
+
+  std::vector<SummaryUpdate> Updates;
+};
+
+/// Serializes the evidence state of \p Summaries (sealed Snapshot blob).
+/// Iteration is declaration-index order (MethodDeclMap) and site maps are
+/// CallSiteOrder-ordered, so equal stores encode to equal bytes.
+std::string encodeSnapshot(const MethodDeclMap<MethodSummary> &Summaries);
+
+/// Overlays a snapshot blob onto \p Summaries, a skeleton store built
+/// over the *same program* with the same SpecHi/SpecLo (so shapes and
+/// priors already agree; only SelfOdds/SiteOdds are written). Errors on
+/// any envelope violation (see openBlob) and on shape mismatches: a
+/// declaration index absent from the store, a target present on exactly
+/// one side, or an odds vector of the wrong arity.
+Status decodeSnapshot(std::string_view Blob,
+                      MethodDeclMap<MethodSummary> &Summaries);
+
+/// Serializes worker results (sealed Outcomes blob).
+std::string encodeOutcomes(const std::vector<ShardMethodOutcome> &Outcomes);
+
+/// Decodes an outcomes blob. Structural validation only (the envelope
+/// plus bounds); semantic validation against the program — do these
+/// declaration indices exist, do arities match — happens where the
+/// decl-index table lives (the engine's merge step).
+Expected<std::vector<ShardMethodOutcome>>
+decodeOutcomes(std::string_view Blob);
+
+} // namespace summaryio
+} // namespace anek
+
+#endif // ANEK_INFER_SUMMARYIO_H

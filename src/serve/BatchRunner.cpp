@@ -110,6 +110,17 @@ Status BatchRunner::runAttempt(const BatchRequest &R, ThreadPool *SharedPool,
     InferOpts.SolveBudgetSeconds = DeadlineSeconds;
   }
 
+  // Shard-tier wiring: build the per-request executor only when the
+  // driver injected a factory and this request resolved to shards > 0.
+  // The executor lives for the attempt; a re-dispatched attempt after a
+  // transient failure builds a fresh one (fresh worker pool included).
+  unsigned Shards = R.Shards ? R.Shards : Opts.DefaultShards;
+  std::unique_ptr<WaveShardExecutor> ShardExec;
+  if (Opts.Shards && Shards > 0) {
+    ShardExec = Opts.Shards(*Prog, Source, InferOpts, Shards);
+    InferOpts.ShardExec = ShardExec.get();
+  }
+
   InferResult Inference = runAnekInfer(*Prog, InferOpts, &Diags);
   Res.PeakBytes = std::max(Res.PeakBytes, Charge.peak());
   if (!Inference.Aborted.isOk())
@@ -121,11 +132,31 @@ Status BatchRunner::runAttempt(const BatchRequest &R, ThreadPool *SharedPool,
   };
   Res.Output = printProgram(*Prog, PrintOpts);
   Res.SpecCount = Inference.inferredAnnotationCount();
-  if (Inference.MethodsFailed || Inference.FallbackSolves) {
+  // Degradation reasons compose: algorithmic degradation (fallback
+  // solves, failed methods) and infrastructure degradation (the shard
+  // tier surviving worker losses by quarantining or re-running waves in
+  // process) can both happen in one request, and hiding either would
+  // misreport the run. Results are still byte-identical to -j1 in the
+  // shard cases (the executor contract).
+  std::string Reason;
+  auto AddReason = [&](std::string Part) {
+    if (!Reason.empty())
+      Reason += "; ";
+    Reason += Part;
+  };
+  if (Inference.MethodsFailed || Inference.FallbackSolves)
+    AddReason(formatStr("%u method(s) failed, %u fallback solve(s)",
+                        Inference.MethodsFailed, Inference.FallbackSolves));
+  if (Inference.Shard.ShardsQuarantined)
+    AddReason(formatStr("shard-quarantine: %u shard(s) degraded to "
+                        "in-process execution",
+                        Inference.Shard.ShardsQuarantined));
+  else if (Inference.Shard.WavesDegraded)
+    AddReason(formatStr("shard-degraded: %u wave(s) re-run in process",
+                        Inference.Shard.WavesDegraded));
+  if (!Reason.empty()) {
     Res.State = TerminalState::Degraded;
-    Res.Reason = formatStr("%u method(s) failed, %u fallback solve(s)",
-                           Inference.MethodsFailed,
-                           Inference.FallbackSolves);
+    Res.Reason = std::move(Reason);
   } else {
     Res.State = TerminalState::Ok;
     Res.Reason.clear();

@@ -37,13 +37,29 @@
 #include <csignal>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace anek {
 
+class Program;
 class ThreadPool;
+class WaveShardExecutor;
+struct InferOptions;
 
 namespace serve {
+
+/// Builds a per-request shard executor: (program, the source it was
+/// parsed from, the fully resolved inference options, shard count) -> a
+/// WaveShardExecutor the runner owns for the attempt. This is serve's
+/// only view of the shard tier — the layer below never links src/shard/;
+/// the driver injects a factory that constructs a shard::ShardCoordinator
+/// (tools/anek.cpp). Requests asking for shards while no factory is wired
+/// simply run in process.
+using ShardFactory = std::function<std::unique_ptr<WaveShardExecutor>(
+    Program &Prog, const std::string &Source, const InferOptions &Opts,
+    unsigned Shards)>;
 
 /// Batch-wide knobs; per-request manifest keys override the defaults.
 struct BatchOptions {
@@ -62,6 +78,12 @@ struct BatchOptions {
   /// Default wave-job parallelism per request. 1 solves inline on the
   /// serving worker (request-level parallelism only).
   unsigned DefaultJobs = 1;
+  /// Default shard worker processes per request (0 = sharding off unless
+  /// a request opts in with shards=N).
+  unsigned DefaultShards = 0;
+  /// Shard-tier injection point (see ShardFactory above). Unset = every
+  /// request runs in process regardless of shard counts.
+  ShardFactory Shards;
   /// Threads of the shared inference pool (created only when some request
   /// has jobs > 1); 0 = one per hardware thread.
   unsigned PoolThreads = 0;

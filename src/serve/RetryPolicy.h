@@ -6,10 +6,12 @@
 ///
 /// \file
 /// Retry policy of the serving layer (DESIGN.md, "Serving model"). Only
-/// the transient class — ErrorCode::Unavailable — is retried; every other
-/// failure is terminal for the request, because re-running a
-/// deterministic inference on the same bad input produces the same
-/// failure. Backoff is capped exponential with *deterministic* jitter:
+/// the typed transient class is retried — ErrorCode::Unavailable (a
+/// resource that should come back) and ErrorCode::WorkerLost (a shard
+/// worker died with the work, not because of it); every other failure is
+/// terminal for the request, because re-running a deterministic inference
+/// on the same bad input produces the same failure. Backoff is capped
+/// exponential with *deterministic* jitter:
 /// the multiplier is derived from a stable hash of (request label,
 /// attempt, seed), so two runs of the same batch make identical retry
 /// schedules and the chaos-soak harness can assert exact attempt counts.
@@ -38,9 +40,14 @@ struct RetryPolicy {
   /// reproduce byte-identically.
   uint64_t Seed = 1;
 
-  /// True for the retryable class: ErrorCode::Unavailable.
+  /// True for the typed transient set: Unavailable and WorkerLost. Both
+  /// mean "the attempt was interrupted, not refuted" — nothing about the
+  /// input makes a retry futile. InvalidArgument, ResourceExhausted,
+  /// DeadlineExceeded, Unsatisfiable, FaultInjected and Internal are all
+  /// deterministic verdicts about the request and stay terminal.
   static bool isTransient(const Status &S) {
-    return S.code() == ErrorCode::Unavailable;
+    return S.code() == ErrorCode::Unavailable ||
+           S.code() == ErrorCode::WorkerLost;
   }
 
   /// Whether another attempt should be made after \p AttemptsMade

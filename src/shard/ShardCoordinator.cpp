@@ -1,0 +1,278 @@
+//===- ShardCoordinator.cpp - Crash-tolerant shard dispatch -----------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardCoordinator.h"
+
+#include "shard/Wire.h"
+#include "support/FaultInject.h"
+#include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+using namespace anek;
+using namespace anek::shard;
+
+namespace {
+
+void bumpCounter(const char *Name) {
+  if (telemetry::enabled(telemetry::TraceLevel::Phase))
+    telemetry::counter(Name).add(1);
+}
+
+} // namespace
+
+ShardCoordinator::ShardCoordinator(Program &Prog, std::string Source,
+                                   InferOptions Opts,
+                                   CoordinatorOptions CoOpts)
+    : Prog(Prog), Opts(std::move(Opts)), Co(std::move(CoOpts)) {
+  // The coordinator writes to pipes whose peer may be freshly dead; EPIPE
+  // must arrive as a Status, not SIGPIPE.
+  subprocess::ignoreSigpipe();
+  // Quarantine fallback and workers both run leaf analyses; neither may
+  // recurse into sharding.
+  this->Opts.ShardExec = nullptr;
+  if (Co.Workers == 0)
+    Co.Workers = 1;
+  if (Co.WorkerArgv.empty())
+    Co.WorkerArgv = {subprocess::selfExePath("anek"), "--worker"};
+  InitPayload = encodeInit(Source, this->Opts);
+  Slots.reserve(Co.Workers);
+  for (unsigned I = 0; I != Co.Workers; ++I)
+    Slots.push_back(std::make_unique<Slot>());
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  // Best-effort graceful shutdown; the ChildProcess destructors SIGKILL
+  // and reap whatever ignores it (a SIGSTOPped straggler included).
+  for (std::unique_ptr<Slot> &S : Slots)
+    if (S->Ready && S->Child.running())
+      (void)writeFrame(S->Child.writeFd(), FrameType::Shutdown, {});
+}
+
+ShardStats ShardCoordinator::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stats;
+}
+
+Status ShardCoordinator::ensureWorker(Slot &S) {
+  if (S.Ready && S.Child.running() && !S.Child.poll())
+    return Status::ok(); // Alive and Init'd from a previous dispatch.
+  dropWorker(S);
+  if (Status Sp = S.Child.spawn(Co.WorkerArgv); !Sp)
+    return Sp;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.WorkersSpawned;
+  }
+  bumpCounter("shard.workers_spawned");
+  if (Status Init =
+          writeFrame(S.Child.writeFd(), FrameType::Init, InitPayload);
+      !Init) {
+    dropWorker(S);
+    return Init;
+  }
+  S.Ready = true;
+  return Status::ok();
+}
+
+void ShardCoordinator::dropWorker(Slot &S) {
+  // Move-assigning a fresh ChildProcess SIGKILLs, reaps and closes pipes;
+  // SIGKILL terminates even a SIGSTOPped worker, so a hung child cannot
+  // wedge the reap.
+  S.Child = subprocess::ChildProcess();
+  S.Ready = false;
+}
+
+Expected<std::vector<summaryio::ShardMethodOutcome>>
+ShardCoordinator::dispatchOnce(Slot &S,
+                               const std::vector<unsigned> &Indices,
+                               const std::string &Snapshot,
+                               bool &WorkerReported) {
+  if (Status W = writeFrame(S.Child.writeFd(), FrameType::Task,
+                            encodeTask(Indices, Snapshot));
+      !W)
+    return W;
+  for (;;) {
+    // Any frame — heartbeats included — proves liveness and re-arms the
+    // deadline; a worker silent for the whole window is declared hung.
+    Expected<Frame> F =
+        readFrame(S.Child.readFd(), Co.HeartbeatTimeoutSeconds);
+    if (!F)
+      return F.status();
+    switch (F->Type) {
+    case FrameType::Heartbeat:
+      continue;
+    case FrameType::Result: {
+      std::string Payload = std::move(F->Payload);
+      // The wire-corrupt control point: flip one byte of the received
+      // result exactly as a torn pipe would. The outcome blob's own
+      // checksum rejects it, which classifies as a lost worker.
+      if (faults::anyActive() &&
+          faults::consumeFire(FaultKind::WireCorrupt, Opts.FaultScope) &&
+          !Payload.empty())
+        Payload[Payload.size() / 2] ^= 0x20;
+      Expected<std::vector<summaryio::ShardMethodOutcome>> Out =
+          summaryio::decodeOutcomes(Payload);
+      if (!Out)
+        return Status::error(ErrorCode::WorkerLost,
+                             "unreadable result frame: " +
+                                 Out.status().str());
+      return Out;
+    }
+    case FrameType::Error:
+      // The worker is healthy and *reporting* a deterministic failure
+      // (bad index, snapshot mismatch). Retrying cannot help; the engine
+      // degrades the wave to in-process execution instead.
+      WorkerReported = true;
+      return Status::error(ErrorCode::Internal,
+                           "worker reported: " + F->Payload);
+    default:
+      return Status::error(ErrorCode::WorkerLost,
+                           std::string("unexpected frame type ") +
+                               frameTypeName(F->Type));
+    }
+  }
+}
+
+Expected<std::vector<summaryio::ShardMethodOutcome>>
+ShardCoordinator::runShard(unsigned SlotIndex,
+                           const std::vector<unsigned> &Indices,
+                           const std::string &Snapshot) {
+  Slot &S = *Slots[SlotIndex];
+  const std::string RetryLabel =
+      Opts.FaultScope + "/shard" + std::to_string(SlotIndex);
+  unsigned Losses = 0;
+  for (;;) {
+    if (Losses >= Co.QuarantineAfter) {
+      // Quarantine: this shard keeps killing workers, so it degrades to
+      // in-process sequential execution. Same snapshot, same options,
+      // same bytes — the shard is slower, never lost.
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++Stats.ShardsQuarantined;
+      }
+      bumpCounter("shard.quarantined");
+      telemetry::Span Q("shard.quarantine", telemetry::TraceLevel::Phase,
+                        "shard");
+      return runShardMethods(Prog, Indices, Snapshot, Opts);
+    }
+    if (Losses > 0) {
+      double Delay = Co.Retry.delaySeconds(RetryLabel, Losses + 1);
+      if (Delay > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
+    }
+    if (Status Up = ensureWorker(S); !Up) {
+      // Spawn/Init failure counts against the same loss budget: a slot
+      // that cannot even start a worker must still reach quarantine.
+      ++Losses;
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++Stats.WorkersLost;
+      }
+      bumpCounter("shard.workers_lost");
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.ShardsDispatched;
+      if (Losses > 0)
+        ++Stats.Redispatches;
+    }
+    bumpCounter(Losses > 0 ? "shard.redispatches" : "shard.dispatches");
+
+    // Chaos control points, applied with real kernel effects the instant
+    // the shard is dispatched: a SIGKILLed worker crashes under the task
+    // (EOF on its pipe), a SIGSTOPped one hangs (heartbeat silence).
+    if (faults::anyActive()) {
+      if (faults::consumeFire(FaultKind::WorkerCrash, Opts.FaultScope))
+        S.Child.kill(SIGKILL);
+      else if (faults::consumeFire(FaultKind::WorkerHang, Opts.FaultScope))
+        S.Child.kill(SIGSTOP);
+    }
+
+    bool WorkerReported = false;
+    telemetry::Span D("shard.dispatch", telemetry::TraceLevel::Method,
+                      "shard");
+    Expected<std::vector<summaryio::ShardMethodOutcome>> Out =
+        dispatchOnce(S, Indices, Snapshot, WorkerReported);
+    if (Out)
+      return Out;
+    if (WorkerReported)
+      return Out.status();
+    // Crash, hang or corruption: recycle the worker and re-dispatch. The
+    // exit status (when there is one) goes into the breadcrumb trail via
+    // telemetry; the retry itself is silent by design.
+    dropWorker(S);
+    ++Losses;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.WorkersLost;
+    }
+    bumpCounter("shard.workers_lost");
+  }
+}
+
+Expected<std::vector<summaryio::ShardMethodOutcome>>
+ShardCoordinator::executeWave(const std::vector<unsigned> &DeclIndices,
+                              const std::string &Snapshot) {
+  std::vector<summaryio::ShardMethodOutcome> Merged;
+  if (DeclIndices.empty())
+    return Merged;
+
+  // Contiguous, balanced shards; shard k runs on worker slot k. The
+  // partition is a pure function of the wave, so re-running a wave (with
+  // or without worker deaths in between) shards identically.
+  size_t NumShards =
+      std::min<size_t>(Co.Workers, DeclIndices.size());
+  std::vector<std::vector<unsigned>> Shards(NumShards);
+  size_t Base = DeclIndices.size() / NumShards;
+  size_t Extra = DeclIndices.size() % NumShards;
+  size_t At = 0;
+  for (size_t K = 0; K != NumShards; ++K) {
+    size_t Take = Base + (K < Extra ? 1 : 0);
+    Shards[K].assign(DeclIndices.begin() + At,
+                     DeclIndices.begin() + At + Take);
+    At += Take;
+  }
+
+  std::vector<std::vector<summaryio::ShardMethodOutcome>> Results(NumShards);
+  std::vector<Status> Errors(NumShards, Status::ok());
+  auto RunOne = [&](size_t K) {
+    Expected<std::vector<summaryio::ShardMethodOutcome>> Out =
+        runShard(static_cast<unsigned>(K), Shards[K], Snapshot);
+    if (Out)
+      Results[K] = Out.take();
+    else
+      Errors[K] = Out.status();
+  };
+  if (NumShards == 1) {
+    RunOne(0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumShards);
+    for (size_t K = 0; K != NumShards; ++K)
+      Threads.emplace_back(RunOne, K);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  for (size_t K = 0; K != NumShards; ++K)
+    if (!Errors[K])
+      return Status::error(Errors[K].code(),
+                           formatStr("shard %zu/%zu failed: %s", K + 1,
+                                     NumShards,
+                                     Errors[K].message().c_str()));
+  for (std::vector<summaryio::ShardMethodOutcome> &R : Results) {
+    Merged.insert(Merged.end(), std::make_move_iterator(R.begin()),
+                  std::make_move_iterator(R.end()));
+  }
+  return Merged;
+}

@@ -1,0 +1,133 @@
+//===- ShardCoordinator.h - Crash-tolerant shard dispatch --------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator side of the sharded execution tier (DESIGN.md,
+/// "Sharded execution and failure model"). A ShardCoordinator implements
+/// the engine's WaveShardExecutor contract by partitioning each wave into
+/// contiguous shards and farming them to a pool of fork/exec'd worker
+/// processes (`anek --worker`) over the anek-shard-v1 pipe protocol.
+///
+/// Failure is first-class, not exceptional:
+///
+///  - *crash*: the worker's pipe hits EOF (or the Task write gets EPIPE);
+///    the child is reaped, the shard re-dispatched to a fresh worker.
+///  - *hang*: no frame — heartbeat included — arrives within the
+///    heartbeat deadline; the worker is SIGKILLed, reaped, re-dispatched.
+///  - *corrupt*: a frame fails its magic/version/length/checksum
+///    validation; the worker is recycled (its stream can no longer be
+///    trusted) and the shard re-dispatched.
+///
+/// All three classify as ErrorCode::WorkerLost — transient by contract —
+/// and re-dispatch backs off under the serving layer's RetryPolicy
+/// jitter. A shard that keeps killing workers (QuarantineAfter
+/// consecutive losses) is *quarantined*: degraded to in-process
+/// sequential execution via runShardMethods, so the terminal state is
+/// degraded(shard-quarantine) and never "lost". Because a re-dispatched
+/// or quarantined shard re-runs against the same frozen snapshot, the
+/// merged results are byte-identical to `-j1` no matter how many workers
+/// died along the way.
+///
+/// The worker-crash / worker-hang / wire-corrupt fault kinds are
+/// implemented here with real kernel effects (SIGKILL, SIGSTOP, a flipped
+/// payload byte), so the failure paths above are exercised by actual
+/// process death, not simulated flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SHARD_SHARDCOORDINATOR_H
+#define ANEK_SHARD_SHARDCOORDINATOR_H
+
+#include "infer/AnekInfer.h"
+#include "serve/RetryPolicy.h"
+#include "support/Subprocess.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace anek {
+namespace shard {
+
+struct CoordinatorOptions {
+  /// Worker processes (= maximum shards per wave). The driver's
+  /// `--shards N`.
+  unsigned Workers = 2;
+  /// A worker that produces no frame — heartbeats count — for this long
+  /// while owing a result is declared hung and killed. Workers heartbeat
+  /// every HeartbeatIntervalSeconds, so this is ~50 missed beats.
+  double HeartbeatTimeoutSeconds = 10.0;
+  /// Consecutive losses on one shard dispatch before it is quarantined to
+  /// in-process execution.
+  unsigned QuarantineAfter = 3;
+  /// Worker command line; empty means {<self-exe>, "--worker"}. Tests
+  /// point this at the real `anek` binary.
+  std::vector<std::string> WorkerArgv;
+  /// Backoff between re-dispatches of a lost shard (the same policy —
+  /// and the same deterministic jitter — the serving layer retries with).
+  serve::RetryPolicy Retry;
+};
+
+/// Farms wave batches out to worker processes. One coordinator serves one
+/// inference run (it holds the Program for quarantine fallback); workers
+/// persist across waves and are shut down by the destructor.
+///
+/// Thread-safety: executeWave is called from the engine's scheduler loop
+/// (one wave at a time); the per-shard dispatch threads it spawns each
+/// own their worker slot exclusively. stats() may race executeWave and is
+/// mutex-guarded.
+class ShardCoordinator : public WaveShardExecutor {
+public:
+  /// \p Source must be the exact text \p Prog was parsed from — workers
+  /// re-parse it, and the decl-index identification of methods relies on
+  /// both sides seeing the same program. \p Opts carries the algorithm
+  /// knobs forwarded to workers; scheduling fields are ignored.
+  ShardCoordinator(Program &Prog, std::string Source, InferOptions Opts,
+                   CoordinatorOptions CoOpts = {});
+  ~ShardCoordinator() override;
+
+  Expected<std::vector<summaryio::ShardMethodOutcome>>
+  executeWave(const std::vector<unsigned> &DeclIndices,
+              const std::string &Snapshot) override;
+
+  ShardStats stats() const override;
+
+private:
+  struct Slot {
+    subprocess::ChildProcess Child;
+    bool Ready = false; ///< Spawned and Init'd.
+  };
+
+  /// Spawns + Inits the slot's worker if it is not already serving.
+  Status ensureWorker(Slot &S);
+  /// Kills (SIGKILL), reaps and forgets the slot's worker.
+  void dropWorker(Slot &S);
+  /// One shard, driven to its terminal state: dispatch / re-dispatch
+  /// under the loss budget, then quarantine. Never loses the shard.
+  Expected<std::vector<summaryio::ShardMethodOutcome>>
+  runShard(unsigned SlotIndex, const std::vector<unsigned> &Indices,
+           const std::string &Snapshot);
+  /// One dispatch attempt. \p WorkerReported is set when the failure is a
+  /// worker Error frame (deterministic, not retryable).
+  Expected<std::vector<summaryio::ShardMethodOutcome>>
+  dispatchOnce(Slot &S, const std::vector<unsigned> &Indices,
+               const std::string &Snapshot, bool &WorkerReported);
+
+  Program &Prog;
+  InferOptions Opts; ///< Leaf options: ShardExec cleared.
+  CoordinatorOptions Co;
+  std::string InitPayload; ///< encodeInit(Source, Opts), sent per spawn.
+  std::vector<std::unique_ptr<Slot>> Slots;
+
+  mutable std::mutex StatsMutex;
+  ShardStats Stats;
+};
+
+} // namespace shard
+} // namespace anek
+
+#endif // ANEK_SHARD_SHARDCOORDINATOR_H

@@ -1,0 +1,157 @@
+//===- ShardWorker.cpp - The `anek --worker` process loop -------------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardWorker.h"
+
+#include "infer/AnekInfer.h"
+#include "lang/Sema.h"
+#include "shard/Wire.h"
+#include "support/Diagnostics.h"
+#include "support/Subprocess.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace anek;
+using namespace anek::shard;
+
+namespace {
+
+/// Serializes every frame the worker emits: the heartbeat thread and the
+/// task loop share one pipe, and an interleaved write would hand the
+/// coordinator a torn frame (which it must — and does — treat as a lost
+/// worker, wasting a perfectly good attempt).
+class FrameSender {
+public:
+  explicit FrameSender(int Fd) : Fd(Fd) {}
+
+  Status send(FrameType Type, std::string_view Payload) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return writeFrame(Fd, Type, Payload);
+  }
+
+private:
+  int Fd;
+  std::mutex Mutex;
+};
+
+/// Emits Heartbeat frames every HeartbeatIntervalSeconds until stopped.
+/// Write failures are ignored here: if the coordinator is gone the task
+/// loop's own Result write will discover it.
+class HeartbeatPulse {
+public:
+  explicit HeartbeatPulse(FrameSender &Sender) : Sender(Sender) {
+    Thread = std::thread([this] { run(); });
+  }
+
+  ~HeartbeatPulse() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stop = true;
+    }
+    Cond.notify_all();
+    Thread.join();
+  }
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    for (;;) {
+      if (Cond.wait_for(Lock,
+                        std::chrono::duration<double>(
+                            HeartbeatIntervalSeconds),
+                        [this] { return Stop; }))
+        return;
+      Lock.unlock();
+      (void)Sender.send(FrameType::Heartbeat, {});
+      Lock.lock();
+    }
+  }
+
+  FrameSender &Sender;
+  std::thread Thread;
+  std::mutex Mutex;
+  std::condition_variable Cond;
+  bool Stop = false;
+};
+
+} // namespace
+
+int shard::runWorkerLoop(int InFd, int OutFd) {
+  subprocess::ignoreSigpipe();
+  FrameSender Sender(OutFd);
+
+  // Session setup: exactly one Init frame, carrying everything needed to
+  // become the coordinator's algorithmic twin.
+  Expected<Frame> InitFrame = readFrame(InFd, /*TimeoutSeconds=*/-1.0);
+  if (!InitFrame)
+    return 1;
+  if (InitFrame->Type != FrameType::Init) {
+    (void)Sender.send(FrameType::Error,
+                      std::string("expected init frame, got ") +
+                          frameTypeName(InitFrame->Type));
+    return 1;
+  }
+  std::string Source;
+  InferOptions Opts;
+  if (Status S = decodeInit(InitFrame->Payload, Source, Opts); !S) {
+    (void)Sender.send(FrameType::Error, S.str());
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    (void)Sender.send(FrameType::Error,
+                      "worker cannot parse program: " + Diags.str());
+    return 1;
+  }
+
+  // Task service loop. The worker is stateless across tasks; each Task
+  // frame carries its own snapshot, so a respawned worker picking up a
+  // re-dispatched shard starts from identical inputs.
+  for (;;) {
+    Expected<Frame> F = readFrame(InFd, /*TimeoutSeconds=*/-1.0);
+    if (!F)
+      // EOF = coordinator gone (or shutting down without ceremony); a
+      // malformed frame from the coordinator is equally unrecoverable.
+      return F.status().code() == ErrorCode::WorkerLost ? 0 : 1;
+    switch (F->Type) {
+    case FrameType::Shutdown:
+      return 0;
+    case FrameType::Task: {
+      std::vector<unsigned> DeclIndices;
+      std::string Snapshot;
+      if (Status S = decodeTask(F->Payload, DeclIndices, Snapshot); !S) {
+        if (!Sender.send(FrameType::Error, S.str()))
+          return 1;
+        break;
+      }
+      Expected<std::vector<summaryio::ShardMethodOutcome>> Outcomes = [&] {
+        HeartbeatPulse Pulse(Sender);
+        return runShardMethods(*Prog, DeclIndices, Snapshot, Opts);
+      }();
+      Status Sent =
+          Outcomes ? Sender.send(FrameType::Result,
+                                 summaryio::encodeOutcomes(*Outcomes))
+                   : Sender.send(FrameType::Error, Outcomes.status().str());
+      if (!Sent)
+        return 1;
+      break;
+    }
+    default:
+      // Heartbeats flow worker -> coordinator only; anything else here is
+      // a protocol bug worth reporting but not dying over.
+      if (!Sender.send(FrameType::Error,
+                       std::string("unexpected frame type ") +
+                           frameTypeName(F->Type)))
+        return 1;
+      break;
+    }
+  }
+}

@@ -1,0 +1,314 @@
+//===- Wire.cpp - The anek-shard-v1 framed pipe protocol --------------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Wire.h"
+
+#include "support/Subprocess.h"
+#include "support/WireFormat.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unistd.h>
+
+using namespace anek;
+using namespace anek::shard;
+
+namespace {
+
+Status malformed(const std::string &What) {
+  return Status::error(ErrorCode::InvalidArgument,
+                       "shard frame rejected: " + What);
+}
+
+bool knownFrameType(uint16_t Raw) {
+  return Raw >= static_cast<uint16_t>(FrameType::Init) &&
+         Raw <= static_cast<uint16_t>(FrameType::Error);
+}
+
+/// Validates a decoded header. \p Available is the payload byte count
+/// actually present (the in-memory path); the pipe path passes the
+/// declared length through after the cap check and validates the checksum
+/// once the payload has been read.
+Status checkHeader(uint32_t Magic, uint16_t Version, uint16_t RawType,
+                   uint64_t PayloadLen) {
+  if (Magic != FrameMagic)
+    return malformed("bad magic");
+  if (Version != ProtocolVersion)
+    return malformed("unsupported protocol version " +
+                     std::to_string(Version));
+  if (!knownFrameType(RawType))
+    return malformed("unknown frame type " + std::to_string(RawType));
+  if (PayloadLen > MaxFramePayload)
+    return Status::error(ErrorCode::ResourceExhausted,
+                         "shard frame rejected: declared payload of " +
+                             std::to_string(PayloadLen) +
+                             " bytes exceeds the frame cap");
+  return Status::ok();
+}
+
+double secondsLeft(std::chrono::steady_clock::time_point DeadlineAt,
+                   bool Unlimited) {
+  if (Unlimited)
+    return -1.0;
+  return std::chrono::duration<double>(DeadlineAt -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+/// readFull under a frame-wide deadline: waits for readability with the
+/// remaining budget before every read(), so a peer that stalls mid-frame
+/// still trips DeadlineExceeded instead of blocking forever.
+Status readFullWithin(int Fd, void *Buffer, size_t Size,
+                      std::chrono::steady_clock::time_point DeadlineAt,
+                      bool Unlimited) {
+  char *Out = static_cast<char *>(Buffer);
+  size_t Done = 0;
+  while (Done < Size) {
+    double Left = secondsLeft(DeadlineAt, Unlimited);
+    if (!Unlimited && Left <= 0.0)
+      return Status::error(ErrorCode::DeadlineExceeded,
+                           "shard frame read timed out");
+    if (Status S = subprocess::waitReadable(Fd, Left); !S)
+      return S;
+    ssize_t N = ::read(Fd, Out + Done, Size - Done);
+    if (N > 0) {
+      Done += static_cast<size_t>(N);
+      continue;
+    }
+    if (N == 0)
+      return Status::error(ErrorCode::WorkerLost,
+                           "pipe closed mid-frame (peer died)");
+    if (errno == EINTR)
+      continue;
+    return Status::error(ErrorCode::Internal,
+                         std::string("read failed: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+} // namespace
+
+const char *shard::frameTypeName(FrameType Type) {
+  switch (Type) {
+  case FrameType::Init:
+    return "init";
+  case FrameType::Task:
+    return "task";
+  case FrameType::Result:
+    return "result";
+  case FrameType::Heartbeat:
+    return "heartbeat";
+  case FrameType::Shutdown:
+    return "shutdown";
+  case FrameType::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string shard::encodeFrame(FrameType Type, std::string_view Payload) {
+  wire::Writer W;
+  W.u32(FrameMagic);
+  W.u16(ProtocolVersion);
+  W.u16(static_cast<uint16_t>(Type));
+  W.u64(Payload.size());
+  W.u64(wire::fnv1a64(Payload));
+  std::string Out = W.take();
+  Out.append(Payload.data(), Payload.size());
+  return Out;
+}
+
+Expected<Frame> shard::parseFrame(std::string_view Bytes) {
+  if (Bytes.size() < FrameHeaderBytes)
+    return malformed("truncated header (" + std::to_string(Bytes.size()) +
+                     " of " + std::to_string(FrameHeaderBytes) + " bytes)");
+  wire::Reader R(Bytes.substr(0, FrameHeaderBytes));
+  uint32_t Magic = 0;
+  uint16_t Version = 0, RawType = 0;
+  uint64_t PayloadLen = 0, Checksum = 0;
+  R.u32(Magic);
+  R.u16(Version);
+  R.u16(RawType);
+  R.u64(PayloadLen);
+  R.u64(Checksum);
+  if (!R.done())
+    return malformed("unreadable header");
+  if (Status S = checkHeader(Magic, Version, RawType, PayloadLen); !S)
+    return S;
+  if (Bytes.size() - FrameHeaderBytes != PayloadLen)
+    return malformed("declared payload of " + std::to_string(PayloadLen) +
+                     " bytes, got " +
+                     std::to_string(Bytes.size() - FrameHeaderBytes));
+  std::string_view Payload = Bytes.substr(FrameHeaderBytes);
+  if (wire::fnv1a64(Payload) != Checksum)
+    return malformed("checksum mismatch");
+  Frame F;
+  F.Type = static_cast<FrameType>(RawType);
+  F.Payload.assign(Payload.data(), Payload.size());
+  return F;
+}
+
+Status shard::writeFrame(int Fd, FrameType Type, std::string_view Payload) {
+  std::string Bytes = encodeFrame(Type, Payload);
+  return subprocess::writeFull(Fd, Bytes.data(), Bytes.size());
+}
+
+Expected<Frame> shard::readFrame(int Fd, double TimeoutSeconds) {
+  bool Unlimited = TimeoutSeconds < 0.0;
+  auto DeadlineAt =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(Unlimited ? 0.0 : TimeoutSeconds));
+
+  char Header[FrameHeaderBytes];
+  if (Status S = readFullWithin(Fd, Header, sizeof(Header), DeadlineAt,
+                                Unlimited);
+      !S)
+    return S;
+  wire::Reader R(std::string_view(Header, sizeof(Header)));
+  uint32_t Magic = 0;
+  uint16_t Version = 0, RawType = 0;
+  uint64_t PayloadLen = 0, Checksum = 0;
+  R.u32(Magic);
+  R.u16(Version);
+  R.u16(RawType);
+  R.u64(PayloadLen);
+  R.u64(Checksum);
+  if (!R.done())
+    return malformed("unreadable header");
+  if (Status S = checkHeader(Magic, Version, RawType, PayloadLen); !S)
+    return S;
+
+  Frame F;
+  F.Type = static_cast<FrameType>(RawType);
+  F.Payload.resize(PayloadLen);
+  if (PayloadLen != 0)
+    if (Status S = readFullWithin(Fd, F.Payload.data(), PayloadLen,
+                                  DeadlineAt, Unlimited);
+        !S)
+      return S;
+  if (wire::fnv1a64(F.Payload) != Checksum)
+    return malformed("checksum mismatch");
+  return F;
+}
+
+// --- Init ----------------------------------------------------------------
+
+std::string shard::encodeInit(const std::string &Source,
+                              const InferOptions &Opts) {
+  wire::Writer W;
+  W.str(Source);
+  W.u32(Opts.MaxIters);
+  W.f64(Opts.Threshold);
+  W.f64(Opts.SummaryTolerance);
+  W.u8(static_cast<uint8_t>(Opts.Solver));
+  W.f64(Opts.SpecHi);
+  W.f64(Opts.SpecLo);
+  W.u8(Opts.RespectDeclared ? 1 : 0);
+  W.u8(Opts.Fallback ? 1 : 0);
+  W.f64(Opts.SolveBudgetSeconds);
+  W.u64(Opts.Seed);
+  W.str(Opts.FaultScope);
+  const ConstraintOptions &C = Opts.Constraints;
+  W.f64(C.L1Branch);
+  W.f64(C.L1Split);
+  W.f64(C.L2Incoming);
+  W.f64(C.L3FieldWrite);
+  W.f64(C.H1Ctor);
+  W.f64(C.H2PrePost);
+  W.f64(C.H3Create);
+  W.f64(C.H4Setter);
+  W.f64(C.H5Sync);
+  W.f64(C.H6WeakPre);
+  uint8_t Toggles = 0;
+  Toggles |= C.EnableH1 ? 1u << 0 : 0;
+  Toggles |= C.EnableH2 ? 1u << 1 : 0;
+  Toggles |= C.EnableH3 ? 1u << 2 : 0;
+  Toggles |= C.EnableH4 ? 1u << 3 : 0;
+  Toggles |= C.EnableH5 ? 1u << 4 : 0;
+  Toggles |= C.EnableH6 ? 1u << 5 : 0;
+  Toggles |= C.LogicalOnly ? 1u << 6 : 0;
+  Toggles |= C.EnableExclusivity ? 1u << 7 : 0;
+  W.u8(Toggles);
+  W.u8(C.KindMutex ? 1 : 0);
+  W.f64(C.KindMutexProb);
+  return W.take();
+}
+
+Status shard::decodeInit(std::string_view Payload, std::string &Source,
+                         InferOptions &Opts) {
+  // The source text can legitimately be large; bound it by the frame cap
+  // rather than the Reader's conservative string default.
+  wire::Reader R(Payload);
+  if (!R.str(Source, MaxFramePayload))
+    return malformed("init source");
+  uint8_t Solver = 0, RespectDeclared = 0, Fallback = 0;
+  bool Ok = R.u32(Opts.MaxIters) && R.f64(Opts.Threshold) &&
+            R.f64(Opts.SummaryTolerance) && R.u8(Solver) &&
+            R.f64(Opts.SpecHi) && R.f64(Opts.SpecLo) &&
+            R.u8(RespectDeclared) && R.u8(Fallback) &&
+            R.f64(Opts.SolveBudgetSeconds) && R.u64(Opts.Seed) &&
+            R.str(Opts.FaultScope);
+  if (!Ok)
+    return malformed("init options");
+  if (Solver > static_cast<uint8_t>(SolverChoice::Exact))
+    return malformed("init solver choice out of range");
+  Opts.Solver = static_cast<SolverChoice>(Solver);
+  Opts.RespectDeclared = RespectDeclared != 0;
+  Opts.Fallback = Fallback != 0;
+  ConstraintOptions &C = Opts.Constraints;
+  uint8_t Toggles = 0, KindMutex = 0;
+  Ok = R.f64(C.L1Branch) && R.f64(C.L1Split) && R.f64(C.L2Incoming) &&
+       R.f64(C.L3FieldWrite) && R.f64(C.H1Ctor) && R.f64(C.H2PrePost) &&
+       R.f64(C.H3Create) && R.f64(C.H4Setter) && R.f64(C.H5Sync) &&
+       R.f64(C.H6WeakPre) && R.u8(Toggles) && R.u8(KindMutex) &&
+       R.f64(C.KindMutexProb);
+  if (!Ok || !R.done())
+    return malformed("init constraint options");
+  C.EnableH1 = (Toggles & (1u << 0)) != 0;
+  C.EnableH2 = (Toggles & (1u << 1)) != 0;
+  C.EnableH3 = (Toggles & (1u << 2)) != 0;
+  C.EnableH4 = (Toggles & (1u << 3)) != 0;
+  C.EnableH5 = (Toggles & (1u << 4)) != 0;
+  C.EnableH6 = (Toggles & (1u << 5)) != 0;
+  C.LogicalOnly = (Toggles & (1u << 6)) != 0;
+  C.EnableExclusivity = (Toggles & (1u << 7)) != 0;
+  C.KindMutex = KindMutex != 0;
+  return Status::ok();
+}
+
+// --- Task ----------------------------------------------------------------
+
+std::string shard::encodeTask(const std::vector<unsigned> &DeclIndices,
+                              std::string_view Snapshot) {
+  wire::Writer W;
+  W.u32(static_cast<uint32_t>(DeclIndices.size()));
+  for (unsigned Index : DeclIndices)
+    W.u32(Index);
+  W.str(Snapshot);
+  return W.take();
+}
+
+Status shard::decodeTask(std::string_view Payload,
+                         std::vector<unsigned> &DeclIndices,
+                         std::string &Snapshot) {
+  wire::Reader R(Payload);
+  uint32_t Count = 0;
+  if (!R.count(Count, sizeof(uint32_t)))
+    return malformed("task method count");
+  DeclIndices.clear();
+  DeclIndices.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint32_t Index = 0;
+    if (!R.u32(Index))
+      return malformed("task method index");
+    DeclIndices.push_back(Index);
+  }
+  if (!R.str(Snapshot, MaxFramePayload) || !R.done())
+    return malformed("task snapshot");
+  return Status::ok();
+}

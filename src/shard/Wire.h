@@ -1,0 +1,124 @@
+//===- Wire.h - The anek-shard-v1 framed pipe protocol -----------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator <-> worker protocol of the sharded execution tier
+/// (DESIGN.md, "Sharded execution and failure model"). A connection is a
+/// pair of pipes carrying *frames*:
+///
+///   header  u32 magic | u16 version | u16 type | u64 payload-len | u64 fnv
+///   payload payload-len bytes
+///
+/// and a session is:
+///
+///   coordinator -> worker   Init      source text + algorithm options
+///   coordinator -> worker   Task      decl indices + summary snapshot
+///   worker -> coordinator   Heartbeat every ~200ms while a task runs
+///   worker -> coordinator   Result    sealed outcomes blob
+///   worker -> coordinator   Error     message (structural failure)
+///   coordinator -> worker   Shutdown  drain and exit
+///
+/// Decoding is defensive end to end: a truncated header, wrong magic or
+/// version, an oversized declared length, or a checksum mismatch all come
+/// back as Status errors (never a crash, never an unbounded allocation).
+/// The coordinator classifies any unreadable frame as a lost worker —
+/// kill, respawn, re-dispatch — so a corrupt byte stream costs one
+/// attempt, not the run.
+///
+/// readFrame takes a deadline covering the *whole* frame, re-armed only
+/// between frames: a worker stopped mid-payload trips the same timeout as
+/// one that never wrote a byte, so hang detection has no blind spot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SHARD_WIRE_H
+#define ANEK_SHARD_WIRE_H
+
+#include "infer/AnekInfer.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anek {
+namespace shard {
+
+/// "ANKS" little-endian; rejects non-frame bytes immediately.
+constexpr uint32_t FrameMagic = 0x534B4E41u;
+/// The `anek-shard-v1` protocol version; decoders reject all others.
+constexpr uint16_t ProtocolVersion = 1;
+/// Hard cap on a frame's declared payload length. A corrupt length field
+/// must bound allocation, not drive it.
+constexpr uint64_t MaxFramePayload = uint64_t(1) << 30;
+/// Fixed header size (see file comment for the layout).
+constexpr size_t FrameHeaderBytes = 24;
+/// How often a busy worker emits Heartbeat frames. Protocol-level so
+/// coordinators can size their deadline as a multiple of it.
+constexpr double HeartbeatIntervalSeconds = 0.2;
+
+enum class FrameType : uint16_t {
+  Init = 1,
+  Task = 2,
+  Result = 3,
+  Heartbeat = 4,
+  Shutdown = 5,
+  Error = 6,
+};
+
+/// "init" / "task" / ... for diagnostics.
+const char *frameTypeName(FrameType Type);
+
+struct Frame {
+  FrameType Type = FrameType::Heartbeat;
+  std::string Payload;
+};
+
+/// Renders the header + payload of one frame.
+std::string encodeFrame(FrameType Type, std::string_view Payload);
+
+/// Decodes one complete frame from \p Bytes (tests and fuzz-style corrupt
+/// suites; the pipe path below shares the same validation). Errors:
+/// truncated header, bad magic, unsupported version, unknown type,
+/// payload length over MaxFramePayload or disagreeing with the bytes
+/// present, checksum mismatch.
+Expected<Frame> parseFrame(std::string_view Bytes);
+
+/// Writes one frame to \p Fd (EINTR-safe, EPIPE -> WorkerLost).
+Status writeFrame(int Fd, FrameType Type, std::string_view Payload);
+
+/// Reads one frame from \p Fd with \p TimeoutSeconds covering the whole
+/// frame (< 0 = never time out). Errors: DeadlineExceeded on timeout,
+/// WorkerLost on EOF, and the parseFrame vocabulary for malformed bytes.
+Expected<Frame> readFrame(int Fd, double TimeoutSeconds);
+
+// --- Payload codecs ------------------------------------------------------
+//
+// Init and Task payloads use the same wire::Writer/Reader substrate as
+// the summary blobs; Result payloads are summaryio outcome blobs verbatim
+// (sealed and checksummed in their own right); Error payloads are the raw
+// message text; Heartbeat and Shutdown carry no payload.
+
+/// Everything a worker needs to become the coordinator's algorithmic
+/// twin: the program source plus the InferOptions knobs that change what
+/// analysis computes. Scheduling knobs (Parallelism, Pool, governors) are
+/// deliberately absent — a worker always analyzes its shard sequentially.
+std::string encodeInit(const std::string &Source, const InferOptions &Opts);
+Status decodeInit(std::string_view Payload, std::string &Source,
+                  InferOptions &Opts);
+
+/// A shard dispatch: which methods (by declaration index, ascending) to
+/// analyze against which summary snapshot (a sealed summaryio blob).
+std::string encodeTask(const std::vector<unsigned> &DeclIndices,
+                       std::string_view Snapshot);
+Status decodeTask(std::string_view Payload, std::vector<unsigned> &DeclIndices,
+                  std::string &Snapshot);
+
+} // namespace shard
+} // namespace anek
+
+#endif // ANEK_SHARD_WIRE_H

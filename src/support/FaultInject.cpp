@@ -74,6 +74,15 @@ constexpr std::array<FaultInfo, NumFaultKinds> FaultTable = {{
     {"mem-spike",
      "the resource governor observes a synthetic allocation spike that "
      "blows any memory budget"},
+    {"worker-crash",
+     "the shard coordinator SIGKILLs a worker right after dispatch "
+     "(crash-detection probe; re-dispatch recovers)"},
+    {"worker-hang",
+     "a dispatched shard worker is SIGSTOPped so its heartbeat goes "
+     "silent (hang-detection probe; the deadline kills and respawns it)"},
+    {"wire-corrupt",
+     "a received shard-result frame has a byte flipped so its checksum "
+     "fails (corrupt-frame probe; the worker is recycled)"},
 }};
 static_assert(FaultTable.size() == NumFaultKinds,
               "every FaultKind needs a name and a one-line description");
@@ -186,10 +195,13 @@ Status faults::injectedError(FaultKind Kind, const std::string &Label) {
                         "' injected";
   if (!Label.empty())
     Message += " at " + Label;
-  // Transient kinds are the retryable class (see RetryPolicy).
-  ErrorCode Code = Kind == FaultKind::TransientSolve
-                       ? ErrorCode::Unavailable
-                       : ErrorCode::FaultInjected;
+  // Transient kinds map to the retryable classes (see RetryPolicy).
+  ErrorCode Code = ErrorCode::FaultInjected;
+  if (Kind == FaultKind::TransientSolve)
+    Code = ErrorCode::Unavailable;
+  else if (Kind == FaultKind::WorkerCrash || Kind == FaultKind::WorkerHang ||
+           Kind == FaultKind::WireCorrupt)
+    Code = ErrorCode::WorkerLost;
   return Status::error(Code, Message);
 }
 

@@ -32,6 +32,12 @@
 ///                   budget is exhausted (exercises retry/backoff)
 ///   mem-spike       the resource governor observes a synthetic
 ///                   allocation spike that blows any memory budget
+///   worker-crash    the shard coordinator SIGKILLs a worker right after
+///                   dispatching a shard to it (crash-detection probe)
+///   worker-hang     a dispatched worker is SIGSTOPped so its heartbeat
+///                   goes silent (hang-detection probe)
+///   wire-corrupt    a received shard-result frame has a byte flipped, so
+///                   its checksum fails (corrupt-frame probe)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,8 +61,11 @@ enum class FaultKind : unsigned {
   QueueFull,
   TransientSolve,
   MemSpike,
+  WorkerCrash,
+  WorkerHang,
+  WireCorrupt,
 };
-constexpr unsigned NumFaultKinds = 7;
+constexpr unsigned NumFaultKinds = 10;
 
 /// Spec name of a fault kind ("bp-nonconverge", ...).
 const char *faultKindName(FaultKind Kind);
@@ -88,8 +97,9 @@ bool active(FaultKind Kind, const std::string &Label = std::string());
 bool consumeFire(FaultKind Kind, const std::string &Label = std::string());
 
 /// Convenience: an error Status naming the fault, for sites that surface
-/// the fault as a Status. Transient kinds (transient-solve) yield
-/// ErrorCode::Unavailable — the retryable class — all others
+/// the fault as a Status. Transient kinds map to the retryable classes —
+/// transient-solve yields ErrorCode::Unavailable; worker-crash,
+/// worker-hang and wire-corrupt yield ErrorCode::WorkerLost — all others
 /// ErrorCode::FaultInjected.
 Status injectedError(FaultKind Kind, const std::string &Label);
 

@@ -20,6 +20,8 @@ const char *anek::errorCodeName(ErrorCode Code) {
     return "fault-injected";
   case ErrorCode::Unavailable:
     return "unavailable";
+  case ErrorCode::WorkerLost:
+    return "worker-lost";
   case ErrorCode::Internal:
     return "internal";
   }

@@ -13,6 +13,7 @@
 #include "infer/AnekInfer.h"
 #include "infer/GlobalInfer.h"
 #include "lang/Sema.h"
+#include "shard/Wire.h"
 #include "support/Deadline.h"
 #include "support/FaultInject.h"
 #include "support/Rational.h"
@@ -482,7 +483,7 @@ TEST_F(RobustnessTest, FaultVocabularyIsCompleteAndListed) {
   // The static_assert in FaultInject.cpp keeps the table in sync at
   // compile time; this checks the runtime surface: every kind has a
   // distinct name, a description, and shows up in `anek faults`.
-  ASSERT_EQ(NumFaultKinds, 7u);
+  ASSERT_EQ(NumFaultKinds, 10u);
   std::string FaultsOutput;
   EXPECT_EQ(runTool("faults", &FaultsOutput), 0);
   std::string ListOutput;
@@ -515,6 +516,24 @@ TEST_F(RobustnessTest, NewFaultKindsActivateAndClassify) {
             ErrorCode::Unavailable);
   EXPECT_EQ(faults::injectedError(FaultKind::MemSpike, "x").code(),
             ErrorCode::FaultInjected);
+}
+
+TEST_F(RobustnessTest, ShardFaultKindsClassifyAsWorkerLost) {
+  // The three worker-chaos kinds all surface as a lost worker — the
+  // retryable class the shard coordinator re-dispatches under.
+  EXPECT_EQ(faults::injectedError(FaultKind::WorkerCrash, "s0").code(),
+            ErrorCode::WorkerLost);
+  EXPECT_EQ(faults::injectedError(FaultKind::WorkerHang, "s0").code(),
+            ErrorCode::WorkerLost);
+  EXPECT_EQ(faults::injectedError(FaultKind::WireCorrupt, "s0").code(),
+            ErrorCode::WorkerLost);
+  Status Ok = faults::activateSpec("worker-crash*2:s1, worker-hang, "
+                                   "wire-corrupt:s2");
+  ASSERT_TRUE(Ok.isOk()) << Ok.str();
+  EXPECT_TRUE(faults::active(FaultKind::WorkerCrash, "s1"));
+  EXPECT_FALSE(faults::active(FaultKind::WorkerCrash, "s9"));
+  EXPECT_TRUE(faults::active(FaultKind::WorkerHang, "anything"));
+  EXPECT_TRUE(faults::active(FaultKind::WireCorrupt, "s2"));
 }
 
 TEST_F(RobustnessTest, FireBudgetConsumesAndExhausts) {
@@ -577,6 +596,64 @@ TEST_F(RobustnessTest, FaultScopePrefixesSolveFailureSites) {
   // No scope at all: the bare qualified name does not match either.
   InferResult NoScope = runAnekInfer(*Prog);
   EXPECT_EQ(NoScope.MethodsFailed, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shard wire protocol: corrupt frames come back as Status errors
+//===----------------------------------------------------------------------===//
+
+TEST_F(RobustnessTest, ShardWireRejectsCorruptFramesWithStatusErrors) {
+  // The anek-shard-v1 decoder contract: every malformed byte stream is a
+  // structured rejection — never a crash, never an unbounded allocation.
+  // Header layout (Wire.h): u32 magic @0, u16 version @4, u16 type @6,
+  // u64 payload-len @8, u64 fnv checksum @16, all little-endian.
+  const std::string Good =
+      shard::encodeFrame(shard::FrameType::Result, "sealed-outcomes-blob");
+  ASSERT_TRUE(shard::parseFrame(Good).hasValue());
+
+  auto Flip = [&](size_t At) {
+    std::string S = Good;
+    S[At] = static_cast<char>(S[At] ^ 0x20);
+    return S;
+  };
+  auto Set = [&](size_t At, char To) {
+    std::string S = Good;
+    S[At] = To;
+    return S;
+  };
+
+  struct CorruptCase {
+    const char *Name;
+    std::string Bytes;
+    ErrorCode Want;
+  };
+  const CorruptCase Cases[] = {
+      {"empty stream", std::string(), ErrorCode::InvalidArgument},
+      {"truncated header", Good.substr(0, shard::FrameHeaderBytes - 1),
+       ErrorCode::InvalidArgument},
+      {"bad magic", Flip(0), ErrorCode::InvalidArgument},
+      {"unsupported version", Set(4, 2), ErrorCode::InvalidArgument},
+      {"frame type zero", Set(6, 0), ErrorCode::InvalidArgument},
+      {"unknown frame type", Set(6, 0x7f), ErrorCode::InvalidArgument},
+      // Byte 12 is bit 32 of the length field: declares ~4 GiB, far over
+      // the MaxFramePayload cap. The decoder must refuse to allocate.
+      {"oversized declared length", Set(12, 1), ErrorCode::ResourceExhausted},
+      {"declared length over actual", Set(8, 21), ErrorCode::InvalidArgument},
+      {"truncated payload", Good.substr(0, Good.size() - 1),
+       ErrorCode::InvalidArgument},
+      {"payload byte flip", Flip(Good.size() - 3),
+       ErrorCode::InvalidArgument},
+      {"checksum field flip", Flip(16), ErrorCode::InvalidArgument},
+  };
+  for (const CorruptCase &C : Cases) {
+    Expected<shard::Frame> F = shard::parseFrame(C.Bytes);
+    ASSERT_FALSE(F.hasValue()) << C.Name << " parsed";
+    EXPECT_EQ(F.status().code(), C.Want)
+        << C.Name << ": " << F.status().str();
+    EXPECT_NE(F.status().str().find("shard frame rejected"),
+              std::string::npos)
+        << C.Name << ": " << F.status().str();
+  }
 }
 
 TEST_F(RobustnessTest, DriverAcceptsJoinedFaultSpelling) {

@@ -182,6 +182,33 @@ TEST_F(ServeTest, RetryPolicyRetriesOnlyTransientFailures) {
   EXPECT_FALSE(Policy.shouldRetry(Status::ok(), 1));
 }
 
+TEST_F(ServeTest, TransientClassIsExactlyUnavailableAndWorkerLost) {
+  // The retryable set is typed, not heuristic: Unavailable (transient
+  // solve blips) and WorkerLost (the shard tier's crash/hang/corrupt
+  // class). Everything else is terminal for the attempt loop.
+  EXPECT_TRUE(RetryPolicy::isTransient(
+      Status::error(ErrorCode::Unavailable, "blip")));
+  EXPECT_TRUE(RetryPolicy::isTransient(
+      Status::error(ErrorCode::WorkerLost, "worker died mid-shard")));
+  const ErrorCode Terminal[] = {
+      ErrorCode::InvalidArgument, ErrorCode::ResourceExhausted,
+      ErrorCode::DeadlineExceeded, ErrorCode::Unsatisfiable,
+      ErrorCode::FaultInjected,    ErrorCode::Internal,
+  };
+  for (ErrorCode Code : Terminal)
+    EXPECT_FALSE(RetryPolicy::isTransient(Status::error(Code, "x")))
+        << "code " << static_cast<int>(Code);
+  EXPECT_FALSE(RetryPolicy::isTransient(Status::ok()));
+
+  // A lost worker is retried under the same attempt cap as any other
+  // transient failure.
+  RetryPolicy Policy;
+  Policy.MaxAttempts = 2;
+  Status Lost = Status::error(ErrorCode::WorkerLost, "gone");
+  EXPECT_TRUE(Policy.shouldRetry(Lost, 1));
+  EXPECT_FALSE(Policy.shouldRetry(Lost, 2));
+}
+
 TEST_F(ServeTest, BackoffIsCappedExponentialWithDeterministicJitter) {
   RetryPolicy Policy;
   Policy.BaseDelaySeconds = 0.01;

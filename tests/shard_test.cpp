@@ -1,0 +1,357 @@
+//===- shard_test.cpp - Crash-tolerant shard worker tier -------------------===//
+//
+// The sharded-execution suite (DESIGN.md, "Sharded execution and failure
+// model"): the anek-shard-v1 payload codecs must round-trip, real worker
+// processes must produce output byte-identical to in-process -j1, and the
+// failure paths — SIGKILLed workers, SIGSTOPped (hung) workers, corrupted
+// result frames — must cost re-dispatch attempts, never results. A shard
+// that keeps killing workers must quarantine to in-process execution and
+// surface as degraded(shard-quarantine) through the serving layer.
+//
+// These tests fork/exec the real `anek` binary as the worker process
+// (ANEK_TOOL_PATH), so the wire protocol, heartbeats, and kill/reap paths
+// are exercised against actual process death, not mocks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/ExampleSources.h"
+#include "infer/AnekInfer.h"
+#include "lang/PrettyPrinter.h"
+#include "lang/Sema.h"
+#include "serve/BatchRunner.h"
+#include "serve/Serve.h"
+#include "shard/ShardCoordinator.h"
+#include "shard/Wire.h"
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace anek;
+
+namespace {
+
+std::vector<std::string> workerArgv() {
+  return {ANEK_TOOL_PATH, "--worker"};
+}
+
+/// Coordinator knobs tuned for tests: the real `anek` binary as worker,
+/// fast backoff so faulted runs do not sleep through the suite.
+shard::CoordinatorOptions testCoordinatorOptions(unsigned Workers = 2) {
+  shard::CoordinatorOptions Co;
+  Co.Workers = Workers;
+  Co.WorkerArgv = workerArgv();
+  Co.Retry.BaseDelaySeconds = 0.001;
+  Co.Retry.MaxDelaySeconds = 0.005;
+  return Co;
+}
+
+std::unique_ptr<Program> analyze(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+/// Runs inference and renders the annotated program — the byte-identity
+/// oracle (the driver's stats trailer carries wall-clock noise; the
+/// printed program must not). \p StatsOut receives the engine-merged
+/// shard stats (wave-level counters live in InferResult, not the
+/// coordinator).
+std::string inferAndPrint(Program &Prog, const InferOptions &Opts,
+                          ShardStats *StatsOut = nullptr) {
+  InferResult Result = runAnekInfer(Prog, Opts);
+  EXPECT_TRUE(Result.Aborted.isOk()) << Result.Aborted.str();
+  if (StatsOut)
+    *StatsOut = Result.Shard;
+  PrintOptions PrintOpts;
+  PrintOpts.SpecFor = [&](const MethodDecl &M) { return *Result.specFor(&M); };
+  return printProgram(Prog, PrintOpts);
+}
+
+/// The in-process -j1 ground truth for \p Source.
+std::string baselineOutput(const std::string &Source) {
+  auto Prog = analyze(Source);
+  InferOptions Opts;
+  Opts.Parallelism = 1;
+  return inferAndPrint(*Prog, Opts);
+}
+
+struct ShardRun {
+  std::string Output;
+  ShardStats Stats;
+};
+
+/// Runs \p Source through a ShardCoordinator with real worker processes.
+ShardRun runSharded(const std::string &Source,
+                    shard::CoordinatorOptions Co) {
+  auto Prog = analyze(Source);
+  InferOptions Opts;
+  Opts.Parallelism = 1;
+  shard::ShardCoordinator Coordinator(*Prog, Source, Opts, Co);
+  Opts.ShardExec = &Coordinator;
+  ShardRun Run;
+  Run.Output = inferAndPrint(*Prog, Opts, &Run.Stats);
+  return Run;
+}
+
+class ShardTest : public testing::Test {
+protected:
+  void SetUp() override { faults::reset(); }
+  void TearDown() override { faults::reset(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Payload codecs
+//===----------------------------------------------------------------------===//
+
+TEST_F(ShardTest, FrameCodecRoundTrips) {
+  // Binary-safe payloads, including embedded NULs and an empty heartbeat.
+  const std::string Binary("blob\0with\0nuls", 14);
+  struct Case {
+    shard::FrameType Type;
+    std::string Payload;
+  } Cases[] = {
+      {shard::FrameType::Init, "source text"},
+      {shard::FrameType::Task, Binary},
+      {shard::FrameType::Result, std::string(4096, '\xab')},
+      {shard::FrameType::Heartbeat, ""},
+      {shard::FrameType::Shutdown, ""},
+      {shard::FrameType::Error, "worker reported: boom"},
+  };
+  for (const Case &C : Cases) {
+    std::string Bytes = shard::encodeFrame(C.Type, C.Payload);
+    EXPECT_EQ(Bytes.size(), shard::FrameHeaderBytes + C.Payload.size());
+    Expected<shard::Frame> F = shard::parseFrame(Bytes);
+    ASSERT_TRUE(F.hasValue())
+        << shard::frameTypeName(C.Type) << ": " << F.status().str();
+    EXPECT_EQ(F->Type, C.Type);
+    EXPECT_EQ(F->Payload, C.Payload);
+  }
+}
+
+TEST_F(ShardTest, InitCodecRoundTripsAlgorithmOptions) {
+  InferOptions Sent;
+  Sent.MaxIters = 7;
+  Sent.Threshold = 0.625;
+  Sent.SummaryTolerance = 1e-7;
+  Sent.Solver = SolverChoice::Gibbs;
+  Sent.SpecHi = 0.9;
+  Sent.SpecLo = 0.1;
+  Sent.RespectDeclared = false;
+  Sent.Fallback = false;
+  Sent.SolveBudgetSeconds = 2.5;
+  Sent.Seed = 42;
+  Sent.FaultScope = "req9";
+  Sent.Constraints.L1Branch = 0.77;
+  Sent.Constraints.H5Sync = 0.66;
+  Sent.Constraints.EnableH3 = false;
+  Sent.Constraints.LogicalOnly = true;
+  Sent.Constraints.KindMutex = false;
+  Sent.Constraints.KindMutexProb = 0.42;
+
+  std::string Payload = shard::encodeInit("class A { }", Sent);
+  std::string Source;
+  InferOptions Got;
+  Status S = shard::decodeInit(Payload, Source, Got);
+  ASSERT_TRUE(S.isOk()) << S.str();
+  EXPECT_EQ(Source, "class A { }");
+  EXPECT_EQ(Got.MaxIters, 7u);
+  EXPECT_DOUBLE_EQ(Got.Threshold, 0.625);
+  EXPECT_DOUBLE_EQ(Got.SummaryTolerance, 1e-7);
+  EXPECT_EQ(Got.Solver, SolverChoice::Gibbs);
+  EXPECT_DOUBLE_EQ(Got.SpecHi, 0.9);
+  EXPECT_DOUBLE_EQ(Got.SpecLo, 0.1);
+  EXPECT_FALSE(Got.RespectDeclared);
+  EXPECT_FALSE(Got.Fallback);
+  EXPECT_DOUBLE_EQ(Got.SolveBudgetSeconds, 2.5);
+  EXPECT_EQ(Got.Seed, 42u);
+  EXPECT_EQ(Got.FaultScope, "req9");
+  EXPECT_DOUBLE_EQ(Got.Constraints.L1Branch, 0.77);
+  EXPECT_DOUBLE_EQ(Got.Constraints.H5Sync, 0.66);
+  EXPECT_FALSE(Got.Constraints.EnableH3);
+  EXPECT_TRUE(Got.Constraints.EnableH4);
+  EXPECT_TRUE(Got.Constraints.LogicalOnly);
+  EXPECT_FALSE(Got.Constraints.KindMutex);
+  EXPECT_DOUBLE_EQ(Got.Constraints.KindMutexProb, 0.42);
+}
+
+TEST_F(ShardTest, TaskCodecRoundTripsAndRejectsTruncation) {
+  const std::vector<unsigned> Indices = {0, 3, 17, 4096};
+  const std::string Snapshot("sealed\0snapshot\0bytes", 21);
+  std::string Payload = shard::encodeTask(Indices, Snapshot);
+
+  std::vector<unsigned> GotIndices;
+  std::string GotSnapshot;
+  Status S = shard::decodeTask(Payload, GotIndices, GotSnapshot);
+  ASSERT_TRUE(S.isOk()) << S.str();
+  EXPECT_EQ(GotIndices, Indices);
+  EXPECT_EQ(GotSnapshot, Snapshot);
+
+  // Truncation anywhere, or trailing junk, is a structured rejection.
+  for (size_t Cut : {size_t(0), size_t(2), Payload.size() / 2,
+                     Payload.size() - 1}) {
+    Status Bad = shard::decodeTask(Payload.substr(0, Cut), GotIndices,
+                                   GotSnapshot);
+    EXPECT_EQ(Bad.code(), ErrorCode::InvalidArgument) << "cut at " << Cut;
+  }
+  EXPECT_EQ(shard::decodeTask(Payload + "x", GotIndices, GotSnapshot).code(),
+            ErrorCode::InvalidArgument);
+  std::string IgnoredSource;
+  InferOptions IgnoredOpts;
+  EXPECT_EQ(shard::decodeInit("", IgnoredSource, IgnoredOpts).code(),
+            ErrorCode::InvalidArgument);
+}
+
+//===----------------------------------------------------------------------===//
+// Real worker processes: byte-identity and failure recovery
+//===----------------------------------------------------------------------===//
+
+TEST_F(ShardTest, ShardedRunMatchesInProcessByteForByte) {
+  const std::string Source = iteratorApiSource() + spreadsheetSource();
+  ShardRun Run = runSharded(Source, testCoordinatorOptions(2));
+  EXPECT_EQ(Run.Output, baselineOutput(Source));
+  EXPECT_GE(Run.Stats.WavesRemote, 1u);
+  EXPECT_GE(Run.Stats.ShardsDispatched, 1u);
+  EXPECT_GE(Run.Stats.WorkersSpawned, 1u);
+  EXPECT_EQ(Run.Stats.WorkersLost, 0u);
+  EXPECT_EQ(Run.Stats.Redispatches, 0u);
+  EXPECT_EQ(Run.Stats.ShardsQuarantined, 0u);
+}
+
+TEST_F(ShardTest, KilledWorkerIsRedispatchedByteIdentically) {
+  // One worker is SIGKILLed right after a shard lands on it; the shard
+  // must be re-dispatched to a fresh worker and the merged output must
+  // not change by a byte.
+  const std::string Source = iteratorApiSource() + spreadsheetSource();
+  std::string Baseline = baselineOutput(Source);
+
+  faults::ScopedFault Crash(FaultKind::WorkerCrash, "", 1);
+  ShardRun Run = runSharded(Source, testCoordinatorOptions(2));
+  EXPECT_EQ(Run.Output, Baseline);
+  EXPECT_GE(Run.Stats.WorkersLost, 1u);
+  EXPECT_GE(Run.Stats.Redispatches, 1u);
+  EXPECT_EQ(Run.Stats.ShardsQuarantined, 0u);
+  EXPECT_EQ(Run.Stats.WavesDegraded, 0u);
+}
+
+TEST_F(ShardTest, HungWorkerTripsHeartbeatDeadlineAndIsRedispatched) {
+  // The worker is SIGSTOPped, so its heartbeats go silent; the
+  // coordinator must declare it hung within the deadline, SIGKILL it,
+  // and re-dispatch — not block forever.
+  const std::string Source = fileProtocolSource();
+  std::string Baseline = baselineOutput(Source);
+
+  faults::ScopedFault Hang(FaultKind::WorkerHang, "", 1);
+  shard::CoordinatorOptions Co = testCoordinatorOptions(2);
+  Co.HeartbeatTimeoutSeconds = 0.5;
+  ShardRun Run = runSharded(Source, Co);
+  EXPECT_EQ(Run.Output, Baseline);
+  EXPECT_GE(Run.Stats.WorkersLost, 1u);
+  EXPECT_GE(Run.Stats.Redispatches, 1u);
+  EXPECT_EQ(Run.Stats.ShardsQuarantined, 0u);
+}
+
+TEST_F(ShardTest, CorruptResultFrameCostsOneAttemptNotTheRun) {
+  // A received result frame has a byte flipped; the sealed outcome
+  // blob's checksum catches it, the worker is recycled, and the shard
+  // re-dispatched.
+  const std::string Source = fileProtocolSource();
+  std::string Baseline = baselineOutput(Source);
+
+  faults::ScopedFault Corrupt(FaultKind::WireCorrupt, "", 1);
+  ShardRun Run = runSharded(Source, testCoordinatorOptions(2));
+  EXPECT_EQ(Run.Output, Baseline);
+  EXPECT_GE(Run.Stats.WorkersLost, 1u);
+  EXPECT_GE(Run.Stats.Redispatches, 1u);
+  EXPECT_EQ(Run.Stats.ShardsQuarantined, 0u);
+}
+
+TEST_F(ShardTest, RelentlessCrashesQuarantineTheShardInProcess) {
+  // Every dispatch kills its worker: after QuarantineAfter consecutive
+  // losses the shard must degrade to in-process execution — terminal
+  // state degraded(shard-quarantine), never a lost shard, and still
+  // byte-identical output.
+  const std::string Source = fileProtocolSource();
+  std::string Baseline = baselineOutput(Source);
+
+  faults::ScopedFault Crash(FaultKind::WorkerCrash);
+  shard::CoordinatorOptions Co = testCoordinatorOptions(2);
+  Co.QuarantineAfter = 2;
+  ShardRun Run = runSharded(Source, Co);
+  EXPECT_EQ(Run.Output, Baseline);
+  EXPECT_GE(Run.Stats.ShardsQuarantined, 1u);
+  EXPECT_GE(Run.Stats.WorkersLost, Co.QuarantineAfter);
+  EXPECT_EQ(Run.Stats.WavesDegraded, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Through the serving layer
+//===----------------------------------------------------------------------===//
+
+serve::BatchOptions batchWithShardFactory() {
+  serve::BatchOptions Opts;
+  Opts.Workers = 1;
+  Opts.MaxAttempts = 1;
+  Opts.Shards = [](Program &Prog, const std::string &Source,
+                   const InferOptions &InferOpts,
+                   unsigned Shards) -> std::unique_ptr<WaveShardExecutor> {
+    shard::CoordinatorOptions Co = testCoordinatorOptions(Shards);
+    Co.QuarantineAfter = 2;
+    return std::make_unique<shard::ShardCoordinator>(Prog, Source, InferOpts,
+                                                     Co);
+  };
+  return Opts;
+}
+
+TEST_F(ShardTest, BatchShardedRequestMatchesInProcessRequest) {
+  serve::BatchRequest InProcess;
+  InProcess.Id = "plain";
+  InProcess.Input = "example:file";
+  serve::BatchRequest Sharded;
+  Sharded.Id = "sharded";
+  Sharded.Input = "example:file";
+  Sharded.Shards = 2;
+
+  std::vector<serve::BatchResult> Results =
+      serve::BatchRunner(batchWithShardFactory()).run({InProcess, Sharded});
+  ASSERT_EQ(Results.size(), 2u);
+  // The example carries fallback solves, so both runs report the same
+  // algorithmic degradation — but sharding must not add infrastructure
+  // reasons, and the outputs must be byte-identical.
+  EXPECT_EQ(Results[0].State, Results[1].State) << Results[1].Reason;
+  EXPECT_EQ(Results[0].Reason, Results[1].Reason);
+  EXPECT_EQ(Results[1].Reason.find("shard"), std::string::npos)
+      << Results[1].Reason;
+  EXPECT_FALSE(Results[0].Output.empty());
+  EXPECT_EQ(Results[0].Output, Results[1].Output);
+}
+
+TEST_F(ShardTest, BatchSurfacesQuarantineAsDegraded) {
+  // A request whose workers always die must still complete — via
+  // quarantine — and must say so: terminal state degraded with a
+  // shard-quarantine reason, with the same output as a clean request.
+  serve::BatchRequest Clean;
+  Clean.Id = "clean";
+  Clean.Input = "example:file";
+  serve::BatchRequest Doomed;
+  Doomed.Id = "doomed";
+  Doomed.Input = "example:file";
+  Doomed.Shards = 2;
+  Doomed.FaultSpec = "worker-crash:doomed";
+
+  std::vector<serve::BatchResult> Results =
+      serve::BatchRunner(batchWithShardFactory()).run({Clean, Doomed});
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Results[0].Reason.find("shard"), std::string::npos)
+      << Results[0].Reason;
+  EXPECT_EQ(Results[1].State, serve::TerminalState::Degraded)
+      << Results[1].Reason;
+  EXPECT_NE(Results[1].Reason.find("shard-quarantine"), std::string::npos)
+      << Results[1].Reason;
+  EXPECT_EQ(Results[0].Output, Results[1].Output);
+}
+
+} // namespace

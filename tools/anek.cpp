@@ -22,6 +22,13 @@
 // hardware thread; 1 = fully sequential). Output is byte-identical for
 // every N.
 //
+// --shards N (infer/verify/batch) farms wave batches to N crash-tolerant
+// worker *processes* (re-exec'd as the hidden `anek --worker` mode) over
+// the anek-shard-v1 pipe protocol; lost workers are respawned and their
+// shards re-dispatched, and a shard that keeps killing workers degrades
+// to in-process execution (src/shard/). stdout stays byte-identical to
+// -j1; the shard tier reports its accounting on stderr.
+//
 // --trace FILE writes a Chrome trace_event JSON timeline (load it in
 // chrome://tracing or ui.perfetto.dev); --metrics FILE writes the flat
 // anek-metrics-v1 counters document. Either implies --trace-level solver
@@ -47,6 +54,8 @@
 #include "plural/Checker.h"
 #include "serve/BatchRunner.h"
 #include "serve/Manifest.h"
+#include "shard/ShardCoordinator.h"
+#include "shard/ShardWorker.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
@@ -75,12 +84,12 @@ void usage() {
   std::fputs("usage: anek <infer|check|verify|pfg|ir> "
              "<file.mjava | --example spreadsheet|file|field> "
              "[--dot] [--method NAME] [--report] [--fault SPEC] "
-             "[--jobs N | -j N] [--trace FILE] [--metrics FILE] "
-             "[--trace-level off|phase|method|solver]\n"
+             "[--jobs N | -j N] [--shards N] [--trace FILE] "
+             "[--metrics FILE] [--trace-level off|phase|method|solver]\n"
              "       anek batch <manifest.txt | -> [--workers N] "
              "[--queue-cap N] [--retries N] [--deadline SECS] "
-             "[--mem-budget BYTES[k|m|g]] [--jobs N | -j N] [--seed N] "
-             "[--out FILE] [--shed-when-full] [--fault SPEC] "
+             "[--mem-budget BYTES[k|m|g]] [--jobs N | -j N] [--shards N] "
+             "[--seed N] [--out FILE] [--shed-when-full] [--fault SPEC] "
              "[--trace FILE] [--metrics FILE] [--trace-level LEVEL]\n"
              "       anek faults\n"
              "(--fault list prints the fault vocabulary; %p in --out/"
@@ -283,6 +292,12 @@ int runBatch(const std::vector<std::string> &Args) {
         return ExitUsage;
       }
       Opts.DefaultJobs = Parsed;
+    } else if (flagValue(Args, I, "--shards", Value)) {
+      if (!ParseUnsigned(Value, Parsed)) {
+        std::fprintf(stderr, "anek: bad shard count '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      Opts.DefaultShards = Parsed;
     } else if (Args[I] == "--shed-when-full") {
       Opts.ShedWhenFull = true;
     } else if (flagValue(Args, I, "--fault", Value)) {
@@ -354,6 +369,22 @@ int runBatch(const std::vector<std::string> &Args) {
       std::fflush(OutStream);
     }
   };
+  // The shard tier is always wired for a batch: a manifest line's
+  // shards=N (or --shards as the batch default) farms that request's
+  // waves to worker processes; with both at 0 the factory simply never
+  // runs. Serve stays shard-agnostic — this injection is its only path
+  // to src/shard/.
+  uint64_t BatchSeed = Opts.Seed;
+  Opts.Shards = [BatchSeed](Program &Prog, const std::string &Source,
+                            const InferOptions &InferOpts,
+                            unsigned Shards)
+      -> std::unique_ptr<WaveShardExecutor> {
+    shard::CoordinatorOptions Co;
+    Co.Workers = Shards;
+    Co.Retry.Seed = BatchSeed;
+    return std::make_unique<shard::ShardCoordinator>(Prog, Source,
+                                                     InferOpts, Co);
+  };
   Opts.DrainSignal = &BatchDrainFlag;
   std::signal(SIGINT, batchDrainHandler);
   std::signal(SIGTERM, batchDrainHandler);
@@ -405,6 +436,8 @@ int run(int Argc, char **Argv) {
   // 0 = auto (one worker per hardware thread); the schedule makes every
   // value produce byte-identical output, so auto is a safe default.
   unsigned Jobs = 0;
+  // 0 = no sharding; N = farm waves to N worker processes (infer/verify).
+  unsigned ShardWorkers = 0;
   std::string MethodFilter;
   TelemetryFlusher Telemetry;
   bool HaveTraceLevel = false;
@@ -454,6 +487,14 @@ int run(int Argc, char **Argv) {
       Jobs = static_cast<unsigned>(Value);
       if (Args[I].size() == 2 || Args[I] == "--jobs")
         ++I;
+    } else if (flagValue(Args, I, "--shards", Value)) {
+      char *End = nullptr;
+      unsigned long Count = std::strtoul(Value.c_str(), &End, 10);
+      if (!End || *End != '\0' || Value.empty()) {
+        std::fprintf(stderr, "anek: bad shard count '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      ShardWorkers = static_cast<unsigned>(Count);
     } else if (Args[I] == "--method" && I + 1 < Args.size()) {
       MethodFilter = Args[++I];
     } else if (flagValue(Args, I, "--fault", Value)) {
@@ -539,7 +580,29 @@ int run(int Argc, char **Argv) {
   if (Command == "infer" || Command == "verify") {
     InferOptions InferOpts;
     InferOpts.Parallelism = Jobs;
+    // --shards N: farm waves to N worker processes. The coordinator is
+    // built from the same options the workers will receive; by the
+    // executor contract stdout stays byte-identical to -j1, so the shard
+    // accounting goes to stderr below.
+    std::unique_ptr<shard::ShardCoordinator> Coordinator;
+    if (ShardWorkers > 0) {
+      shard::CoordinatorOptions CoOpts;
+      CoOpts.Workers = ShardWorkers;
+      Coordinator = std::make_unique<shard::ShardCoordinator>(
+          *Prog, Source, InferOpts, CoOpts);
+      InferOpts.ShardExec = Coordinator.get();
+    }
     InferResult Inference = runAnekInfer(*Prog, InferOpts, &Diags);
+    if (ShardWorkers > 0) {
+      const ShardStats &S = Inference.Shard;
+      std::fprintf(stderr,
+                   "anek: shards: %u wave(s) remote, %u degraded; "
+                   "%u dispatch(es), %u re-dispatch(es); %u worker(s) "
+                   "spawned, %u lost; %u shard(s) quarantined\n",
+                   S.WavesRemote, S.WavesDegraded, S.ShardsDispatched,
+                   S.Redispatches, S.WorkersSpawned, S.WorkersLost,
+                   S.ShardsQuarantined);
+    }
     if (Diags.all().size())
       std::fputs(Diags.str().c_str(), stderr);
     int Exit = Diags.hasErrors() ? ExitDiagnostics : ExitOk;
@@ -588,6 +651,11 @@ int main(int Argc, char **Argv) {
   // through. Exit code 3 tells scripts "bug in anek", distinct from
   // "bad input" (1) and "bad invocation" (2).
   try {
+    // Hidden worker mode: a shard coordinator re-execs this binary as
+    // `anek --worker` and speaks anek-shard-v1 over its stdin/stdout.
+    // Dispatched before flag parsing so no other flag can perturb it.
+    if (Argc > 1 && std::strcmp(Argv[1], "--worker") == 0)
+      return shard::runWorkerLoop(STDIN_FILENO, STDOUT_FILENO);
     return run(Argc, Argv);
   } catch (const std::exception &E) {
     std::fprintf(stderr, "anek: internal error: %s\n", E.what());
