@@ -1,0 +1,200 @@
+//===- bench_incremental.cpp - Incremental re-inference speedup ------------===//
+//
+// The summary cache's economics (DESIGN.md, "Incremental inference and
+// the summary cache"): after one cold run over a PMD-scale corpus, an
+// edit to one method should re-pay only that method's share of the
+// fixpoint, not the whole corpus. This bench times four runs against
+// one on-disk cache — cold, warm-clean, warm after a 1-method edit,
+// warm after a 10%-of-methods edit — and byte-checks every cached run
+// against an uncached run of the same source.
+//
+// Exit status is the acceptance gate: nonzero when any cached run's
+// output diverges from its uncached reference, or when the 1-method
+// warm run costs more than 25% of the cold run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "cache/SummaryCache.h"
+#include "lang/PrettyPrinter.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+#include <vector>
+
+using namespace anek;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Everything observable about a run, pointer-free: the annotated
+/// program plus the fixpoint's accounting. Cached and uncached runs of
+/// the same source must render identically.
+std::string renderRun(Program &Prog, const InferResult &R) {
+  std::ostringstream Out;
+  PrintOptions POpts;
+  POpts.SpecFor = [&R](const MethodDecl &M) {
+    const MethodSpec *Spec = R.specFor(&M);
+    return Spec ? *Spec : MethodSpec();
+  };
+  Out << printProgram(Prog, POpts);
+  Out << "picks=" << R.WorklistPicks << " inferred=" << R.Inferred.size()
+      << " failed=" << R.MethodsFailed << " vars=" << R.TotalVariables
+      << " factors=" << R.TotalFactors << "\n";
+  return Out.str();
+}
+
+struct RunPoint {
+  const char *Label = "";
+  double Seconds = 0.0;
+  CacheStats Stats;
+  bool Identical = true;
+};
+
+/// One full inference over a fresh parse of \p Source at -j1 (the
+/// determinism reference job count), optionally against \p Cache.
+RunPoint timedRun(const char *Label, const std::string &Source,
+                  SolveCache *Cache) {
+  std::unique_ptr<Program> Prog = mustAnalyze(Source);
+  InferOptions Opts;
+  Opts.Parallelism = 1;
+  Opts.Cache = Cache;
+  Timer T;
+  InferResult R = runAnekInfer(*Prog, Opts);
+  RunPoint Point;
+  Point.Label = Label;
+  Point.Seconds = T.seconds();
+  Point.Stats = R.Cache;
+  // Byte-identity against an uncached run of the same source.
+  if (Cache) {
+    std::unique_ptr<Program> Ref = mustAnalyze(Source);
+    InferResult RefR = runAnekInfer(*Ref, Opts);
+    Point.Identical = renderRun(*Prog, R) == renderRun(*Ref, RefR);
+  }
+  return Point;
+}
+
+/// Textually edits the bodies of up to \p Count of the generator's bulk
+/// `calc<N>` methods (an extra accumulation statement: a real semantic
+/// change, not formatting). Returns how many were actually edited.
+unsigned dirtyCalcMethods(std::string &Source, unsigned Count,
+                          unsigned MaxId) {
+  unsigned Dirtied = 0;
+  for (unsigned Id = 0; Id != MaxId && Dirtied != Count; ++Id) {
+    const std::string Needle =
+        formatStr("int calc%u(int a, int b) {\n    int r = a;\n", Id);
+    const size_t At = Source.find(Needle);
+    if (At == std::string::npos)
+      continue;
+    Source.insert(At + Needle.size(), "    r = r + 7;\n");
+    ++Dirtied;
+  }
+  return Dirtied;
+}
+
+} // namespace
+
+int main() {
+  BenchTelemetry Telemetry("incremental");
+  std::puts("Incremental re-inference: one on-disk summary cache across"
+            " edits");
+
+  PmdConfig Config;
+  Config.Classes = 120;
+  Config.Methods = 700;
+  Config.Wrappers = 12;
+  Config.FullSpecWrappers = 2;
+  Config.DirectSites = 90;
+  Config.WrapperConsumerSites = 45;
+  Config.BuggySites = 2;
+  Config.UnannotatedSetters = 3;
+  PmdCorpus Corpus = generatePmdCorpus(Config);
+  std::printf("corpus: %u classes, %u methods, %u lines\n",
+              Corpus.ClassCount, Corpus.MethodCount, Corpus.LineCount);
+
+  const fs::path CacheDir =
+      fs::temp_directory_path() /
+      ("anek_bench_incremental_" + std::to_string(::getpid()));
+  std::error_code Ignored;
+  fs::remove_all(CacheDir, Ignored);
+  cache::SummaryCache Cache(CacheDir.string());
+
+  std::string OneDirty = Corpus.Source;
+  if (dirtyCalcMethods(OneDirty, 1, Config.Methods) != 1) {
+    std::fprintf(stderr, "bench: no calc method found to dirty\n");
+    return 1;
+  }
+  std::string TenthDirty = Corpus.Source;
+  const unsigned TenthTarget = Corpus.MethodCount / 10;
+  const unsigned TenthActual =
+      dirtyCalcMethods(TenthDirty, TenthTarget, Config.Methods);
+  if (TenthActual == 0) {
+    std::fprintf(stderr, "bench: no calc methods found to dirty\n");
+    return 1;
+  }
+  if (TenthActual < TenthTarget)
+    std::printf("note: only %u of the targeted %u methods could be"
+                " dirtied\n",
+                TenthActual, TenthTarget);
+
+  std::vector<RunPoint> Points;
+  Points.push_back(timedRun("cold", Corpus.Source, &Cache));
+  Points.push_back(timedRun("warm-clean", Corpus.Source, &Cache));
+  Points.push_back(timedRun("warm-1-dirty", OneDirty, &Cache));
+  Points.push_back(timedRun("warm-10pct-dirty", TenthDirty, &Cache));
+
+  const double ColdSeconds = Points.front().Seconds;
+  rule();
+  std::printf("%18s | %9s | %7s | %6s %6s %6s %6s | %s\n", "run",
+              "seconds", "of-cold", "hit", "miss", "inval", "store",
+              "identical");
+  rule();
+  for (const RunPoint &P : Points)
+    std::printf("%18s | %8.3fs | %6.1f%% | %6u %6u %6u %6u | %s\n",
+                P.Label, P.Seconds,
+                ColdSeconds > 0.0 ? 100.0 * P.Seconds / ColdSeconds : 0.0,
+                P.Stats.Hits, P.Stats.Misses, P.Stats.Invalidated,
+                P.Stats.Stores, P.Identical ? "yes" : "NO (BUG)");
+  rule();
+
+  std::ofstream Json("bench_incremental.json");
+  Json << "{\n  \"bench\": \"incremental_reinference\",\n"
+       << "  \"corpus_methods\": " << Corpus.MethodCount << ",\n"
+       << "  \"dirtied_10pct\": " << TenthActual << ",\n"
+       << "  \"points\": [\n";
+  for (size_t I = 0; I != Points.size(); ++I) {
+    const RunPoint &P = Points[I];
+    Json << "    {\"run\": \"" << P.Label
+         << "\", \"seconds\": " << P.Seconds << ", \"of_cold\": "
+         << (ColdSeconds > 0.0 ? P.Seconds / ColdSeconds : 0.0)
+         << ", \"hits\": " << P.Stats.Hits
+         << ", \"misses\": " << P.Stats.Misses
+         << ", \"invalidated\": " << P.Stats.Invalidated
+         << ", \"stores\": " << P.Stats.Stores << ", \"identical\": "
+         << (P.Identical ? "true" : "false") << "}"
+         << (I + 1 == Points.size() ? "\n" : ",\n");
+  }
+  Json << "  ]\n}\n";
+  std::puts("Written to bench_incremental.json. Acceptance: every cached"
+            " run byte-identical to\nits uncached reference, and the"
+            " 1-method-dirty warm run at most 25% of cold.");
+
+  fs::remove_all(CacheDir, Ignored);
+
+  bool Ok = true;
+  for (const RunPoint &P : Points)
+    Ok = Ok && P.Identical;
+  if (ColdSeconds > 0.0 && Points[2].Seconds > 0.25 * ColdSeconds) {
+    std::fprintf(stderr,
+                 "bench: 1-method-dirty run took %.1f%% of cold "
+                 "(budget: 25%%)\n",
+                 100.0 * Points[2].Seconds / ColdSeconds);
+    Ok = false;
+  }
+  return Ok ? 0 : 1;
+}

@@ -138,14 +138,9 @@ CallGraph::callers(const MethodDecl *Callee) const {
   return It != Callers.end() ? It->second : Empty;
 }
 
-std::vector<std::vector<MethodDecl *>> CallGraph::sccWaves() const {
-  telemetry::Span Span("analysis.sccwaves", telemetry::TraceLevel::Phase,
-                       "analysis");
-  // Iterative Tarjan over callee edges. AllMethods and each callees()
-  // vector are in deterministic (declaration/scan) order, so component
-  // ids and the waves derived from them are too.
-  const unsigned None = ~0u;
-  std::map<const MethodDecl *, unsigned> Index, LowLink, SccOf;
+unsigned
+CallGraph::computeSccs(std::map<const MethodDecl *, unsigned> &SccOf) const {
+  std::map<const MethodDecl *, unsigned> Index, LowLink;
   std::vector<MethodDecl *> TarjanStack;
   std::map<const MethodDecl *, bool> OnStack;
   unsigned NextIndex = 0, NextScc = 0;
@@ -198,6 +193,14 @@ std::vector<std::vector<MethodDecl *>> CallGraph::sccWaves() const {
       }
     }
   }
+  return NextScc;
+}
+
+std::vector<std::vector<MethodDecl *>> CallGraph::sccWaves() const {
+  telemetry::Span Span("analysis.sccwaves", telemetry::TraceLevel::Phase,
+                       "analysis");
+  std::map<const MethodDecl *, unsigned> SccOf;
+  const unsigned NextScc = computeSccs(SccOf);
 
   // Wave level per SCC: one past the deepest *bodied* callee component.
   // Components without bodies are never solved, so they do not push
@@ -236,6 +239,29 @@ std::vector<std::vector<MethodDecl *>> CallGraph::sccWaves() const {
   for (const auto &Wave : Waves)
     assert(!Wave.empty() && "empty wave in SCC condensation");
   return Waves;
+}
+
+std::vector<CallGraph::SccGroup> CallGraph::sccGroups() const {
+  std::map<const MethodDecl *, unsigned> SccOf;
+  const unsigned NextScc = computeSccs(SccOf);
+
+  std::vector<SccGroup> Groups(NextScc);
+  for (MethodDecl *M : AllMethods) {
+    unsigned S = SccOf[M];
+    Groups[S].Members.push_back(M); // AllMethods order == declaration order.
+    for (MethodDecl *Callee : callees(M)) {
+      unsigned CS = SccOf[Callee];
+      if (CS == S)
+        continue;
+      assert(CS < S && "condensation edge out of reverse-topo id order");
+      std::vector<unsigned> &Out = Groups[S].CalleeGroups;
+      if (std::find(Out.begin(), Out.end(), CS) == Out.end())
+        Out.push_back(CS);
+    }
+  }
+  for (SccGroup &G : Groups)
+    std::sort(G.CalleeGroups.begin(), G.CalleeGroups.end());
+  return Groups;
 }
 
 std::vector<MethodDecl *> CallGraph::bottomUpOrder() const {

@@ -50,10 +50,32 @@ public:
   /// the result is fully deterministic.
   std::vector<std::vector<MethodDecl *>> sccWaves() const;
 
+  /// One strongly connected component of the condensation, as produced by
+  /// sccGroups(). Members are in declaration order; CalleeGroups holds the
+  /// ids (indices into the sccGroups() result) of the distinct components
+  /// this one calls into, ascending, self excluded.
+  struct SccGroup {
+    std::vector<MethodDecl *> Members;
+    std::vector<unsigned> CalleeGroups;
+  };
+
+  /// The SCC condensation itself, in reverse topological order: a callee
+  /// component always has a smaller index than any caller component, so a
+  /// single ascending pass sees every dependency before its dependents.
+  /// Unlike sccWaves() this includes bodiless components (interface
+  /// methods), because the incremental cache hashes signatures too.
+  std::vector<SccGroup> sccGroups() const;
+
   /// Number of call edges (for statistics).
   unsigned edgeCount() const { return NumEdges; }
 
 private:
+  /// Iterative Tarjan over callee edges: assigns every method a component
+  /// id in reverse topological order (callees' SCCs get smaller ids) and
+  /// returns the number of components. Deterministic because AllMethods
+  /// and each callees() vector are in declaration/scan order.
+  unsigned computeSccs(std::map<const MethodDecl *, unsigned> &SccOf) const;
+
   void addEdge(MethodDecl *Caller, MethodDecl *Callee);
   void scanExpr(MethodDecl *Caller, const Expr *E);
   void scanStmt(MethodDecl *Caller, const Stmt *S);

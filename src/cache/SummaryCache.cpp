@@ -1,0 +1,191 @@
+//===- SummaryCache.cpp - On-disk/in-memory solve cache --------------------===//
+
+#include "cache/SummaryCache.h"
+
+#include "infer/SummaryIO.h"
+#include "support/FaultInject.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+using namespace anek;
+using namespace anek::cache;
+
+namespace fs = std::filesystem;
+
+SummaryCache::SummaryCache(std::string Dir) : Dir(std::move(Dir)) {
+  if (this->Dir.empty())
+    return;
+  std::error_code Ec;
+  fs::create_directories(this->Dir, Ec);
+  // An uncreatable directory is not an error: every lookup will miss and
+  // every store will fail to persist, which is the degradation contract.
+  loadIndex();
+}
+
+std::string SummaryCache::hexKey(uint64_t Key) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Key));
+  return Buf;
+}
+
+void SummaryCache::loadIndex() {
+  std::ifstream In(fs::path(Dir) / IndexFileName, std::ios::binary);
+  if (!In)
+    return; // A fresh directory: empty cache, not corruption.
+  std::string Line;
+  if (!std::getline(In, Line) || Line != IndexFileName) {
+    ++Stats.Corrupt; // Header of a different (or damaged) format.
+    return;
+  }
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    const size_t Space = Line.find(' ');
+    if (Space != 16 || Line.size() < 18) {
+      ++Stats.Corrupt;
+      return; // Abandon the damaged tail; parsed entries stay usable.
+    }
+    const std::string Hex = Line.substr(0, 16);
+    char *End = nullptr;
+    const uint64_t Key = std::strtoull(Hex.c_str(), &End, 16);
+    if (!End || *End != '\0') {
+      ++Stats.Corrupt;
+      return;
+    }
+    Index[Line.substr(Space + 1)].insert(Key);
+  }
+}
+
+bool SummaryCache::loadBlob(uint64_t Key, std::string &Blob) {
+  if (Dir.empty()) {
+    auto It = MemBlobs.find(Key);
+    if (It == MemBlobs.end())
+      return false;
+    Blob = It->second;
+    return true;
+  }
+  std::ifstream In(fs::path(Dir) / (hexKey(Key) + ".sum"), std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Blob = std::move(Buf).str();
+  return In.good() || In.eof();
+}
+
+bool SummaryCache::saveBlob(uint64_t Key, const std::string &Blob) {
+  if (Dir.empty()) {
+    MemBlobs[Key] = Blob;
+    return true;
+  }
+  // Temp file + rename: a crash mid-write leaves either the old blob or
+  // none, never a torn one (and a torn rename survivor would still be
+  // caught by the envelope checksum).
+  const fs::path Final = fs::path(Dir) / (hexKey(Key) + ".sum");
+  const fs::path Tmp = fs::path(Dir) / (hexKey(Key) + ".sum.tmp");
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(Blob.data(), static_cast<std::streamsize>(Blob.size()));
+    if (!Out.good())
+      return false;
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, Final, Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+CacheLookup SummaryCache::lookup(const std::string &MethodName, uint64_t Key,
+                                 CachedSolve &Out) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(MethodName);
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return CacheLookup::Miss;
+  }
+  if (!It->second.count(Key)) {
+    // Entries exist, but none under this content key: the method (or
+    // something it transitively depends on, or the summary state it is
+    // being solved against) changed since they were written.
+    ++Stats.Invalidated;
+    return CacheLookup::Invalidated;
+  }
+  auto Drop = [&] {
+    It->second.erase(Key);
+    if (It->second.empty())
+      Index.erase(It);
+    ++Stats.Corrupt;
+  };
+  std::string Blob;
+  if (!loadBlob(Key, Blob)) {
+    // Indexed but the blob is gone/unreadable: rot, classified as a miss.
+    Drop();
+    return CacheLookup::Corrupt;
+  }
+  // The wire-corrupt control point at the `cache` site: flip one byte of
+  // the loaded blob, exactly as disk rot would. The envelope checksum
+  // rejects it below and the lookup degrades to a counted miss.
+  if (faults::anyActive() &&
+      faults::consumeFire(FaultKind::WireCorrupt, "cache") && !Blob.empty())
+    Blob[Blob.size() / 2] ^= 0x20;
+  Expected<CachedSolve> Decoded = summaryio::decodeCacheEntry(Blob, Key);
+  if (!Decoded) {
+    Drop();
+    if (Dir.empty())
+      MemBlobs.erase(Key);
+    return CacheLookup::Corrupt;
+  }
+  Out = Decoded.take();
+  ++Stats.Hits;
+  return CacheLookup::Hit;
+}
+
+void SummaryCache::store(const std::string &MethodName, uint64_t Key,
+                         const CachedSolve &Entry) {
+  const std::string Blob = summaryio::encodeCacheEntry(Key, Entry);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (auto It = Index.find(MethodName);
+      It != Index.end() && It->second.count(Key))
+    return; // Already stored (a warm run re-stores nothing).
+  if (!saveBlob(Key, Blob))
+    return; // Absorbed: an unpersistable entry is a future miss.
+  if (!Dir.empty()) {
+    const fs::path IndexPath = fs::path(Dir) / IndexFileName;
+    std::error_code Ec;
+    const bool Fresh = !fs::exists(IndexPath, Ec);
+    std::ofstream Out(IndexPath, std::ios::binary | std::ios::app);
+    if (!Out)
+      return;
+    if (Fresh)
+      Out << IndexFileName << "\n";
+    Out << hexKey(Key) << " " << MethodName << "\n";
+    if (!Out.good())
+      return;
+  }
+  Index[MethodName].insert(Key);
+  ++Stats.Stores;
+}
+
+CacheStats SummaryCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+size_t SummaryCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const auto &[Name, Keys] : Index)
+    N += Keys.size();
+  return N;
+}

@@ -5,9 +5,11 @@
 #include "analysis/CallGraph.h"
 #include "analysis/IrBuilder.h"
 #include "factor/Solvers.h"
+#include "lang/PrettyPrinter.h"
 #include "pfg/PfgBuilder.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 #include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -20,7 +22,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <functional>
 #include <memory>
+#include <numeric>
 #include <set>
 
 using namespace anek;
@@ -190,6 +194,16 @@ private:
   /// concurrently with other analyzeOne calls.
   MethodOutcome analyzeOne(MethodDecl *M);
 
+  /// Enumerates every summary-prior application \p M's model makes —
+  /// own interface targets first, then call sites in PFG order — with
+  /// App.Applied already pooled and transformed, and hands each record to
+  /// \p Fn (which may consume it). This is the single source of truth for
+  /// the application stream: analyzeOne uses it to set priors, and
+  /// solveKeyFor digests the identical stream into the cache key, so the
+  /// two can never drift apart. Reads the frozen summary store only.
+  void forEachApplication(MethodDecl *M, const Pfg &G,
+                          const std::function<void(Application &)> &Fn);
+
   /// Per-target evidence helper: converts the solved marginals /
   /// graph-side cavity beliefs into an odds vector (call-site evidence
   /// on preconditions is weaken-only: odds capped at 1). Appends a
@@ -221,6 +235,34 @@ private:
   /// in process.
   bool buildDeclIndexLookup();
 
+  // Incremental summary cache (DESIGN.md, "Incremental inference and the
+  // summary cache"). The engine memoizes individual SOLVE invocations:
+  // the key digests every input the solve depends on, so a hit replays
+  // the stored evidence byte-identically by construction.
+
+  /// Gates and arms the cache for this run: verifies the preconditions
+  /// (no per-solve time budget, unique qualified names, no armed
+  /// analysis-perturbing fault) and precomputes the run-constant key
+  /// components — the program-environment/options digest and the per-SCC
+  /// transitive content chain hashes. Leaves Cache null when unusable.
+  void prepareCache();
+
+  /// The content key of \p M's next SOLVE against the current summary
+  /// store: environment digest + the method's SCC chain hash + its
+  /// solver seed + the exact bit patterns of the application stream.
+  uint64_t solveKeyFor(MethodDecl *M);
+
+  /// Converts a cached solve back into an engine outcome, resolving
+  /// qualified names against the current program and validating shape
+  /// (known owners/callers, present targets, matching odds arity) like
+  /// adoptWireOutcomes does for shard results. False on any mismatch:
+  /// the entry is then treated as invalidated and the method re-solved.
+  bool adoptCachedSolve(CachedSolve Entry, MethodOutcome &Out);
+
+  /// The durable image of a fresh outcome, with every method named by
+  /// qualified name so the entry survives declaration-index shifts.
+  CachedSolve toCachedSolve(const MethodOutcome &Out) const;
+
   /// Runs the configured solver, walking the fallback cascade when the
   /// primary misses its convergence contract; fills \p GraphBelief with
   /// the per-node cavity beliefs (for solvers without native support,
@@ -247,6 +289,20 @@ private:
   /// Declaration index -> method, for shard wire identification. Only
   /// populated when shard mode is in play (see buildDeclIndexLookup).
   std::map<uint32_t, MethodDecl *> DeclsByIndex;
+
+  /// Non-null only when Opts.Cache is set and its preconditions hold
+  /// (see prepareCache); everything below is populated alongside it.
+  SolveCache *Cache = nullptr;
+  /// Digest of the type/signature/annotation environment (bodies
+  /// excluded) mixed with the algorithm-option fingerprint.
+  uint64_t CacheEnvHash = 0;
+  /// Per method: its SCC's token-content hash mixed with the chain
+  /// hashes of every callee SCC, transitively. Editing any method
+  /// changes this for the whole reverse-reachable cone — that is the
+  /// cache's invalidation propagation.
+  std::map<const MethodDecl *, uint64_t> ChainHashes;
+  /// Qualified name -> method, for cache-entry replay resolution.
+  std::map<std::string, MethodDecl *> DeclsByName;
 };
 
 } // namespace
@@ -484,38 +540,9 @@ Expected<Marginals> InferEngine::solveGraph(const FactorGraph &G,
   return DampedM;
 }
 
-InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
-  MethodOutcome Out;
-  auto Fail = [&](const Status &S) {
-    Out.Failed = true;
-    Out.Error = S.str();
-    return std::move(Out);
-  };
-
-  // Fault 'solve-fail': this method's SOLVE step fails outright, proving
-  // the isolation path keeps the rest of the program inferable. Under a
-  // batch FaultScope the scoped label "<scope>/<method>" also matches, so
-  // one request can be poisoned without touching its neighbors.
-  if (faults::anyActive() &&
-      (faults::active(FaultKind::SolveFailure, M->qualifiedName()) ||
-       (!Opts.FaultScope.empty() &&
-        faults::active(FaultKind::SolveFailure,
-                       Opts.FaultScope + "/" + M->qualifiedName()))))
-    return Fail(
-        faults::injectedError(FaultKind::SolveFailure, M->qualifiedName()));
-
-  const MethodData &MD = Data.at(M);
-  const Pfg &G = MD.G;
-
-  FactorGraph FG;
-  PfgVarMap Vars(G, FG);
-  generateConstraints(G, FG, Vars, Opts.Constraints);
-
-  // Records of every prior application so evidence can be divided out.
-  // Everything read below comes from the wave's frozen summary store;
-  // the writes go through deferred PendingUpdates.
-  std::vector<Application> Applications;
-
+void InferEngine::forEachApplication(
+    MethodDecl *M, const Pfg &G,
+    const std::function<void(Application &)> &Fn) {
   using summaryio::SummaryTargetRole;
   auto Apply = [&](PfgNodeId Node, TargetSummary *Target,
                    MethodDecl *SummaryOwner, SummaryTargetRole Role,
@@ -536,8 +563,7 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
         IsSelf ? Target->pooledWithoutSelf() : Target->pooledWithoutSite(Site);
     if (!IsSelf)
       App.Applied = transformPrior(std::move(App.Applied), IsRequirement);
-    setMarginalPriors(FG, Vars.node(Node), App.Applied);
-    Applications.push_back(std::move(App));
+    Fn(App);
   };
 
   // The method's own interface nodes: prior = summary minus own evidence.
@@ -590,6 +616,43 @@ InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
       Apply(Site.Result, &*Callee.Result, D, SummaryTargetRole::Result, 0,
             false, Key);
   }
+}
+
+InferEngine::MethodOutcome InferEngine::analyzeOne(MethodDecl *M) {
+  MethodOutcome Out;
+  auto Fail = [&](const Status &S) {
+    Out.Failed = true;
+    Out.Error = S.str();
+    return std::move(Out);
+  };
+
+  // Fault 'solve-fail': this method's SOLVE step fails outright, proving
+  // the isolation path keeps the rest of the program inferable. Under a
+  // batch FaultScope the scoped label "<scope>/<method>" also matches, so
+  // one request can be poisoned without touching its neighbors.
+  if (faults::anyActive() &&
+      (faults::active(FaultKind::SolveFailure, M->qualifiedName()) ||
+       (!Opts.FaultScope.empty() &&
+        faults::active(FaultKind::SolveFailure,
+                       Opts.FaultScope + "/" + M->qualifiedName()))))
+    return Fail(
+        faults::injectedError(FaultKind::SolveFailure, M->qualifiedName()));
+
+  const MethodData &MD = Data.at(M);
+  const Pfg &G = MD.G;
+
+  FactorGraph FG;
+  PfgVarMap Vars(G, FG);
+  generateConstraints(G, FG, Vars, Opts.Constraints);
+
+  // Records of every prior application so evidence can be divided out.
+  // Everything read below comes from the wave's frozen summary store;
+  // the writes go through deferred PendingUpdates.
+  std::vector<Application> Applications;
+  forEachApplication(M, G, [&](Application &App) {
+    setMarginalPriors(FG, Vars.node(App.Node), App.Applied);
+    Applications.push_back(std::move(App));
+  });
 
   Timer SolveTimer;
   Marginals GraphBelief;
@@ -645,6 +708,270 @@ bool InferEngine::buildDeclIndexLookup() {
       if (!DeclsByIndex.emplace(M->DeclIndex, M.get()).second)
         return false; // Unnumbered (hand-built) decls collide on index 0.
   return true;
+}
+
+namespace {
+
+void hashAnnotation(HashStream &H, const RawAnnotation &A) {
+  H.str(A.Name);
+  H.u32(static_cast<uint32_t>(A.Args.size()));
+  for (const auto &[K, V] : A.Args) {
+    H.str(K);
+    H.str(V);
+  }
+  H.u32(static_cast<uint32_t>(A.ListArgs.size()));
+  for (const std::string &S : A.ListArgs)
+    H.str(S);
+}
+
+/// Digest of everything about \p M *except* its body: the part other
+/// methods' models can see (callee resolution, declared-spec priors,
+/// summary shapes). Part of the environment hash for every entry.
+uint64_t methodSignatureHash(const MethodDecl &M) {
+  HashStream H;
+  H.str(M.Name);
+  H.u8(M.IsStatic ? 1 : 0);
+  H.u8(M.IsCtor ? 1 : 0);
+  H.u8(M.IsTest ? 1 : 0);
+  H.str(M.ReturnType.str());
+  H.u32(static_cast<uint32_t>(M.Params.size()));
+  for (const ParamDecl &P : M.Params) {
+    H.str(P.Type.str());
+    H.str(P.Name);
+  }
+  H.u32(static_cast<uint32_t>(M.Annotations.size()));
+  for (const RawAnnotation &A : M.Annotations)
+    hashAnnotation(H, A);
+  return H.digest();
+}
+
+/// Signature plus the body as the pretty-printer re-serializes it. The
+/// printer reads the parsed AST, so this is a token-stream hash: editing
+/// whitespace or comments leaves the digest unchanged, editing any token
+/// the parser kept changes it.
+uint64_t methodContentHash(const MethodDecl &M) {
+  HashStream H;
+  H.str(M.Owner ? M.Owner->Name : std::string());
+  H.u64(methodSignatureHash(M));
+  H.u8(M.Body ? 1 : 0);
+  if (M.Body)
+    H.str(printStmt(*M.Body));
+  return H.digest();
+}
+
+} // namespace
+
+void InferEngine::prepareCache() {
+  Cache = nullptr;
+  if (!Opts.Cache)
+    return;
+  // A per-solve time budget makes solve outcomes timing-dependent, so a
+  // replay is not guaranteed to reproduce a fresh solve. Governed runs
+  // (deadline'd batch requests) therefore never cache.
+  if (Opts.SolveBudgetSeconds > 0.0)
+    return;
+  // Analysis-perturbing faults change what a fresh solve would compute;
+  // caching across them would either launder a faulted result into clean
+  // runs or replay a clean result past an armed fault. Infrastructure
+  // faults (wire corruption, worker crashes) do not perturb results —
+  // the degradation contract absorbs them — so they keep caching on.
+  if (faults::anyActive() &&
+      (faults::kindActive(FaultKind::BpNonConvergence) ||
+       faults::kindActive(FaultKind::DeadlineExpiry) ||
+       faults::kindActive(FaultKind::AllocPerturb) ||
+       faults::kindActive(FaultKind::SolveFailure)))
+    return;
+  // Replay resolution is by qualified name; ambiguity would alias
+  // entries across distinct methods.
+  DeclsByName.clear();
+  for (const auto &Type : Prog.Types)
+    for (const auto &M : Type->Methods)
+      if (!DeclsByName.emplace(M->qualifiedName(), M.get()).second) {
+        DeclsByName.clear();
+        return;
+      }
+
+  // Environment digest: the wire version (entries are sealed blobs), the
+  // full algorithm-option fingerprint, and the type/signature/annotation
+  // level of the program — everything that shapes summary skeletons and
+  // callee resolution without being any one method's body. Threshold,
+  // SummaryTolerance and MaxIters are deliberately excluded: they steer
+  // extraction and scheduling, not what one SOLVE computes, so entries
+  // stay valid across them.
+  HashStream Env;
+  Env.u32(summaryio::WireVersion);
+  Env.u8(static_cast<uint8_t>(Opts.Solver));
+  Env.u8(Opts.Fallback ? 1 : 0);
+  Env.f64(Opts.SpecHi);
+  Env.f64(Opts.SpecLo);
+  const ConstraintOptions &C = Opts.Constraints;
+  Env.f64(C.L1Branch);
+  Env.f64(C.L1Split);
+  Env.f64(C.L2Incoming);
+  Env.f64(C.L3FieldWrite);
+  Env.f64(C.H1Ctor);
+  Env.f64(C.H2PrePost);
+  Env.f64(C.H3Create);
+  Env.f64(C.H4Setter);
+  Env.f64(C.H5Sync);
+  Env.f64(C.H6WeakPre);
+  Env.u8(C.EnableH1 ? 1 : 0);
+  Env.u8(C.EnableH2 ? 1 : 0);
+  Env.u8(C.EnableH3 ? 1 : 0);
+  Env.u8(C.EnableH4 ? 1 : 0);
+  Env.u8(C.EnableH5 ? 1 : 0);
+  Env.u8(C.EnableH6 ? 1 : 0);
+  Env.u8(C.LogicalOnly ? 1 : 0);
+  Env.u8(C.EnableExclusivity ? 1 : 0);
+  Env.u8(C.KindMutex ? 1 : 0);
+  Env.f64(C.KindMutexProb);
+  // Evidence tracing annotates updates with debug lines that are stored
+  // and replayed; entries written with tracing off lack them.
+  Env.u8(std::getenv("ANEK_DEBUG_EVIDENCE") ? 1 : 0);
+  for (const auto &Type : Prog.Types) {
+    Env.str(Type->Name);
+    Env.u8(Type->IsInterface ? 1 : 0);
+    Env.str(Type->SuperName);
+    Env.u32(static_cast<uint32_t>(Type->InterfaceNames.size()));
+    for (const std::string &I : Type->InterfaceNames)
+      Env.str(I);
+    Env.u32(static_cast<uint32_t>(Type->TypeParams.size()));
+    for (const std::string &P : Type->TypeParams)
+      Env.str(P);
+    Env.u32(static_cast<uint32_t>(Type->Annotations.size()));
+    for (const RawAnnotation &A : Type->Annotations)
+      hashAnnotation(Env, A);
+    Env.u32(static_cast<uint32_t>(Type->Fields.size()));
+    for (const FieldDecl &F : Type->Fields) {
+      Env.str(F.Name);
+      Env.str(F.Type.str());
+    }
+    Env.u32(static_cast<uint32_t>(Type->Methods.size()));
+    for (const auto &M : Type->Methods)
+      Env.u64(methodSignatureHash(*M));
+  }
+  CacheEnvHash = Env.digest();
+
+  // Per-SCC transitive chain hashes, computed callees-first over the
+  // condensation (sccGroups is reverse-topological, so every callee
+  // group's hash exists before its callers fold it in). Editing one
+  // method's body changes its SCC's hash and, through the folds, the
+  // hash of every SCC that can reach it — exactly the set of methods
+  // whose solves could observe the edit through summaries.
+  ChainHashes.clear();
+  std::vector<CallGraph::SccGroup> Groups = Graph.sccGroups();
+  std::vector<uint64_t> GroupHash(Groups.size(), 0);
+  for (size_t S = 0; S != Groups.size(); ++S) {
+    HashStream H;
+    for (MethodDecl *Member : Groups[S].Members)
+      H.u64(methodContentHash(*Member));
+    for (unsigned Callee : Groups[S].CalleeGroups)
+      H.u64(GroupHash[Callee]);
+    GroupHash[S] = H.digest();
+    for (MethodDecl *Member : Groups[S].Members)
+      ChainHashes[Member] = GroupHash[S];
+  }
+  Cache = Opts.Cache;
+}
+
+uint64_t InferEngine::solveKeyFor(MethodDecl *M) {
+  HashStream H;
+  H.u64(CacheEnvHash);
+  H.u64(ChainHashes.at(M));
+  H.u64(methodSeed(M));
+  // The exact bit patterns of every prior the model applies, in the one
+  // canonical enumeration order. This is what makes replay byte-safe
+  // *within* a run's fixpoint iteration: the same method re-solved after
+  // its callees' summaries moved gets a different key, while a warm run
+  // that replays wave by wave reproduces the same summary trajectory and
+  // therefore the same sequence of keys.
+  forEachApplication(M, Data.at(M).G, [&](Application &App) {
+    H.u8(static_cast<uint8_t>(App.Role));
+    H.u32(App.ParamIndex);
+    H.u8(App.IsSelf ? 1 : 0);
+    H.u8(App.IsRequirement ? 1 : 0);
+    H.str(App.SummaryOwner ? App.SummaryOwner->qualifiedName()
+                           : std::string());
+    H.u32(App.Site.second);
+    H.u32(static_cast<uint32_t>(App.Applied.size()));
+    for (double V : App.Applied)
+      H.f64(V);
+  });
+  return H.digest();
+}
+
+bool InferEngine::adoptCachedSolve(CachedSolve Entry, MethodOutcome &Out) {
+  if (Entry.SolverUsed > static_cast<uint8_t>(SolverChoice::Exact))
+    return false;
+  MethodOutcome Adopted;
+  Adopted.Report.Used = static_cast<SolverChoice>(Entry.SolverUsed);
+  Adopted.Report.Fallback = Entry.FallbackUsed;
+  Adopted.Report.Reason = std::move(Entry.Reason);
+  Adopted.Report.Solve = std::move(Entry.Solve);
+  Adopted.Report.Solves = Entry.Solves;
+  Adopted.Variables = static_cast<unsigned>(Entry.Variables);
+  Adopted.Factors = static_cast<unsigned>(Entry.Factors);
+  Adopted.SolveSeconds = Entry.SolveSeconds;
+  for (CachedUpdate &U : Entry.Updates) {
+    if (U.Role > static_cast<uint8_t>(summaryio::SummaryTargetRole::Result))
+      return false;
+    auto OwnerIt = DeclsByName.find(U.OwnerName);
+    if (OwnerIt == DeclsByName.end())
+      return false;
+    MethodDecl *Owner = OwnerIt->second;
+    auto SumIt = Summaries.find(Owner);
+    if (SumIt == Summaries.end())
+      return false;
+    TargetSummary *Target = resolveTarget(
+        SumIt->second, static_cast<summaryio::SummaryTargetRole>(U.Role),
+        U.ParamIndex);
+    if (!Target || U.Odds.size() != Target->size())
+      return false;
+    PendingUpdate P;
+    P.Target = Target;
+    P.SummaryOwner = Owner;
+    P.Role = static_cast<summaryio::SummaryTargetRole>(U.Role);
+    P.ParamIndex = U.ParamIndex;
+    P.IsSelf = U.IsSelf;
+    if (!U.IsSelf) {
+      auto CallerIt = DeclsByName.find(U.SiteCallerName);
+      if (CallerIt == DeclsByName.end())
+        return false;
+      P.Site = {CallerIt->second, U.SiteIndex};
+    }
+    P.Odds = std::move(U.Odds);
+    P.DebugLine = std::move(U.DebugLine);
+    Adopted.Updates.push_back(std::move(P));
+  }
+  Out = std::move(Adopted);
+  return true;
+}
+
+CachedSolve InferEngine::toCachedSolve(const MethodOutcome &Out) const {
+  CachedSolve Entry;
+  Entry.SolverUsed = static_cast<uint8_t>(Out.Report.Used);
+  Entry.FallbackUsed = Out.Report.Fallback;
+  Entry.Reason = Out.Report.Reason;
+  Entry.Solve = Out.Report.Solve;
+  Entry.Solves = Out.Report.Solves;
+  Entry.Variables = Out.Variables;
+  Entry.Factors = Out.Factors;
+  Entry.SolveSeconds = Out.SolveSeconds;
+  for (const PendingUpdate &U : Out.Updates) {
+    CachedUpdate CU;
+    CU.OwnerName = U.SummaryOwner ? U.SummaryOwner->qualifiedName()
+                                  : std::string();
+    CU.Role = static_cast<uint8_t>(U.Role);
+    CU.ParamIndex = U.ParamIndex;
+    CU.IsSelf = U.IsSelf;
+    if (!U.IsSelf && U.Site.first)
+      CU.SiteCallerName = U.Site.first->qualifiedName();
+    CU.SiteIndex = U.Site.second;
+    CU.Odds = U.Odds; // Copied: the merge step moves the live ones.
+    CU.DebugLine = U.DebugLine;
+    Entry.Updates.push_back(std::move(CU));
+  }
+  return Entry;
 }
 
 Status InferEngine::adoptWireOutcomes(
@@ -882,6 +1209,18 @@ InferResult InferEngine::run() {
   // identification is ambiguous and the engine quietly stays in process.
   const bool ShardUsable = Opts.ShardExec && buildDeclIndexLookup();
 
+  // Arm the incremental cache (a no-op unless Opts.Cache is set and its
+  // preconditions hold). The chain hashes computed here are the run's
+  // invalidation frontier: they never change within a run, while the
+  // applied-prior part of each key tracks the fixpoint iteration.
+  {
+    telemetry::Span CachePrep("cache.prepare", telemetry::TraceLevel::Phase,
+                              "infer");
+    prepareCache();
+    if (CachePrep.active())
+      CachePrep.argBool("armed", Cache != nullptr);
+  }
+
   // Cooperative cancellation/budget poll, consulted at wave boundaries
   // only: inside a wave the jobs run to completion (their SOLVE steps are
   // individually bounded by SolveBudgetSeconds), so an abort never leaves
@@ -952,29 +1291,87 @@ InferResult InferEngine::run() {
           telemetry::enabled() ? telemetry::nowUs() : 0;
       std::vector<MethodOutcome> Outcomes(Batch.size());
 
-      // Sharded path: freeze the store into a snapshot, hand the batch
-      // to the executor, and adopt its outcomes in place of running the
-      // jobs here. Validation failures and executor errors degrade the
-      // wave back to the in-process scheduler — identical results either
-      // way (the executor contract), so degradation is invisible in the
-      // output and the run can never be lost to infrastructure.
+      // Cache lookups run on the scheduling thread against the same
+      // frozen store the jobs would read. Hits fill their outcome slot
+      // directly; everything else lands in Pending and is solved below
+      // (sharded or in process). The merge step never sees the
+      // difference: it walks the full batch in declaration order either
+      // way, which is what keeps warm output byte-identical to cold.
+      std::vector<size_t> Pending;
+      std::vector<uint64_t> Keys;
+      if (Cache) {
+        telemetry::Span LookupSpan("cache.lookup",
+                                   telemetry::TraceLevel::Phase, "infer");
+        Keys.resize(Batch.size(), 0);
+        unsigned WaveHits = 0;
+        for (size_t I = 0; I != Batch.size(); ++I) {
+          Keys[I] = solveKeyFor(Batch[I]);
+          CachedSolve Entry;
+          bool Resolved = false;
+          switch (Cache->lookup(Batch[I]->qualifiedName(), Keys[I], Entry)) {
+          case CacheLookup::Hit:
+            if (adoptCachedSolve(std::move(Entry), Outcomes[I])) {
+              ++Result.Cache.Hits;
+              ++WaveHits;
+              Resolved = true;
+            } else {
+              // Decoded but does not fit the current program: stale.
+              ++Result.Cache.Invalidated;
+            }
+            break;
+          case CacheLookup::Miss:
+            ++Result.Cache.Misses;
+            break;
+          case CacheLookup::Invalidated:
+            ++Result.Cache.Invalidated;
+            break;
+          case CacheLookup::Corrupt:
+            ++Result.Cache.Corrupt;
+            break;
+          }
+          if (!Resolved)
+            Pending.push_back(I);
+        }
+        if (LookupSpan.active()) {
+          LookupSpan.arg("hits", WaveHits);
+          LookupSpan.arg("pending", static_cast<uint64_t>(Pending.size()));
+        }
+      } else {
+        Pending.resize(Batch.size());
+        std::iota(Pending.begin(), Pending.end(), size_t(0));
+      }
+
+      // Sharded path: freeze the store into a snapshot, hand the pending
+      // sub-batch to the executor, and adopt its outcomes in place of
+      // running the jobs here. Validation failures and executor errors
+      // degrade the wave back to the in-process scheduler — identical
+      // results either way (the executor contract), so degradation is
+      // invisible in the output and the run can never be lost to
+      // infrastructure.
       bool RemoteMerged = false;
-      if (ShardUsable) {
+      if (ShardUsable && !Pending.empty()) {
         telemetry::Span ShardWave("shard.wave", telemetry::TraceLevel::Phase,
                                   "shard");
         if (ShardWave.active())
-          ShardWave.arg("methods", static_cast<uint64_t>(Batch.size()));
+          ShardWave.arg("methods", static_cast<uint64_t>(Pending.size()));
+        std::vector<MethodDecl *> Sub;
         std::vector<unsigned> Indices;
-        Indices.reserve(Batch.size());
-        for (MethodDecl *M : Batch)
-          Indices.push_back(M->DeclIndex);
+        Sub.reserve(Pending.size());
+        Indices.reserve(Pending.size());
+        for (size_t I : Pending) {
+          Sub.push_back(Batch[I]);
+          Indices.push_back(Batch[I]->DeclIndex);
+        }
+        std::vector<MethodOutcome> SubOutcomes(Sub.size());
         Expected<std::vector<summaryio::ShardMethodOutcome>> Remote =
             Opts.ShardExec->executeWave(Indices,
                                         summaryio::encodeSnapshot(Summaries));
-        Status Adopt = Remote
-                           ? adoptWireOutcomes(Remote.take(), Batch, Outcomes)
-                           : Remote.status();
+        Status Adopt =
+            Remote ? adoptWireOutcomes(Remote.take(), Sub, SubOutcomes)
+                   : Remote.status();
         if (Adopt) {
+          for (size_t J = 0; J != Pending.size(); ++J)
+            Outcomes[Pending[J]] = std::move(SubOutcomes[J]);
           RemoteMerged = true;
           ++Result.Shard.WavesRemote;
         } else {
@@ -984,16 +1381,15 @@ InferResult InferEngine::run() {
           if (Diags)
             Diags->warning(Batch.front()->Loc,
                            "shard executor failed for a " +
-                               std::to_string(Batch.size()) +
+                               std::to_string(Pending.size()) +
                                "-method wave (" + Adopt.str() +
                                "); wave re-run in process");
-          // A rejected result may have filled some slots; start clean.
-          Outcomes.assign(Batch.size(), MethodOutcome());
         }
       }
 
       if (!RemoteMerged)
-        parallelFor(Pool, Batch.size(), [&](size_t I) {
+        parallelFor(Pool, Pending.size(), [&](size_t J) {
+        const size_t I = Pending[J];
         // Attribute the job's allocations to the governing request (a
         // no-op when ungoverned). Pool workers are shared across batch
         // requests, so enrollment must happen per job, not per thread.
@@ -1032,6 +1428,19 @@ InferResult InferEngine::run() {
           }
         }
       });
+
+      // Persist fresh outcomes before the merge moves their odds out.
+      // Failed solves are never stored: a failure must re-run, not
+      // replay (the next run may not hit the fault, budget or bug).
+      if (Cache) {
+        for (size_t I : Pending) {
+          if (Outcomes[I].Failed)
+            continue;
+          Cache->store(Batch[I]->qualifiedName(), Keys[I],
+                       toCachedSolve(Outcomes[I]));
+          ++Result.Cache.Stores;
+        }
+      }
 
       // Merge, in declaration (= batch) order, on this thread only.
       telemetry::Span MergeSpan("infer.merge", telemetry::TraceLevel::Phase,
@@ -1149,6 +1558,13 @@ InferResult InferEngine::run() {
       telemetry::counter("shard.quarantined").add(S.ShardsQuarantined);
     }
   }
+  if (Opts.Cache && telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("cache.hit").add(Result.Cache.Hits);
+    telemetry::counter("cache.miss").add(Result.Cache.Misses);
+    telemetry::counter("cache.invalidated").add(Result.Cache.Invalidated);
+    telemetry::counter("cache.corrupt").add(Result.Cache.Corrupt);
+    telemetry::counter("cache.store").add(Result.Cache.Stores);
+  }
   if (Phase3.active())
     Phase3.arg("inferred", static_cast<uint64_t>(Result.Inferred.size()));
   if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
@@ -1174,9 +1590,12 @@ anek::runShardMethods(Program &Prog,
                       const std::vector<unsigned> &DeclIndices,
                       const std::string &Snapshot,
                       const InferOptions &Opts) {
-  // The worker is strictly a leaf: it must never re-shard.
+  // The worker is strictly a leaf: it must never re-shard, and the cache
+  // belongs to the coordinator (which already skipped cached methods
+  // before dispatching this shard).
   InferOptions Leaf = Opts;
   Leaf.ShardExec = nullptr;
+  Leaf.Cache = nullptr;
   InferEngine Engine(Prog, Leaf, nullptr);
   return Engine.analyzeShard(DeclIndices, Snapshot);
 }

@@ -26,6 +26,7 @@
 
 #include "constraints/ConstraintGen.h"
 #include "factor/Solvers.h"
+#include "infer/SolveCache.h"
 #include "infer/Summary.h"
 #include "infer/SummaryIO.h"
 #include "lang/Ast.h"
@@ -169,6 +170,19 @@ struct InferOptions {
   /// declaration indices (any Sema-checked program); the engine verifies
   /// and silently runs in process otherwise. Never set in a worker.
   WaveShardExecutor *ShardExec = nullptr;
+
+  // Incremental summary cache (DESIGN.md, "Incremental inference and the
+  // summary cache").
+  /// When set, the engine memoizes SOLVE invocations through this cache:
+  /// each wave job's inputs are digested into a content key and a hit
+  /// replays the stored evidence byte-identically instead of solving.
+  /// Caching silently disables itself when its preconditions do not hold
+  /// — a per-solve time budget (SolveBudgetSeconds > 0 makes solve
+  /// results timing-dependent), ambiguous qualified method names, or an
+  /// armed analysis-perturbing fault — because a replay would then not be
+  /// guaranteed to reproduce what a fresh solve would compute. Never set
+  /// in a shard worker.
+  SolveCache *Cache = nullptr;
 };
 
 /// How one method's SOLVE step went, cascade decisions included.
@@ -218,6 +232,11 @@ struct InferResult {
   /// survived infrastructure failures by degrading (results are still
   /// byte-identical to -j1 by the executor contract).
   ShardStats Shard;
+
+  /// Summary-cache accounting; all zero unless InferOptions::Cache was
+  /// set and usable. Corrupt != 0 means entries failed validation and
+  /// were re-inferred (a cache integrity problem is never a run error).
+  CacheStats Cache;
 
   /// Non-ok when the run was cut short by InferOptions::Cancel or
   /// RunBudget at a wave boundary. Summaries and reports reflect the work

@@ -1,0 +1,119 @@
+//===- SolveCache.h - Content-addressed SOLVE memoization --------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-side interface of the incremental summary cache. The engine
+/// memoizes individual SOLVE invocations: before analyzing a method it
+/// computes a key that digests *every* input the solve depends on — the
+/// method's token stream, the transitive content of its callees' SCCs,
+/// the algorithm options, the per-method solver seed, and the exact bit
+/// patterns of the pooled summary odds applied as priors — and asks the
+/// cache. A hit replays the stored evidence byte-identically (the key
+/// guarantees the solve would have produced exactly those bytes); a miss
+/// solves and stores. Because the applied-prior bit patterns are part of
+/// the key, dirtiness needs no separate propagation protocol: editing a
+/// method changes its SCC's content hash, which changes the chain hashes
+/// of every transitive caller, so exactly the reachable waves miss.
+///
+/// The interface lives in src/infer (like WaveShardExecutor) so the
+/// engine does not depend on the storage backend; the on-disk
+/// implementation is src/cache/SummaryCache, injected by the driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_INFER_SOLVECACHE_H
+#define ANEK_INFER_SOLVECACHE_H
+
+#include "factor/Solvers.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anek {
+
+/// One deferred summary update in cache form: the durable image of the
+/// engine's PendingUpdate. Methods and call-site owners are named by
+/// qualified name — not declaration index — so an entry stays replayable
+/// after an edit elsewhere in the file shifts every index.
+struct CachedUpdate {
+  std::string OwnerName;
+  /// summaryio::SummaryTargetRole as its enum value.
+  uint8_t Role = 0;
+  /// Parameter position for the Param* roles; 0 otherwise.
+  uint32_t ParamIndex = 0;
+  /// True: own-body evidence (setSelfOdds). False: call-site evidence.
+  bool IsSelf = true;
+  /// Qualified name of the calling method for site evidence; empty when
+  /// IsSelf.
+  std::string SiteCallerName;
+  uint32_t SiteIndex = 0;
+  /// Odds multipliers, one per tracked variable of the target.
+  std::vector<double> Odds;
+  /// ANEK_DEBUG_EVIDENCE annotation, replayed for byte-identical output.
+  std::string DebugLine;
+};
+
+/// Everything one successful SOLVE invocation produced: the MethodReport
+/// mirror plus the deferred updates and accounting, exactly the shape of
+/// summaryio::ShardMethodOutcome minus the failure fields (failed solves
+/// are never cached — a failure must re-run, not replay).
+struct CachedSolve {
+  uint8_t SolverUsed = 0; ///< SolverChoice as its enum value.
+  bool FallbackUsed = false;
+  std::string Reason;
+  SolveReport Solve;
+  uint32_t Solves = 0;
+  uint64_t Variables = 0;
+  uint64_t Factors = 0;
+  double SolveSeconds = 0.0;
+  std::vector<CachedUpdate> Updates;
+};
+
+/// Lookup classification, kept distinct so the run's accounting can tell
+/// "never seen" from "seen but edited" from "entry rotted on disk". All
+/// three non-Hit outcomes mean the same thing operationally: solve it.
+enum class CacheLookup {
+  Hit,         ///< Key matched; \p Out is the replayable entry.
+  Miss,        ///< Nothing cached under this method name.
+  Invalidated, ///< Cached under a different key: content changed.
+  Corrupt,     ///< Entry exists but failed checksum/version/decode.
+};
+
+/// Storage interface the engine calls through. Implementations must be
+/// thread-safe: wave workers of one run — and concurrent batch requests
+/// sharing a cache directory — look up and store concurrently.
+class SolveCache {
+public:
+  virtual ~SolveCache() = default;
+
+  /// Looks up the entry for \p MethodName under content key \p Key.
+  virtual CacheLookup lookup(const std::string &MethodName, uint64_t Key,
+                             CachedSolve &Out) = 0;
+
+  /// Stores \p Entry for \p MethodName under \p Key, replacing any entry
+  /// cached under an older key. Storage failures are absorbed (a cache
+  /// that cannot persist degrades to misses, never to errors).
+  virtual void store(const std::string &MethodName, uint64_t Key,
+                     const CachedSolve &Entry) = 0;
+};
+
+/// Per-run cache accounting, carried in InferResult.
+struct CacheStats {
+  unsigned Hits = 0;
+  unsigned Misses = 0;
+  /// Lookups that found an entry under a stale key (content changed) plus
+  /// hits whose replay failed validation against the current program.
+  unsigned Invalidated = 0;
+  /// Entries that failed envelope/decode validation (classified as
+  /// misses, never as errors — see DESIGN.md).
+  unsigned Corrupt = 0;
+  unsigned Stores = 0;
+};
+
+} // namespace anek
+
+#endif // ANEK_INFER_SOLVECACHE_H

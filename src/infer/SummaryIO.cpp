@@ -394,3 +394,84 @@ summaryio::decodeOutcomes(std::string_view Blob) {
     return corrupt("trailing bytes after the last outcome");
   return Outcomes;
 }
+
+//===----------------------------------------------------------------------===//
+// Cache entries
+//===----------------------------------------------------------------------===//
+
+std::string summaryio::encodeCacheEntry(uint64_t Key,
+                                        const CachedSolve &Entry) {
+  wire::Writer W;
+  W.u64(Key);
+  W.u8(Entry.SolverUsed);
+  W.u8(Entry.FallbackUsed ? 1 : 0);
+  W.str(Entry.Reason);
+  encodeSolveReport(W, Entry.Solve);
+  W.u32(Entry.Solves);
+  W.u64(Entry.Variables);
+  W.u64(Entry.Factors);
+  W.f64(Entry.SolveSeconds);
+  W.u32(static_cast<uint32_t>(Entry.Updates.size()));
+  for (const CachedUpdate &U : Entry.Updates) {
+    W.str(U.OwnerName);
+    W.u8(U.Role);
+    W.u32(U.ParamIndex);
+    W.u8(U.IsSelf ? 1 : 0);
+    W.str(U.SiteCallerName);
+    W.u32(U.SiteIndex);
+    W.u32(static_cast<uint32_t>(U.Odds.size()));
+    for (double O : U.Odds)
+      W.f64(O);
+    W.str(U.DebugLine);
+  }
+  return sealBlob(BlobKind::CacheEntry, W.take());
+}
+
+Expected<CachedSolve> summaryio::decodeCacheEntry(std::string_view Blob,
+                                                  uint64_t ExpectKey) {
+  Expected<std::string> Payload = openBlob(Blob, BlobKind::CacheEntry);
+  if (!Payload)
+    return Payload.status();
+  wire::Reader R(*Payload);
+  uint64_t Key = 0;
+  if (!R.u64(Key))
+    return corrupt("truncated cache key");
+  if (Key != ExpectKey)
+    return corrupt("cache key echo mismatch (entry filed under a "
+                   "different content key)");
+  CachedSolve Entry;
+  uint8_t FallbackUsed = 0;
+  if (!(R.u8(Entry.SolverUsed) && R.u8(FallbackUsed) && R.str(Entry.Reason)))
+    return corrupt("truncated cache entry header");
+  Entry.FallbackUsed = FallbackUsed != 0;
+  if (!decodeSolveReport(R, Entry.Solve))
+    return corrupt("truncated cached solve report");
+  if (!(R.u32(Entry.Solves) && R.u64(Entry.Variables) &&
+        R.u64(Entry.Factors) && R.f64(Entry.SolveSeconds)))
+    return corrupt("truncated cache entry statistics");
+  uint32_t UpdateCount = 0;
+  if (!R.count(UpdateCount, 16))
+    return corrupt("truncated cached update count");
+  Entry.Updates.resize(UpdateCount);
+  for (CachedUpdate &U : Entry.Updates) {
+    uint8_t IsSelf = 0;
+    if (!(R.str(U.OwnerName) && R.u8(U.Role) && R.u32(U.ParamIndex) &&
+          R.u8(IsSelf) && R.str(U.SiteCallerName) && R.u32(U.SiteIndex)))
+      return corrupt("truncated cached update");
+    if (U.Role > static_cast<uint8_t>(SummaryTargetRole::Result))
+      return corrupt("cached update role out of range");
+    U.IsSelf = IsSelf != 0;
+    uint32_t OddsCount = 0;
+    if (!R.count(OddsCount, 8))
+      return corrupt("truncated cached odds count");
+    U.Odds.resize(OddsCount);
+    for (double &O : U.Odds)
+      if (!R.f64(O))
+        return corrupt("truncated cached odds");
+    if (!R.str(U.DebugLine))
+      return corrupt("truncated cached debug line");
+  }
+  if (!R.done())
+    return corrupt("trailing bytes after the last cached update");
+  return Entry;
+}

@@ -36,6 +36,7 @@
 #define ANEK_INFER_SUMMARYIO_H
 
 #include "factor/Solvers.h"
+#include "infer/SolveCache.h"
 #include "infer/Summary.h"
 #include "lang/Ast.h"
 #include "support/Status.h"
@@ -57,6 +58,9 @@ constexpr uint32_t WireVersion = 1;
 enum class BlobKind : uint32_t {
   Snapshot = 1,
   Outcomes = 2,
+  /// One memoized SOLVE result of the incremental summary cache
+  /// (src/cache/): a key echo plus a CachedSolve body.
+  CacheEntry = 3,
 };
 
 /// Hard cap on a payload's declared length. A corrupt length field must
@@ -157,6 +161,20 @@ std::string encodeOutcomes(const std::vector<ShardMethodOutcome> &Outcomes);
 /// decl-index table lives (the engine's merge step).
 Expected<std::vector<ShardMethodOutcome>>
 decodeOutcomes(std::string_view Blob);
+
+/// Serializes one memoized SOLVE result (sealed CacheEntry blob). \p Key
+/// — the content key the entry is filed under — is echoed into the
+/// payload so a blob renamed or cross-linked on disk cannot replay as a
+/// different entry.
+std::string encodeCacheEntry(uint64_t Key, const CachedSolve &Entry);
+
+/// Decodes a cache-entry blob, requiring its echoed key to equal
+/// \p ExpectKey. Structural validation only (envelope, bounds, key echo);
+/// semantic validation against the current program happens in the
+/// engine's replay step. Callers classify any error as a corrupt cache
+/// entry — a miss, never a failure of the run.
+Expected<CachedSolve> decodeCacheEntry(std::string_view Blob,
+                                       uint64_t ExpectKey);
 
 } // namespace summaryio
 } // namespace anek

@@ -121,6 +121,17 @@ Status BatchRunner::runAttempt(const BatchRequest &R, ThreadPool *SharedPool,
     InferOpts.ShardExec = ShardExec.get();
   }
 
+  // Cache-tier wiring: resolve the request's directory through the
+  // driver-injected provider. The provider owns the cache instances
+  // (one per directory, shared across requests and attempts); the engine
+  // gates itself off when this request is deadlined (a per-solve budget
+  // makes results timing-dependent) or a result-perturbing fault is
+  // armed, so wiring it unconditionally here is safe.
+  const std::string &CacheDir =
+      R.CacheDir.empty() ? Opts.DefaultCacheDir : R.CacheDir;
+  if (Opts.Cache && !CacheDir.empty())
+    InferOpts.Cache = Opts.Cache(CacheDir);
+
   InferResult Inference = runAnekInfer(*Prog, InferOpts, &Diags);
   Res.PeakBytes = std::max(Res.PeakBytes, Charge.peak());
   if (!Inference.Aborted.isOk())

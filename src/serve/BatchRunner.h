@@ -44,6 +44,7 @@
 namespace anek {
 
 class Program;
+class SolveCache;
 class ThreadPool;
 class WaveShardExecutor;
 struct InferOptions;
@@ -60,6 +61,13 @@ namespace serve {
 using ShardFactory = std::function<std::unique_ptr<WaveShardExecutor>(
     Program &Prog, const std::string &Source, const InferOptions &Opts,
     unsigned Shards)>;
+
+/// Resolves a `cache=` directory to a live summary cache: serve's only
+/// view of the cache tier (src/cache/ is never linked here; the driver
+/// injects a provider that owns one cache::SummaryCache per directory,
+/// shared across the requests naming it — the instances must outlive the
+/// batch). Returning null disables caching for that request.
+using CacheProvider = std::function<SolveCache *(const std::string &Dir)>;
 
 /// Batch-wide knobs; per-request manifest keys override the defaults.
 struct BatchOptions {
@@ -84,6 +92,12 @@ struct BatchOptions {
   /// Shard-tier injection point (see ShardFactory above). Unset = every
   /// request runs in process regardless of shard counts.
   ShardFactory Shards;
+  /// Default summary-cache directory; requests override with `cache=`.
+  /// Empty = caching off unless a request opts in.
+  std::string DefaultCacheDir;
+  /// Cache-tier injection point (see CacheProvider above). Unset = every
+  /// request runs uncached regardless of cache directories.
+  CacheProvider Cache;
   /// Threads of the shared inference pool (created only when some request
   /// has jobs > 1); 0 = one per hardware thread.
   unsigned PoolThreads = 0;

@@ -126,6 +126,10 @@ anek::serve::parseManifest(const std::string &Text) {
         if (Value.empty())
           return lineError(LineNo, "empty fault spec");
         R.FaultSpec = Value;
+      } else if (Key == "cache") {
+        if (Value.empty())
+          return lineError(LineNo, "empty cache directory");
+        R.CacheDir = Value;
       } else {
         return lineError(LineNo, "unknown key '" + Key + "'");
       }

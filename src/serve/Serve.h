@@ -66,6 +66,13 @@ struct BatchRequest {
   /// Fault spec activated for the whole run (the author scopes filters to
   /// this request, e.g. "transient-solve*2:req7").
   std::string FaultSpec;
+  /// Summary-cache directory for this request; empty = batch default
+  /// (which also defaults to empty = no caching). Effective only when the
+  /// batch was wired with a CacheProvider (the driver's job — see
+  /// BatchOptions), and only for undeadlined requests: a per-request
+  /// deadline implies a per-solve budget, under which the engine disables
+  /// caching (timing-dependent results must not be replayed).
+  std::string CacheDir;
 };
 
 /// Terminal outcome of one request.

@@ -13,8 +13,8 @@
 #include "serve/Manifest.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
+#include "support/Rng.h"
 
-#include <random>
 #include <stdexcept>
 
 using namespace anek;
@@ -80,14 +80,11 @@ SoakReport anek::serve::runSoak(const SoakConfig &Cfg) {
   for (const char *Name : ExampleNames)
     Baselines.push_back(computeBaseline(Name, Cfg.Seed));
 
-  // Chaos assignment, reproducible from the seed alone.
-  std::mt19937_64 Gen(Cfg.Seed);
-  std::uniform_real_distribution<double> Coin(0.0, 1.0);
-  std::uniform_int_distribution<unsigned> PickExample(
-      0, static_cast<unsigned>(Baselines.size()) - 1);
-  std::uniform_int_distribution<unsigned> PickMode(
-      0, static_cast<unsigned>(ChaosMode::NumModes) - 1);
-  std::uniform_int_distribution<unsigned> PickBudget(1, 2);
+  // Chaos assignment, reproducible from the seed alone. SplitMix64
+  // rather than std::uniform_*_distribution: the standard distributions
+  // are not pinned across library implementations, and the soak contract
+  // is that one seed names one chaos plan everywhere.
+  Rng Gen(Cfg.Seed);
 
   struct Plan {
     unsigned Example = 0;
@@ -99,12 +96,13 @@ SoakReport anek::serve::runSoak(const SoakConfig &Cfg) {
   std::vector<BatchRequest> Requests(Cfg.Requests);
   for (unsigned I = 0; I < Cfg.Requests; ++I) {
     Plan &P = Plans[I];
-    P.Example = PickExample(Gen);
-    P.Faulted = Coin(Gen) < Cfg.FaultRate;
+    P.Example = static_cast<unsigned>(Gen.below(Baselines.size()));
+    P.Faulted = Gen.flip(Cfg.FaultRate);
     if (P.Faulted)
-      P.Mode = static_cast<ChaosMode>(PickMode(Gen));
+      P.Mode = static_cast<ChaosMode>(
+          Gen.below(static_cast<uint64_t>(ChaosMode::NumModes)));
     if (P.Faulted && P.Mode == ChaosMode::Transient)
-      P.FireBudget = PickBudget(Gen);
+      P.FireBudget = static_cast<unsigned>(Gen.range(1, 2));
 
     BatchRequest &R = Requests[I];
     R.Index = I;

@@ -9,6 +9,7 @@
 #include "support/Subprocess.h"
 #include "support/WireFormat.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -185,12 +186,25 @@ Expected<Frame> shard::readFrame(int Fd, double TimeoutSeconds) {
 
   Frame F;
   F.Type = static_cast<FrameType>(RawType);
-  F.Payload.resize(PayloadLen);
-  if (PayloadLen != 0)
-    if (Status S = readFullWithin(Fd, F.Payload.data(), PayloadLen,
+  // Grow the payload buffer as bytes actually arrive instead of
+  // pre-allocating the full declared length: a corrupt or hostile header
+  // may declare anything up to the frame cap, and a multi-hundred-MB
+  // allocation driven by 24 header bytes is an easy way to knock over the
+  // coordinator before the checksum ever gets a say. With chunked reads
+  // the allocation is bounded by bytes received (plus one chunk), so a
+  // lying peer costs us at most what it actually sends.
+  constexpr size_t ReadChunk = 64 * 1024;
+  F.Payload.reserve(std::min<uint64_t>(PayloadLen, ReadChunk));
+  while (F.Payload.size() < PayloadLen) {
+    const size_t Prev = F.Payload.size();
+    const size_t Step =
+        static_cast<size_t>(std::min<uint64_t>(PayloadLen - Prev, ReadChunk));
+    F.Payload.resize(Prev + Step);
+    if (Status S = readFullWithin(Fd, F.Payload.data() + Prev, Step,
                                   DeadlineAt, Unlimited);
         !S)
       return S;
+  }
   if (wire::fnv1a64(F.Payload) != Checksum)
     return malformed("checksum mismatch");
   return F;

@@ -177,6 +177,16 @@ bool faults::active(FaultKind Kind, const std::string &Label) {
   return false;
 }
 
+bool faults::kindActive(FaultKind Kind) {
+  if (!anyActive())
+    return false;
+  std::unique_lock<std::mutex> Lock(registryMutex());
+  for (const Activation &A : activations())
+    if (A.Kind == Kind && A.Remaining != 0)
+      return true;
+  return false;
+}
+
 bool faults::consumeFire(FaultKind Kind, const std::string &Label) {
   if (!anyActive())
     return false;

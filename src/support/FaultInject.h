@@ -88,6 +88,13 @@ bool anyActive();
 /// Activations whose fire budget is exhausted no longer match.
 bool active(FaultKind Kind, const std::string &Label = std::string());
 
+/// True when \p Kind is active under *any* site filter (or none). Unlike
+/// active(Kind, ""), which a filtered activation does not match, this
+/// answers "could this kind fire anywhere?" — the summary cache uses it to
+/// disable caching while an analysis-perturbing fault is armed, since a
+/// cache hit would replay results the armed fault should have perturbed.
+bool kindActive(FaultKind Kind);
+
 /// Consuming check for budgeted faults: like active(), but decrements the
 /// matching activation's fire budget. Returns true while the budget holds
 /// (an unbudgeted activation fires forever); once a budget reaches zero

@@ -1,0 +1,76 @@
+//===- Hash.h - Streaming content hashing ------------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming FNV-1a hasher for building content-addressed cache keys.
+/// The incremental summary cache (src/cache/) keys every SOLVE invocation
+/// on a digest of its exact inputs — method token streams, applied prior
+/// bit patterns, option fingerprints — so the hasher must be stable across
+/// platforms and process runs: it hashes explicit little-endian byte
+/// encodings, never in-memory object representations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_HASH_H
+#define ANEK_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace anek {
+
+/// Streaming 64-bit FNV-1a. Same polynomial as wire::fnv1a64 (WireFormat.h)
+/// so cache keys and blob checksums share one hash family.
+class HashStream {
+public:
+  void bytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ULL;
+    }
+  }
+
+  void u8(uint8_t V) { bytes(&V, 1); }
+
+  void u32(uint32_t V) {
+    unsigned char B[4] = {static_cast<unsigned char>(V),
+                          static_cast<unsigned char>(V >> 8),
+                          static_cast<unsigned char>(V >> 16),
+                          static_cast<unsigned char>(V >> 24)};
+    bytes(B, sizeof B);
+  }
+
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+
+  /// Hashes the exact IEEE-754 bit pattern, so two doubles collide only
+  /// when they are bit-identical — the byte-identity replay contract.
+  void f64(double V) {
+    uint64_t Bits;
+    static_assert(sizeof Bits == sizeof V, "double is not 64-bit");
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+
+  /// Length-prefixed, so adjacent strings cannot alias ("ab","c" != "a","bc").
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  uint64_t digest() const { return H; }
+
+private:
+  uint64_t H = 14695981039346656037ULL;
+};
+
+} // namespace anek
+
+#endif // ANEK_SUPPORT_HASH_H

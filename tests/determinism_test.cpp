@@ -98,6 +98,28 @@ int runToolMasked(const std::string &ArgLine, std::string &Output) {
   return WEXITSTATUS(RawStatus);
 }
 
+/// Like runToolMasked, but captures stdout only. The cache-accounting
+/// stderr line legitimately differs between a cold and a warm run of the
+/// same command; the inference output on stdout must not.
+int runToolStdoutMasked(const std::string &ArgLine, std::string &Output) {
+  fs::path Capture =
+      fs::temp_directory_path() /
+      ("anek_determinism_" + std::to_string(::getpid()) + ".out");
+  std::string Cmd = std::string(ANEK_TOOL_PATH) + " " + ArgLine + " > " +
+                    Capture.string() + " 2>/dev/null";
+  int RawStatus = std::system(Cmd.c_str());
+  std::ifstream In(Capture);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  static const std::regex TimeRe("[0-9]+\\.[0-9]+s");
+  Output = std::regex_replace(Buffer.str(), TimeRe, "TIMEs");
+  std::error_code Ignored;
+  fs::remove(Capture, Ignored);
+  if (RawStatus == -1 || !WIFEXITED(RawStatus))
+    return -1;
+  return WEXITSTATUS(RawStatus);
+}
+
 } // namespace
 
 TEST_P(DeterminismTest, ParallelMatchesSequentialInProcess) {
@@ -151,6 +173,39 @@ TEST(DeterminismDriverTest, InferJobsProduceIdenticalBytes) {
     EXPECT_EQ(J1, J1Again) << Example << ": -j1 not stable across runs";
     EXPECT_EQ(J1, J4) << Example << ": -j4 diverged from -j1";
   }
+}
+
+TEST(DeterminismDriverTest, CachedWarmRunMatchesColdSequentialBytes) {
+  // The cache's core contract at the driver surface: a warm `--cache`
+  // run replays byte-identical stdout to an uncached cold `-j 1` run.
+  fs::path CacheDir =
+      fs::temp_directory_path() /
+      ("anek_determinism_cache_" + std::to_string(::getpid()));
+  std::error_code Ignored;
+  fs::remove_all(CacheDir, Ignored);
+
+  for (const char *Example : {"spreadsheet", "file"}) {
+    std::string Base =
+        "infer --example " + std::string(Example) + " --report";
+    std::string Cached = Base + " -j 4 --cache " +
+                         (CacheDir / Example).string();
+    std::string Plain, Cold, Warm;
+    ASSERT_EQ(runToolStdoutMasked(Base + " -j 1", Plain), 0) << Plain;
+    ASSERT_EQ(runToolStdoutMasked(Cached, Cold), 0) << Cold;
+    ASSERT_EQ(runToolStdoutMasked(Cached, Warm), 0) << Warm;
+    EXPECT_EQ(Plain, Cold) << Example << ": caching changed cold output";
+    EXPECT_EQ(Plain, Warm) << Example << ": warm replay diverged";
+
+    // The accounting (stderr) confirms the warm run actually replayed
+    // instead of re-solving its way to agreement.
+    std::string WarmWithStderr;
+    ASSERT_EQ(runToolMasked(Cached, WarmWithStderr), 0) << WarmWithStderr;
+    EXPECT_NE(WarmWithStderr.find("0 miss(es)"), std::string::npos)
+        << WarmWithStderr;
+    EXPECT_NE(WarmWithStderr.find("0 store(s)"), std::string::npos)
+        << WarmWithStderr;
+  }
+  fs::remove_all(CacheDir, Ignored);
 }
 
 TEST(DeterminismDriverTest, VerifyJobsProduceIdenticalBytes) {

@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 #include <memory>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace anek;
@@ -129,6 +130,98 @@ TEST_F(ShardTest, FrameCodecRoundTrips) {
         << shard::frameTypeName(C.Type) << ": " << F.status().str();
     EXPECT_EQ(F->Type, C.Type);
     EXPECT_EQ(F->Payload, C.Payload);
+  }
+}
+
+TEST_F(ShardTest, FrameDecodeRejectsMalformedHeaders) {
+  // Header layout (little-endian): u32 magic, u16 version, u16 type,
+  // u64 payload length, u64 checksum — 24 bytes, then the payload.
+  const std::string Good =
+      shard::encodeFrame(shard::FrameType::Result, "payload");
+  auto Patched = [&](size_t Offset, uint64_t Value, size_t Bytes) {
+    std::string B = Good;
+    for (size_t I = 0; I != Bytes; ++I)
+      B[Offset + I] = static_cast<char>((Value >> (8 * I)) & 0xff);
+    return B;
+  };
+  std::string FlippedPayload = Good;
+  FlippedPayload[shard::FrameHeaderBytes] ^= 0x01;
+  struct Case {
+    const char *Name;
+    std::string Bytes;
+    ErrorCode Want;
+  } Cases[] = {
+      {"truncated header", Good.substr(0, shard::FrameHeaderBytes - 1),
+       ErrorCode::InvalidArgument},
+      {"bad magic", Patched(0, 0xdeadbeefu, 4), ErrorCode::InvalidArgument},
+      {"unsupported version", Patched(4, shard::ProtocolVersion + 1, 2),
+       ErrorCode::InvalidArgument},
+      {"unknown frame type", Patched(6, 0x7fu, 2),
+       ErrorCode::InvalidArgument},
+      // The oversized-length-header case: a 24-byte header may not drive
+      // a giant allocation, so the cap check rejects it before any
+      // payload handling.
+      {"declared length over the frame cap",
+       Patched(8, shard::MaxFramePayload + 1, 8),
+       ErrorCode::ResourceExhausted},
+      {"declared length disagrees with the bytes", Patched(8, 3, 8),
+       ErrorCode::InvalidArgument},
+      {"checksum mismatch", FlippedPayload, ErrorCode::InvalidArgument},
+  };
+  for (const Case &C : Cases) {
+    Expected<shard::Frame> F = shard::parseFrame(C.Bytes);
+    ASSERT_FALSE(F.hasValue()) << C.Name;
+    EXPECT_EQ(F.status().code(), C.Want) << C.Name << ": "
+                                         << F.status().str();
+  }
+}
+
+TEST_F(ShardTest, ReadFrameBoundsAllocationByBytesReceived) {
+  // The pipe-path twin of the oversized-length cases above: a peer that
+  // *declares* a huge payload must not cost the coordinator that
+  // allocation up front.
+  std::string Huge = shard::encodeFrame(shard::FrameType::Result, "x");
+  auto PatchLen = [](std::string B, uint64_t Len) {
+    for (size_t I = 0; I != 8; ++I)
+      B[8 + I] = static_cast<char>((Len >> (8 * I)) & 0xff);
+    return B;
+  };
+
+  // Over the cap: rejected from the header alone, before any payload
+  // byte is read (the write end stays open, so a reader that tried to
+  // read the payload would block until the timeout instead).
+  {
+    int Fds[2];
+    ASSERT_EQ(::pipe(Fds), 0);
+    std::string Bytes =
+        PatchLen(Huge, shard::MaxFramePayload + 1)
+            .substr(0, shard::FrameHeaderBytes);
+    ASSERT_EQ(::write(Fds[1], Bytes.data(), Bytes.size()),
+              static_cast<ssize_t>(Bytes.size()));
+    Expected<shard::Frame> F = shard::readFrame(Fds[0], 5.0);
+    ASSERT_FALSE(F.hasValue());
+    EXPECT_EQ(F.status().code(), ErrorCode::ResourceExhausted);
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+  }
+
+  // Under the cap but lying by half a gigabyte, with the peer dying
+  // after five real bytes: the chunked reader detects the closed pipe
+  // having grown its buffer only as far as the bytes that arrived.
+  {
+    int Fds[2];
+    ASSERT_EQ(::pipe(Fds), 0);
+    std::string Bytes = PatchLen(Huge, uint64_t(512) << 20)
+                            .substr(0, shard::FrameHeaderBytes) +
+                        "hello";
+    ASSERT_EQ(::write(Fds[1], Bytes.data(), Bytes.size()),
+              static_cast<ssize_t>(Bytes.size()));
+    ::close(Fds[1]); // Peer dies mid-frame.
+    Expected<shard::Frame> F = shard::readFrame(Fds[0], 5.0);
+    ASSERT_FALSE(F.hasValue());
+    EXPECT_EQ(F.status().code(), ErrorCode::WorkerLost)
+        << F.status().str();
+    ::close(Fds[0]);
   }
 }
 

@@ -46,6 +46,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/IrBuilder.h"
+#include "cache/SummaryCache.h"
 #include "corpus/ExampleSources.h"
 #include "infer/AnekInfer.h"
 #include "lang/PrettyPrinter.h"
@@ -68,6 +69,9 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <unistd.h>
@@ -84,12 +88,13 @@ void usage() {
   std::fputs("usage: anek <infer|check|verify|pfg|ir> "
              "<file.mjava | --example spreadsheet|file|field> "
              "[--dot] [--method NAME] [--report] [--fault SPEC] "
-             "[--jobs N | -j N] [--shards N] [--trace FILE] "
+             "[--jobs N | -j N] [--shards N] [--cache DIR] [--trace FILE] "
              "[--metrics FILE] [--trace-level off|phase|method|solver]\n"
              "       anek batch <manifest.txt | -> [--workers N] "
              "[--queue-cap N] [--retries N] [--deadline SECS] "
              "[--mem-budget BYTES[k|m|g]] [--jobs N | -j N] [--shards N] "
-             "[--seed N] [--out FILE] [--shed-when-full] [--fault SPEC] "
+             "[--cache DIR] [--seed N] [--out FILE] [--shed-when-full] "
+             "[--fault SPEC] "
              "[--trace FILE] [--metrics FILE] [--trace-level LEVEL]\n"
              "       anek faults\n"
              "(--fault list prints the fault vocabulary; %p in --out/"
@@ -298,6 +303,12 @@ int runBatch(const std::vector<std::string> &Args) {
         return ExitUsage;
       }
       Opts.DefaultShards = Parsed;
+    } else if (flagValue(Args, I, "--cache", Value)) {
+      if (Value.empty()) {
+        std::fprintf(stderr, "anek: empty cache directory\n");
+        return ExitUsage;
+      }
+      Opts.DefaultCacheDir = Value;
     } else if (Args[I] == "--shed-when-full") {
       Opts.ShedWhenFull = true;
     } else if (flagValue(Args, I, "--fault", Value)) {
@@ -389,12 +400,47 @@ int runBatch(const std::vector<std::string> &Args) {
   std::signal(SIGINT, batchDrainHandler);
   std::signal(SIGTERM, batchDrainHandler);
 
+  // The cache tier is likewise always wired: a manifest line's cache=DIR
+  // (or --cache as the batch default) memoizes that request's solves in
+  // DIR. The driver owns one SummaryCache per distinct directory, shared
+  // across the requests naming it (the instances are thread-safe and must
+  // outlive the runner — they are captured by reference below).
+  std::mutex CachesMutex;
+  std::map<std::string, std::unique_ptr<cache::SummaryCache>> Caches;
+  Opts.Cache = [&CachesMutex, &Caches](const std::string &Dir) -> SolveCache * {
+    std::lock_guard<std::mutex> Lock(CachesMutex);
+    std::unique_ptr<cache::SummaryCache> &Slot = Caches[Dir];
+    if (!Slot)
+      Slot = std::make_unique<cache::SummaryCache>(Dir);
+    return Slot.get();
+  };
+
   serve::BatchRunner Runner(Opts);
   std::vector<serve::BatchResult> Results = Runner.run(Requests.take());
 
   unsigned Counts[serve::NumTerminalStates] = {};
   for (const serve::BatchResult &Res : Results)
     Counts[static_cast<unsigned>(Res.State)]++;
+  {
+    std::lock_guard<std::mutex> Lock(CachesMutex);
+    if (!Caches.empty()) {
+      CacheStats Total;
+      for (const auto &[Dir, C] : Caches) {
+        CacheStats S = C->stats();
+        Total.Hits += S.Hits;
+        Total.Misses += S.Misses;
+        Total.Invalidated += S.Invalidated;
+        Total.Corrupt += S.Corrupt;
+        Total.Stores += S.Stores;
+      }
+      std::fprintf(stderr,
+                   "anek: cache: %u hit(s), %u miss(es), %u invalidated, "
+                   "%u corrupt, %u store(s) across %zu director%s\n",
+                   Total.Hits, Total.Misses, Total.Invalidated, Total.Corrupt,
+                   Total.Stores, Caches.size(),
+                   Caches.size() == 1 ? "y" : "ies");
+    }
+  }
   std::fprintf(stderr,
                "anek: batch: %zu request(s): %u ok, %u degraded, %u failed, "
                "%u timeout, %u shed%s\n",
@@ -438,6 +484,8 @@ int run(int Argc, char **Argv) {
   unsigned Jobs = 0;
   // 0 = no sharding; N = farm waves to N worker processes (infer/verify).
   unsigned ShardWorkers = 0;
+  // Summary-cache directory (infer/verify); empty = no caching.
+  std::string CacheDir;
   std::string MethodFilter;
   TelemetryFlusher Telemetry;
   bool HaveTraceLevel = false;
@@ -495,6 +543,12 @@ int run(int Argc, char **Argv) {
         return ExitUsage;
       }
       ShardWorkers = static_cast<unsigned>(Count);
+    } else if (flagValue(Args, I, "--cache", Value)) {
+      if (Value.empty()) {
+        std::fprintf(stderr, "anek: empty cache directory\n");
+        return ExitUsage;
+      }
+      CacheDir = Value;
     } else if (Args[I] == "--method" && I + 1 < Args.size()) {
       MethodFilter = Args[++I];
     } else if (flagValue(Args, I, "--fault", Value)) {
@@ -592,7 +646,22 @@ int run(int Argc, char **Argv) {
           *Prog, Source, InferOpts, CoOpts);
       InferOpts.ShardExec = Coordinator.get();
     }
+    // --cache DIR: memoize solves in DIR. Like the shard tier, caching
+    // never changes stdout (a warm run is byte-identical to a cold -j1
+    // run — see DESIGN.md); the accounting goes to stderr below.
+    std::unique_ptr<cache::SummaryCache> Cache;
+    if (!CacheDir.empty()) {
+      Cache = std::make_unique<cache::SummaryCache>(CacheDir);
+      InferOpts.Cache = Cache.get();
+    }
     InferResult Inference = runAnekInfer(*Prog, InferOpts, &Diags);
+    if (Cache) {
+      const CacheStats &C = Inference.Cache;
+      std::fprintf(stderr,
+                   "anek: cache: %u hit(s), %u miss(es), %u invalidated, "
+                   "%u corrupt, %u store(s)\n",
+                   C.Hits, C.Misses, C.Invalidated, C.Corrupt, C.Stores);
+    }
     if (ShardWorkers > 0) {
       const ShardStats &S = Inference.Shard;
       std::fprintf(stderr,
