@@ -1,0 +1,215 @@
+//===- BpDriver.cpp - Multi-span BP engine over one kernel arena ------------===//
+
+#include "factor/BpDriver.h"
+
+#include "support/Format.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace anek;
+using namespace anek::bp;
+
+BpEngine::BpEngine(const kern::BpView &V) : View(V) {
+  const uint32_t NumEdges = V.NumEdges;
+  const uint32_t NumFactors = V.NumFactors;
+  const double Inf = std::numeric_limits<double>::infinity();
+  VarToFactor.assign(NumEdges, 0.5);
+  FactorToVar.assign(NumEdges, 0.5);
+  ClampT.resize(NumEdges);
+  ClampF.resize(NumEdges);
+  SufT.resize(NumEdges);
+  SufF.resize(NumEdges);
+  // NewMsg mirrors VarToFactor per position (pass C reads it as the
+  // previous outgoing message), so it must share the 0.5 seed.
+  NewMsg.assign(NumEdges, 0.5);
+  Change.resize(NumEdges);
+  OutT.resize(NumEdges);
+  OutF.resize(NumEdges);
+  EChange.resize(NumEdges);
+  // The +inf seeds force every factor to run on the first iteration.
+  PendingIn.assign(NumFactors, Inf);
+  LastOut.assign(NumFactors, Inf);
+  ActiveFactors.resize(NumFactors);
+  ActiveEdges.resize(NumEdges);
+  uint32_t MaxDeg = 0;
+  for (uint32_t Var = 0; Var != V.NumVars; ++Var) {
+    const uint32_t Deg = V.VarOffset[Var + 1] - V.VarOffset[Var];
+    MaxDeg = std::max(MaxDeg, Deg);
+    if (Deg >= kern::LogDomainMinDegree)
+      HighDegVars.push_back(Var);
+  }
+  if (!HighDegVars.empty()) {
+    LogSufT.resize(MaxDeg);
+    LogSufF.resize(MaxDeg);
+  }
+  State.VarToFactor = VarToFactor.data();
+  State.FactorToVar = FactorToVar.data();
+  State.ClampT = ClampT.data();
+  State.ClampF = ClampF.data();
+  State.SufT = SufT.data();
+  State.SufF = SufF.data();
+  State.NewMsg = NewMsg.data();
+  State.Change = Change.data();
+  State.OutT = OutT.data();
+  State.OutF = OutF.data();
+  State.EChange = EChange.data();
+  State.PendingIn = PendingIn.data();
+  State.LastOut = LastOut.data();
+  State.ActiveFactors = ActiveFactors.data();
+  State.ActiveEdges = ActiveEdges.data();
+}
+
+void BpEngine::logDomainFixup(const kern::BpConsts &C, uint32_t VB,
+                              uint32_t VE) {
+  if (HighDegVars.empty())
+    return;
+  auto It = std::lower_bound(HighDegVars.begin(), HighDegVars.end(), VB);
+  for (; It != HighDegVars.end() && *It < VE; ++It) {
+    const uint32_t Var = *It;
+    const uint32_t B = View.VarOffset[Var];
+    const uint32_t E = View.VarOffset[Var + 1];
+    // Exclusive suffix/prefix *sums of logs* of the already-clamped
+    // incoming messages (clamped, so every log is finite).
+    double RunT = 0.0, RunF = 0.0;
+    for (uint32_t P = E; P-- != B;) {
+      LogSufT[P - B] = RunT;
+      LogSufF[P - B] = RunF;
+      RunT += std::log(ClampT[P]);
+      RunF += std::log(ClampF[P]);
+    }
+    double PreLogT = std::log(View.Priors[Var]);
+    double PreLogF = std::log(1.0 - View.Priors[Var]);
+    for (uint32_t P = B; P != E; ++P) {
+      const double LogT = PreLogT + LogSufT[P - B];
+      const double LogF = PreLogF + LogSufF[P - B];
+      // True/(True+False) = 1/(1+exp(logF-logT)); exp saturating to
+      // +inf or 0 degrades gracefully to 0 or 1.
+      const double Undamped = 1.0 / (1.0 + std::exp(LogF - LogT));
+      const double Old = VarToFactor[View.VarEdges[P]];
+      const double Damped = C.OneMinusDamping * Undamped + C.Damping * Old;
+      NewMsg[P] = Damped;
+      Change[P] = std::fabs(Damped - Old);
+      PreLogT += std::log(ClampT[P]);
+      PreLogF += std::log(ClampF[P]);
+    }
+  }
+}
+
+void BpEngine::run(const SumProductSolver::Options &Opts, Span *Spans,
+                   size_t Count, bool EmitResiduals) {
+  const kern::SolverKernels &K = kern::solverKernels();
+  const kern::BpConsts C{Opts.Damping, 1.0 - Opts.Damping, Opts.Tolerance,
+                         0.5 * Opts.Tolerance};
+  for (unsigned Iter = 0;; ++Iter) {
+    // Freeze spans exactly where the standalone loop would exit; a
+    // frozen span's messages are final.
+    bool AnyActive = false;
+    for (size_t I = 0; I != Count; ++I) {
+      Span &S = Spans[I];
+      if (S.Active &&
+          (Iter == Opts.MaxIterations || !(S.Delta > Opts.Tolerance))) {
+        S.Active = false;
+        S.Iterations = Iter;
+      }
+      AnyActive |= S.Active;
+    }
+    if (!AnyActive)
+      break;
+    if (Opts.Budget.expired(Iter)) {
+      for (size_t I = 0; I != Count; ++I) {
+        Span &S = Spans[I];
+        if (S.Active) {
+          S.Active = false;
+          S.Iterations = Iter;
+          S.DeadlineExpired = true;
+        }
+      }
+      break;
+    }
+    if (EmitResiduals && Iter != 0)
+      telemetry::counterSample("bp.residual", telemetry::TraceLevel::Solver,
+                               "solver", "residual", Spans[0].Delta);
+    const bool Refresh =
+        Opts.RefreshInterval != 0 &&
+        (Iter % Opts.RefreshInterval) == Opts.RefreshInterval - 1;
+    // Steady state (no residual scheduling, no log-domain fixup
+    // pending): pass D is fused into the var-message kernel, which
+    // commits and returns the max change itself. Otherwise the split
+    // form runs so the fixup can overwrite NewMsg/Change in between.
+    const bool Commit = !Opts.ResidualScheduling && HighDegVars.empty();
+    for (size_t I = 0; I != Count; ++I) {
+      Span &S = Spans[I];
+      if (!S.Active)
+        continue;
+      double D1 =
+          K.BpVarMessages(View, State, C, S.VarBegin, S.VarEnd, Commit);
+      if (!Commit) {
+        logDomainFixup(C, S.VarBegin, S.VarEnd);
+        D1 = K.BpVarScatter(View, State, C, S.VarBegin, S.VarEnd,
+                            Opts.ResidualScheduling);
+      }
+      S.Updates += View.VarOffset[S.VarEnd] - View.VarOffset[S.VarBegin];
+      const double D2 =
+          K.BpFactorSweep(View, State, C, S.FactorBegin, S.FactorEnd,
+                          Opts.ResidualScheduling, Refresh, &S.Updates,
+                          &S.Skipped);
+      S.Delta = D1 > D2 ? D1 : D2;
+    }
+  }
+}
+
+void BpEngine::beliefs(const Span &S, Marginals &Out,
+                       Marginals *GraphLikelihood) const {
+  const uint32_t NumVars = S.VarEnd - S.VarBegin;
+  Out.assign(NumVars, 0.5);
+  if (GraphLikelihood)
+    GraphLikelihood->assign(NumVars, 0.5);
+  for (uint32_t Var = S.VarBegin; Var != S.VarEnd; ++Var) {
+    double True = View.Priors[Var];
+    double False = 1.0 - True;
+    double GraphTrue = 1.0, GraphFalse = 1.0;
+    for (uint32_t I = View.VarOffset[Var]; I != View.VarOffset[Var + 1];
+         ++I) {
+      const double In = FactorToVar[View.VarEdges[I]];
+      const double MsgTrue = clampProb(In);
+      const double MsgFalse = clampProb(1.0 - In);
+      True *= MsgTrue;
+      False *= MsgFalse;
+      GraphTrue *= MsgTrue;
+      GraphFalse *= MsgFalse;
+      // Renormalize as we go so long products stay in range.
+      const double Scale = GraphTrue + GraphFalse;
+      GraphTrue /= Scale;
+      GraphFalse /= Scale;
+    }
+    const double Sum = True + False;
+    Out[Var - S.VarBegin] = Sum > 0 ? True / Sum : 0.5;
+    if (GraphLikelihood)
+      (*GraphLikelihood)[Var - S.VarBegin] = GraphTrue;
+  }
+}
+
+bool anek::bp::spanConverged(const Span &S, bool ForcedNonConvergence,
+                             double Tolerance) {
+  return !ForcedNonConvergence && !S.DeadlineExpired && S.Delta <= Tolerance;
+}
+
+void anek::bp::fillReport(SolveReport &Report, const Span &S,
+                          bool ForcedNonConvergence, double Tolerance) {
+  const bool Converged = spanConverged(S, ForcedNonConvergence, Tolerance);
+  Report.Iterations = S.Iterations;
+  Report.Residual = S.Delta;
+  Report.DeadlineExpired = S.DeadlineExpired;
+  Report.Converged = Converged;
+  Report.Updates = S.Updates;
+  Report.SkippedUpdates = S.Skipped;
+  Report.Reason.clear();
+  if (!Converged)
+    Report.Reason = formatStr(
+        "residual %.2g after %u iterations%s%s", S.Delta, S.Iterations,
+        S.DeadlineExpired ? ", budget expired" : "",
+        ForcedNonConvergence ? ", injected non-convergence" : "");
+}

@@ -138,6 +138,139 @@ const FactorGraph::EdgeLayout &FactorGraph::edgeLayout() const {
   for (uint32_t E = 0; E != NumEdges; ++E)
     Layout.VarEdges[Cursor[Layout.EdgeVar[E]]++] = E;
 
+  // Flattened tables. The total stays below 2^31 entries so 32-bit
+  // *signed* gather indices (the AVX2 i32 gather form) are safe.
+  size_t TableTotal = 0;
+  Layout.TableOffset.resize(NumFactors);
+  for (uint32_t F = 0; F != NumFactors; ++F) {
+    Layout.TableOffset[F] = static_cast<uint32_t>(TableTotal);
+    TableTotal += Factors[F].Table.size();
+  }
+  assert(TableTotal < (size_t{1} << 31) &&
+         "flattened factor tables exceed 32-bit gather indexing");
+  Layout.TableFlat.resize(TableTotal);
+  for (uint32_t F = 0; F != NumFactors; ++F)
+    std::copy(Factors[F].Table.begin(), Factors[F].Table.end(),
+              Layout.TableFlat.begin() + Layout.TableOffset[F]);
+
+  // Variable-major companion arrays for the Gibbs kernel.
+  Layout.VmFactor.resize(NumEdges);
+  Layout.VmMask.resize(NumEdges);
+  Layout.VmSlotBit.resize(NumEdges);
+  Layout.VmTableBase.resize(NumEdges);
+  for (uint32_t I = 0; I != NumEdges; ++I) {
+    const uint32_t E = Layout.VarEdges[I];
+    const uint32_t F = Layout.EdgeFactor[E];
+    Layout.VmFactor[I] = F;
+    Layout.VmMask[I] = Layout.EdgeVarMask[E];
+    Layout.VmSlotBit[I] = Layout.EdgeSlotBit[E];
+    Layout.VmTableBase[I] = Layout.TableOffset[F];
+  }
+
+  // Gibbs conditional-pair tables: one per (factor, slot), each the
+  // factor's table rearranged as adjacent {bit-clear, bit-set} pairs
+  // over the table index with the slot bit compacted out (see
+  // FactorGraph.h). Sized first so the whole expansion can be skipped
+  // (arrays left empty => kernels fall back to TableFlat gathers) when
+  // a factor repeats a scope variable (multi-bit mask, not compactable)
+  // or a graph with huge tables would blow the budget; the decision
+  // depends only on the graph, so every kernel backend sees the same
+  // layout.
+  constexpr size_t PairBudget = size_t{1} << 21; // floats (8 MiB).
+  size_t PairTotal = 0;
+  bool PairEligible = true;
+  for (uint32_t E = 0; E != NumEdges; ++E)
+    PairEligible &= Layout.EdgeVarMask[E] == Layout.EdgeSlotBit[E];
+  for (uint32_t F = 0; F != NumFactors; ++F)
+    PairTotal += (Layout.FactorOffset[F + 1] - Layout.FactorOffset[F]) *
+                 Factors[F].Table.size();
+  if (PairEligible && PairTotal <= PairBudget) {
+    Layout.PairFlat.resize(PairTotal);
+    std::vector<uint32_t> EdgePairBase(NumEdges);
+    // Factors are laid out in descending table-size order (sizes are
+    // powers of two, so each base lands aligned to its own table
+    // size). That makes a flip's XOR into a composite current pair
+    // index (base + 2*compacted-index, see the flip-adjacency CSR)
+    // exact: the toggled bits all sit below the base's alignment, so
+    // they never borrow from or carry into the base bits.
+    std::vector<uint32_t> FactorOrder(NumFactors);
+    for (uint32_t F = 0; F != NumFactors; ++F)
+      FactorOrder[F] = F;
+    std::stable_sort(FactorOrder.begin(), FactorOrder.end(),
+                     [&](uint32_t A, uint32_t B) {
+                       return Factors[A].Table.size() >
+                              Factors[B].Table.size();
+                     });
+    size_t Next = 0;
+    for (uint32_t OF = 0; OF != NumFactors; ++OF) {
+      const uint32_t F = FactorOrder[OF];
+      const uint32_t Begin = Layout.FactorOffset[F];
+      const uint32_t End = Layout.FactorOffset[F + 1];
+      const std::vector<double> &Table = Factors[F].Table;
+      for (uint32_t E = Begin; E != End; ++E) {
+        const uint32_t Low = Layout.EdgeSlotBit[E] - 1;
+        EdgePairBase[E] = static_cast<uint32_t>(Next);
+        // Comp walks the compacted index space; Idx re-expands it
+        // around the slot bit (low bits in place, high bits shifted
+        // up one).
+        for (size_t Comp = 0; Comp != Table.size() / 2; ++Comp) {
+          const size_t Idx = (Comp & Low) | ((Comp & ~size_t{Low}) << 1);
+          Layout.PairFlat[Next + 2 * Comp] =
+              static_cast<float>(Table[Idx]);
+          Layout.PairFlat[Next + 2 * Comp + 1] =
+              static_cast<float>(Table[Idx | Layout.EdgeSlotBit[E]]);
+        }
+        Next += Table.size();
+      }
+    }
+    Layout.VmPairBase.resize(NumEdges);
+    Layout.VmPairLow.resize(NumEdges);
+    for (uint32_t I = 0; I != NumEdges; ++I) {
+      const uint32_t E = Layout.VarEdges[I];
+      Layout.VmPairBase[I] = EdgePairBase[E];
+      Layout.VmPairLow[I] = Layout.EdgeSlotBit[E] - 1;
+    }
+
+    // Flip-adjacency CSR (see FactorGraph.h): for every ordered pair
+    // of distinct edges (Ek, Ej) of a factor, flipping Ek's variable
+    // XORs a constant into Ej's position's compacted pair index. The
+    // delta in pair-index space: Ej's compaction drops its own slot
+    // bit Bj, so a toggled bit Bk lands at Bk >> 1 when above Bj (in
+    // place otherwise), and the {w0, w1} pair stride doubles it.
+    std::vector<uint32_t> PosOfEdge(NumEdges);
+    for (uint32_t I = 0; I != NumEdges; ++I)
+      PosOfEdge[Layout.VarEdges[I]] = I;
+    Layout.FlipOffset.assign(NumVars + 1, 0);
+    for (uint32_t F = 0; F != NumFactors; ++F) {
+      const uint32_t Deg = Layout.FactorOffset[F + 1] - Layout.FactorOffset[F];
+      for (uint32_t E = Layout.FactorOffset[F];
+           E != Layout.FactorOffset[F + 1]; ++E)
+        Layout.FlipOffset[Layout.EdgeVar[E] + 1] += Deg - 1;
+    }
+    for (uint32_t V = 0; V != NumVars; ++V)
+      Layout.FlipOffset[V + 1] += Layout.FlipOffset[V];
+    Layout.FlipPos.resize(Layout.FlipOffset[NumVars]);
+    Layout.FlipDelta.resize(Layout.FlipOffset[NumVars]);
+    std::vector<uint32_t> FlipCursor(Layout.FlipOffset.begin(),
+                                     Layout.FlipOffset.end() - 1);
+    for (uint32_t F = 0; F != NumFactors; ++F) {
+      const uint32_t Begin = Layout.FactorOffset[F];
+      const uint32_t End = Layout.FactorOffset[F + 1];
+      for (uint32_t Ek = Begin; Ek != End; ++Ek) {
+        const uint32_t Bk = Layout.EdgeSlotBit[Ek];
+        uint32_t &Cursor = FlipCursor[Layout.EdgeVar[Ek]];
+        for (uint32_t Ej = Begin; Ej != End; ++Ej) {
+          if (Ej == Ek)
+            continue;
+          Layout.FlipPos[Cursor] = PosOfEdge[Ej];
+          Layout.FlipDelta[Cursor] =
+              Bk > Layout.EdgeSlotBit[Ej] ? Bk : Bk << 1;
+          ++Cursor;
+        }
+      }
+    }
+  }
+
   LayoutValid = true;
   return Layout;
 }

@@ -1,0 +1,157 @@
+//===- Fused.cpp - Cross-request fused BP solves ---------------------------===//
+
+#include "factor/Fused.h"
+
+#include "factor/BpDriver.h"
+#include "factor/Kernels.h"
+#include "support/FaultInject.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace anek;
+
+void anek::fusedBpSolve(const SumProductSolver::Options &Opts,
+                        FusedBpJob *Jobs, size_t Count) {
+  if (Count == 0)
+    return;
+  Timer SolveTimer;
+  telemetry::Span SolveSpan("solver.bp.fused", telemetry::TraceLevel::Method,
+                            "solver");
+  const bool ForcedNonConvergence =
+      faults::anyActive() && faults::active(FaultKind::BpNonConvergence);
+
+  // Size the arena.
+  uint32_t TotalVars = 0, TotalFactors = 0, TotalEdges = 0;
+  size_t TotalTable = 0;
+  for (size_t J = 0; J != Count; ++J) {
+    const FactorGraph &G = *Jobs[J].Graph;
+    const FactorGraph::EdgeLayout &L = G.edgeLayout();
+    TotalVars += G.variableCount();
+    TotalFactors += G.factorCount();
+    TotalEdges += L.edgeCount();
+    TotalTable += L.TableFlat.size();
+  }
+  assert(TotalTable < (size_t{1} << 31) &&
+         "fused arena tables exceed 32-bit gather indexing");
+
+  // Rebased concatenation of every job's EdgeLayout. Edge ids shift by
+  // the job's edge base, factor ids by its factor base, and table bases
+  // by its table base; variable ids only appear implicitly (as CSR row
+  // positions), so priors concatenate directly.
+  std::vector<uint32_t> FactorOffset(TotalFactors + 1);
+  std::vector<uint32_t> VarOffset(TotalVars + 1);
+  std::vector<uint32_t> VarEdges(TotalEdges);
+  std::vector<uint32_t> VmFactor(TotalEdges);
+  std::vector<uint32_t> TableOffset(TotalFactors);
+  std::vector<double> TableFlat(TotalTable);
+  std::vector<double> Priors(TotalVars);
+  std::vector<bp::Span> Spans(Count);
+
+  uint32_t VarBase = 0, FactorBase = 0, EdgeBase = 0;
+  size_t TableBase = 0;
+  for (size_t J = 0; J != Count; ++J) {
+    const FactorGraph &G = *Jobs[J].Graph;
+    const FactorGraph::EdgeLayout &L = G.edgeLayout();
+    const uint32_t NumVars = G.variableCount();
+    const uint32_t NumFactors = G.factorCount();
+    const uint32_t NumEdges = L.edgeCount();
+    bp::Span &S = Spans[J];
+    S.VarBegin = VarBase;
+    S.VarEnd = VarBase + NumVars;
+    S.FactorBegin = FactorBase;
+    S.FactorEnd = FactorBase + NumFactors;
+    for (uint32_t F = 0; F != NumFactors; ++F) {
+      FactorOffset[FactorBase + F] = EdgeBase + L.FactorOffset[F];
+      TableOffset[FactorBase + F] =
+          static_cast<uint32_t>(TableBase) + L.TableOffset[F];
+    }
+    for (uint32_t V = 0; V != NumVars; ++V) {
+      VarOffset[VarBase + V] = EdgeBase + L.VarOffset[V];
+      Priors[VarBase + V] = G.variable(V).Prior;
+    }
+    for (uint32_t I = 0; I != NumEdges; ++I) {
+      VarEdges[EdgeBase + I] = EdgeBase + L.VarEdges[I];
+      VmFactor[EdgeBase + I] = FactorBase + L.VmFactor[I];
+    }
+    std::copy(L.TableFlat.begin(), L.TableFlat.end(),
+              TableFlat.begin() + TableBase);
+    VarBase += NumVars;
+    FactorBase += NumFactors;
+    EdgeBase += NumEdges;
+    TableBase += L.TableFlat.size();
+  }
+  FactorOffset[TotalFactors] = TotalEdges;
+  VarOffset[TotalVars] = TotalEdges;
+
+#ifndef NDEBUG
+  // No edge may cross a span boundary: every edge id a span's CSR rows
+  // reference must fall inside that span's own edge range, or the demux
+  // would mix requests.
+  for (size_t J = 0; J != Count; ++J) {
+    const bp::Span &S = Spans[J];
+    const uint32_t EB = VarOffset[S.VarBegin];
+    const uint32_t EE = VarOffset[S.VarEnd];
+    for (uint32_t I = EB; I != EE; ++I)
+      assert(VarEdges[I] >= EB && VarEdges[I] < EE &&
+             "fused arena edge crosses a span boundary");
+  }
+#endif
+
+  kern::BpView View;
+  View.NumVars = TotalVars;
+  View.NumFactors = TotalFactors;
+  View.NumEdges = TotalEdges;
+  View.FactorOffset = FactorOffset.data();
+  View.VarOffset = VarOffset.data();
+  View.VarEdges = VarEdges.data();
+  View.VmFactor = VmFactor.data();
+  View.TableOffset = TableOffset.data();
+  View.TableFlat = TableFlat.data();
+  View.Priors = Priors.data();
+
+  bp::BpEngine Engine(View);
+  Engine.run(Opts, Spans.data(), Count, /*EmitResiduals=*/false);
+
+  for (size_t J = 0; J != Count; ++J) {
+    FusedBpJob &Job = Jobs[J];
+    const bp::Span &S = Spans[J];
+    bp::fillReport(Job.Report, S, ForcedNonConvergence, Opts.Tolerance);
+    Engine.beliefs(S, Job.Out,
+                   Job.WantLikelihood ? &Job.GraphLikelihood : nullptr);
+  }
+  const double Seconds = SolveTimer.seconds();
+  for (size_t J = 0; J != Count; ++J)
+    Jobs[J].Report.Seconds = Seconds;
+
+  if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
+    telemetry::counter("solver.bp.fused_batches").add(1);
+    telemetry::counter("solver.bp.fused_solves").add(Count);
+    // Keep the standalone per-solve aggregates comparable whichever
+    // path ran the solve.
+    telemetry::counter("solver.bp.solves").add(Count);
+    for (size_t J = 0; J != Count; ++J) {
+      const bp::Span &S = Spans[J];
+      telemetry::counter("solver.bp.messages").add(S.Updates);
+      telemetry::counter("solver.bp.skipped_updates").add(S.Skipped);
+      if (!Jobs[J].Report.Converged)
+        telemetry::counter("solver.bp.nonconverged").add(1);
+      telemetry::histogram("solver.bp.iterations")
+          .record(static_cast<double>(S.Iterations));
+      telemetry::histogram("solver.bp.residual").record(S.Delta);
+    }
+    telemetry::histogram("solver.bp.fused_batch_size")
+        .record(static_cast<double>(Count));
+    telemetry::histogram("solver.bp.seconds").record(Seconds);
+  }
+  if (SolveSpan.active()) {
+    SolveSpan.arg("jobs", static_cast<uint64_t>(Count));
+    SolveSpan.arg("vars", TotalVars);
+    SolveSpan.arg("factors", TotalFactors);
+    SolveSpan.arg("backend", kern::solverKernels().Name);
+  }
+}

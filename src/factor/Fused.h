@@ -1,0 +1,51 @@
+//===- Fused.h - Cross-request fused BP solves ------------------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Packs several independent factor graphs into one shared CSR arena and
+/// solves them with a single multi-span run of the BP kernel driver
+/// (factor/BpDriver.h). One kernel invocation per iteration then sweeps
+/// every still-active request's edges back to back — amortizing dispatch
+/// and loop overhead and keeping the vector units fed across requests —
+/// instead of one invocation per request per iteration.
+///
+/// Results are byte-identical to solving each graph alone with the same
+/// Options (see BpDriver.h for the determinism argument); only Seconds
+/// is shared, since the fused sweep has no per-request wall clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_FACTOR_FUSED_H
+#define ANEK_FACTOR_FUSED_H
+
+#include "factor/Solvers.h"
+
+#include <cstddef>
+
+namespace anek {
+
+/// One request in a fused solve: the input graph plus the out-params a
+/// standalone SumProductSolver::solve call would fill.
+struct FusedBpJob {
+  const FactorGraph *Graph = nullptr;
+  /// Whether to compute the leave-the-prior-out GraphLikelihood belief.
+  bool WantLikelihood = false;
+  // Outputs.
+  Marginals Out;
+  Marginals GraphLikelihood;
+  SolveReport Report;
+};
+
+/// Solves all \p Count jobs in one shared arena. Every job's Out,
+/// GraphLikelihood (when requested), and Report are byte-identical to
+/// `SumProductSolver(Opts).solve(*Graph, ...)` — except Report.Seconds,
+/// which is the whole fused solve's wall time for every job.
+void fusedBpSolve(const SumProductSolver::Options &Opts, FusedBpJob *Jobs,
+                  size_t Count);
+
+} // namespace anek
+
+#endif // ANEK_FACTOR_FUSED_H

@@ -2,55 +2,32 @@
 
 #include "factor/Solvers.h"
 
+#include "factor/BpDriver.h"
+#include "factor/Kernels.h"
 #include "support/FaultInject.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
 using namespace anek;
 
-namespace {
-
-/// Inline copy of clampProb for the kernel hot loops: identical
-/// arithmetic, but visible to the optimizer (the out-of-line call is
-/// measurable at two calls per edge per iteration).
-inline double clampFast(double P) {
-  constexpr double Eps = 1e-9;
-  if (P < Eps)
-    return Eps;
-  if (P > 1.0 - Eps)
-    return 1.0 - Eps;
-  return P;
-}
-
-} // namespace
-
 //===----------------------------------------------------------------------===//
 // Loopy belief propagation
 //===----------------------------------------------------------------------===//
 //
-// The kernel runs over FactorGraph::EdgeLayout: one flat message slot per
-// (factor, scope position) edge, so both message directions live in two
-// contiguous double arrays indexed by edge id. Per iteration:
-//
-//  - Variable -> factor updates use prefix/suffix products of the
-//    incoming factor messages: all K outgoing messages of a degree-K
-//    variable cost O(K) total instead of the O(K^2) leave-one-out
-//    products of the nested-vector kernel.
-//  - Factor -> variable updates marginalize the whole table once: for
-//    each table entry, per-slot prefix/suffix weight products yield the
-//    leave-one-slot-out contribution of that entry to *every* outgoing
-//    message, so a degree-K factor costs O(2^K * K) per iteration
-//    instead of O(2^K * K^2).
-//  - Residual scheduling (Options::ResidualScheduling) skips the table
-//    sweep of factors whose inputs have not moved since their last
-//    update; a periodic full refresh bounds how long sub-threshold
-//    drift can go unnoticed. Skipping depends only on message values,
-//    never on timing, so results stay deterministic.
+// The iteration loop and the kernel bodies live behind the KernelBackend
+// seam (factor/Kernels.h): this method builds a zero-copy BpView over the
+// graph's cached EdgeLayout, runs the shared multi-span driver
+// (factor/BpDriver.cpp) with a single span, and keeps PR 3's reporting
+// and telemetry surface unchanged. The same driver sweeps many spans for
+// the serving layer's fused solves (factor/Fused.cpp), which is what
+// guarantees fused results are byte-identical to this path.
 
 Marginals SumProductSolver::solve(const FactorGraph &G,
                                   Marginals *GraphLikelihood,
@@ -65,247 +42,65 @@ Marginals SumProductSolver::solve(const FactorGraph &G,
   const unsigned NumVars = G.variableCount();
   const unsigned NumFactors = G.factorCount();
   const FactorGraph::EdgeLayout &L = G.edgeLayout();
-  const uint32_t NumEdges = L.edgeCount();
   // Fault 'bp-nonconverge': run normally but report the solve as not
   // converged, exactly as on a frustrated loopy graph.
   const bool ForcedNonConvergence =
       faults::anyActive() && faults::active(FaultKind::BpNonConvergence);
-  bool DeadlineExpired = false;
 
-  // Flat message arrays, both directions, indexed by edge id.
-  std::vector<double> VarToFactor(NumEdges, 0.5);
-  std::vector<double> FactorToVar(NumEdges, 0.5);
-
-  // Scratch reused across iterations; sized once from the layout's
-  // degree bounds so the hot loops never allocate.
-  std::vector<double> InT(L.MaxVarDegree), InF(L.MaxVarDegree);
-  std::vector<double> SufT(L.MaxVarDegree + 1), SufF(L.MaxVarDegree + 1);
-  std::vector<double> MsgT(L.MaxFactorDegree), MsgF(L.MaxFactorDegree);
-  std::vector<double> PreW(L.MaxFactorDegree + 1),
-      SufW(L.MaxFactorDegree + 1);
-  std::vector<double> OutT(L.MaxFactorDegree), OutF(L.MaxFactorDegree);
-
-  // Residual-scheduling state. PendingIn accumulates the absolute change
-  // of a factor's incoming messages since its last table sweep (additive,
-  // so repeated sub-threshold nudges still trigger); LastOut is the max
-  // outgoing change of that sweep. The +inf seeds force every factor to
-  // run on the first iteration.
-  const double Inf = std::numeric_limits<double>::infinity();
-  std::vector<double> PendingIn(NumFactors, Inf);
-  std::vector<double> LastOut(NumFactors, Inf);
-  const double SkipTolerance = 0.5 * Opts.Tolerance;
-  uint64_t Updates = 0, Skipped = 0;
-
-  // Hot-loop constants and flat views, hoisted so the optimizer does not
-  // have to reload them past every message store: Options fields are
-  // doubles a double store could alias; Variable/Factor are
-  // string-padded structs whose stride wastes cache lines.
-  const double Damping = Opts.Damping;
-  const double OneMinusDamping = 1.0 - Opts.Damping;
-  const bool Scheduling = Opts.ResidualScheduling;
-  const uint32_t *VarEdges = L.VarEdges.data();
-  const uint32_t *EdgeFactor = L.EdgeFactor.data();
   std::vector<double> Priors(NumVars);
   for (unsigned V = 0; V != NumVars; ++V)
     Priors[V] = G.variable(V).Prior;
-  std::vector<const double *> Tables(NumFactors);
-  for (unsigned F = 0; F != NumFactors; ++F)
-    Tables[F] = G.factor(F).Table.data();
 
-  double Delta = 1.0;
-  unsigned Iter = 0;
-  for (; Iter != Opts.MaxIterations && Delta > Opts.Tolerance; ++Iter) {
-    if (Opts.Budget.expired(Iter)) {
-      DeadlineExpired = true;
-      break;
-    }
-    if (TraceIters && Iter != 0)
-      telemetry::counterSample("bp.residual", telemetry::TraceLevel::Solver,
-                               "solver", "residual", Delta);
-    Delta = 0.0;
+  kern::BpView View;
+  View.NumVars = NumVars;
+  View.NumFactors = NumFactors;
+  View.NumEdges = L.edgeCount();
+  View.FactorOffset = L.FactorOffset.data();
+  View.VarOffset = L.VarOffset.data();
+  View.VarEdges = L.VarEdges.data();
+  View.VmFactor = L.VmFactor.data();
+  View.TableOffset = L.TableOffset.data();
+  View.TableFlat = L.TableFlat.data();
+  View.Priors = Priors.data();
 
-    // Variable -> factor messages: prior times incoming factor messages
-    // from all other adjacent factors, via prefix/suffix products.
-    for (unsigned V = 0; V != NumVars; ++V) {
-      const uint32_t Begin = L.VarOffset[V];
-      const uint32_t Deg = L.VarOffset[V + 1] - Begin;
-      if (Deg == 0)
-        continue;
-      SufT[Deg] = SufF[Deg] = 1.0;
-      for (uint32_t I = Deg; I-- != 0;) {
-        const double In = FactorToVar[VarEdges[Begin + I]];
-        const double T = clampFast(In);
-        const double Fa = clampFast(1.0 - In);
-        InT[I] = T;
-        InF[I] = Fa;
-        SufT[I] = T * SufT[I + 1];
-        SufF[I] = Fa * SufF[I + 1];
-      }
-      double PreT = Priors[V];
-      double PreF = 1.0 - PreT;
-      for (uint32_t I = 0; I != Deg; ++I) {
-        const uint32_t E = VarEdges[Begin + I];
-        const double True = PreT * SufT[I + 1];
-        const double False = PreF * SufF[I + 1];
-        const double Sum = True + False;
-        double NewMsg = Sum > 0 ? True / Sum : 0.5;
-        NewMsg = OneMinusDamping * NewMsg + Damping * VarToFactor[E];
-        const double Change = std::fabs(NewMsg - VarToFactor[E]);
-        Delta = std::max(Delta, Change);
-        VarToFactor[E] = NewMsg;
-        if (Scheduling)
-          PendingIn[EdgeFactor[E]] += Change;
-        PreT *= InT[I];
-        PreF *= InF[I];
-      }
-      Updates += Deg;
-    }
-
-    // Factor -> variable messages: one sweep over the table computes all
-    // outgoing messages. Factors whose inputs are quiet since an already
-    // sub-tolerance update are skipped (their outputs cannot move by
-    // more than a fraction of the tolerance) except on refresh rounds.
-    const bool Refresh =
-        Opts.RefreshInterval != 0 &&
-        (Iter % Opts.RefreshInterval) == Opts.RefreshInterval - 1;
-    for (unsigned F = 0; F != NumFactors; ++F) {
-      if (Opts.ResidualScheduling && !Refresh &&
-          PendingIn[F] <= SkipTolerance && LastOut[F] <= Opts.Tolerance) {
-        ++Skipped;
-        continue;
-      }
-      const uint32_t Begin = L.FactorOffset[F];
-      const uint32_t Deg = L.FactorOffset[F + 1] - Begin;
-      const double *Table = Tables[F];
-      // Closed forms for the dominant shapes (unary evidence and
-      // pairwise equality factors); the general path is the single
-      // table sweep with per-slot prefix/suffix weight products. All
-      // three accumulate contributions in table-index order, so the
-      // specializations are float-for-float the general path.
-      if (Deg == 1) {
-        OutF[0] = Table[0];
-        OutT[0] = Table[1];
-      } else if (Deg == 2) {
-        const double M0T = VarToFactor[Begin];
-        const double M0F = 1.0 - M0T;
-        const double M1T = VarToFactor[Begin + 1];
-        const double M1F = 1.0 - M1T;
-        OutF[0] = Table[0] * M1F + Table[2] * M1T;
-        OutT[0] = Table[1] * M1F + Table[3] * M1T;
-        OutF[1] = Table[0] * M0F + Table[1] * M0T;
-        OutT[1] = Table[2] * M0F + Table[3] * M0T;
-      } else {
-        const size_t TableSize = size_t{1} << Deg;
-        for (uint32_t K = 0; K != Deg; ++K) {
-          MsgT[K] = VarToFactor[Begin + K];
-          MsgF[K] = 1.0 - MsgT[K];
-          OutT[K] = OutF[K] = 0.0;
-        }
-        for (size_t Index = 0; Index != TableSize; ++Index) {
-          const double Weight = Table[Index];
-          if (Weight == 0.0)
-            continue;
-          PreW[0] = Weight;
-          for (uint32_t K = 0; K != Deg; ++K)
-            PreW[K + 1] =
-                PreW[K] * (((Index >> K) & 1) ? MsgT[K] : MsgF[K]);
-          SufW[Deg] = 1.0;
-          for (uint32_t K = Deg; K-- != 0;)
-            SufW[K] =
-                SufW[K + 1] * (((Index >> K) & 1) ? MsgT[K] : MsgF[K]);
-          for (uint32_t K = 0; K != Deg; ++K) {
-            const double Contrib = PreW[K] * SufW[K + 1];
-            if ((Index >> K) & 1)
-              OutT[K] += Contrib;
-            else
-              OutF[K] += Contrib;
-          }
-        }
-      }
-      double MaxChange = 0.0;
-      for (uint32_t K = 0; K != Deg; ++K) {
-        const uint32_t E = Begin + K;
-        const double Sum = OutT[K] + OutF[K];
-        double NewMsg = Sum > 0 ? OutT[K] / Sum : 0.5;
-        NewMsg = OneMinusDamping * NewMsg + Damping * FactorToVar[E];
-        const double Change = std::fabs(NewMsg - FactorToVar[E]);
-        MaxChange = std::max(MaxChange, Change);
-        FactorToVar[E] = NewMsg;
-      }
-      Delta = std::max(Delta, MaxChange);
-      PendingIn[F] = 0.0;
-      LastOut[F] = MaxChange;
-      Updates += Deg;
-    }
-  }
-  LastIterations = Iter;
+  bp::BpEngine Engine(View);
+  bp::Span S;
+  S.VarEnd = NumVars;
+  S.FactorEnd = NumFactors;
+  Engine.run(Opts, &S, 1, TraceIters);
+  LastIterations = S.Iterations;
   const bool Converged =
-      !ForcedNonConvergence && !DeadlineExpired && Delta <= Opts.Tolerance;
-  if (Report) {
-    Report->Iterations = Iter;
-    Report->Residual = Delta;
-    Report->DeadlineExpired = DeadlineExpired;
-    Report->Converged = Converged;
-    Report->Updates = Updates;
-    Report->SkippedUpdates = Skipped;
-    Report->Reason.clear();
-    if (!Converged)
-      Report->Reason = formatStr(
-          "residual %.2g after %u iterations%s%s", Delta, Iter,
-          DeadlineExpired ? ", budget expired" : "",
-          ForcedNonConvergence ? ", injected non-convergence" : "");
-  }
+      bp::spanConverged(S, ForcedNonConvergence, Opts.Tolerance);
+  if (Report)
+    bp::fillReport(*Report, S, ForcedNonConvergence, Opts.Tolerance);
   if (TraceIters)
     telemetry::counterSample("bp.residual", telemetry::TraceLevel::Solver,
-                             "solver", "residual", Delta);
+                             "solver", "residual", S.Delta);
   if (telemetry::enabled(telemetry::TraceLevel::Phase)) {
     telemetry::counter("solver.bp.solves").add(1);
-    telemetry::counter("solver.bp.messages").add(Updates);
-    telemetry::counter("solver.bp.skipped_updates").add(Skipped);
+    telemetry::counter("solver.bp.messages").add(S.Updates);
+    telemetry::counter("solver.bp.skipped_updates").add(S.Skipped);
     if (!Converged)
       telemetry::counter("solver.bp.nonconverged").add(1);
     telemetry::histogram("solver.bp.iterations")
-        .record(static_cast<double>(Iter));
-    telemetry::histogram("solver.bp.residual").record(Delta);
+        .record(static_cast<double>(S.Iterations));
+    telemetry::histogram("solver.bp.residual").record(S.Delta);
     telemetry::histogram("solver.bp.seconds").record(SolveTimer.seconds());
   }
   if (SolveSpan.active()) {
     SolveSpan.arg("vars", NumVars);
     SolveSpan.arg("factors", NumFactors);
-    SolveSpan.arg("iters", Iter);
-    SolveSpan.arg("residual", Delta);
+    SolveSpan.arg("iters", S.Iterations);
+    SolveSpan.arg("residual", S.Delta);
     SolveSpan.argBool("converged", Converged);
-    SolveSpan.arg("messages", Updates);
+    SolveSpan.arg("messages", S.Updates);
+    SolveSpan.arg("backend", kern::solverKernels().Name);
     if (!Opts.Budget.unlimited())
       SolveSpan.arg("budget_remaining_s", Opts.Budget.remainingSeconds());
   }
 
-  // Beliefs: prior times all incoming factor messages.
-  Marginals Result(NumVars, 0.5);
-  if (GraphLikelihood)
-    GraphLikelihood->assign(NumVars, 0.5);
-  for (unsigned V = 0; V != NumVars; ++V) {
-    double True = G.variable(V).Prior;
-    double False = 1.0 - True;
-    double GraphTrue = 1.0, GraphFalse = 1.0;
-    for (uint32_t I = L.VarOffset[V]; I != L.VarOffset[V + 1]; ++I) {
-      const double In = FactorToVar[L.VarEdges[I]];
-      const double MsgTrue = clampProb(In);
-      const double MsgFalse = clampProb(1.0 - In);
-      True *= MsgTrue;
-      False *= MsgFalse;
-      GraphTrue *= MsgTrue;
-      GraphFalse *= MsgFalse;
-      // Renormalize as we go so long products stay in range.
-      const double Scale = GraphTrue + GraphFalse;
-      GraphTrue /= Scale;
-      GraphFalse /= Scale;
-    }
-    const double Sum = True + False;
-    Result[V] = Sum > 0 ? True / Sum : 0.5;
-    if (GraphLikelihood)
-      (*GraphLikelihood)[V] = GraphTrue;
-  }
+  Marginals Result;
+  Engine.beliefs(S, Result, GraphLikelihood);
   if (Report)
     Report->Seconds = SolveTimer.seconds();
   return Result;
@@ -333,9 +128,17 @@ Expected<Marginals> ExactSolver::solve(const FactorGraph &G,
         formatStr("graph has %u variables, exact enumeration handles "
                   "at most %u",
                   NumVars, MaxVariables));
+  const uint32_t NumFactors = G.factorCount();
   std::vector<double> TrueMass(NumVars, 0.0);
   double Total = 0.0;
-  std::vector<bool> Assignment(NumVars);
+  // Direct bit tests against the assignment index replace the per-index
+  // vector<bool> fill; the multiplication order (priors in variable
+  // order, then factors in order) is jointWeight's, bit for bit.
+  std::vector<double> PriorTrue(NumVars), PriorFalse(NumVars);
+  for (unsigned V = 0; V != NumVars; ++V) {
+    PriorTrue[V] = G.variable(V).Prior;
+    PriorFalse[V] = 1.0 - PriorTrue[V];
+  }
   const uint64_t Count = uint64_t{1} << NumVars;
   for (uint64_t Index = 0; Index != Count; ++Index) {
     if ((Index & 0xFFF) == 0 && Budget.expired())
@@ -345,12 +148,20 @@ Expected<Marginals> ExactSolver::solve(const FactorGraph &G,
                     "assignments",
                     static_cast<unsigned long long>(Index),
                     static_cast<unsigned long long>(Count)));
+    double Weight = 1.0;
     for (unsigned V = 0; V != NumVars; ++V)
-      Assignment[V] = (Index >> V) & 1;
-    double Weight = G.jointWeight(Assignment);
+      Weight *= ((Index >> V) & 1) ? PriorTrue[V] : PriorFalse[V];
+    for (uint32_t F = 0; F != NumFactors; ++F) {
+      const FactorGraph::Factor &Factor = G.factor(F);
+      size_t TableIndex = 0;
+      for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
+        if ((Index >> Factor.Scope[Bit]) & 1)
+          TableIndex |= size_t{1} << Bit;
+      Weight *= Factor.Table[TableIndex];
+    }
     Total += Weight;
     for (unsigned V = 0; V != NumVars; ++V)
-      if (Assignment[V])
+      if ((Index >> V) & 1)
         TrueMass[V] += Weight;
   }
   Marginals Result(NumVars, 0.5);
@@ -360,6 +171,158 @@ Expected<Marginals> ExactSolver::solve(const FactorGraph &G,
   return Result;
 }
 
+namespace {
+
+/// Lane-truth masks for the packed logical enumeration: bit j of a
+/// 64-assignment block word stands for assignment BlockBase | j, so low
+/// variable v (v < 6) is true exactly in the lanes where bit v of j is
+/// set.
+constexpr uint64_t LaneTrue[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+
+/// Whether the popcount fast path applies: enough variables to fill a
+/// 64-lane block, and no factor whose precomputed satisfied-word table
+/// (one word per combination of its variables above the low six) would
+/// blow up.
+bool canEnumeratePacked(const FactorGraph &G, unsigned NumVars) {
+  if (NumVars < 6)
+    return false;
+  for (uint32_t F = 0; F != G.factorCount(); ++F) {
+    unsigned HighSlots = 0;
+    for (VarId V : G.factor(F).Scope)
+      HighSlots += V >= 6;
+    if (HighSlots > 12)
+      return false;
+  }
+  return true;
+}
+
+/// Bit-parallel hard-constraint enumeration: evaluates 64 assignments
+/// (all values of the six low variables) per step. Per factor, the
+/// satisfied mask over those 64 lanes depends only on the factor's
+/// high-variable assignment, so it is precomputed per high combination;
+/// the block loop then ANDs one word per factor and popcounts. Counts
+/// are integers, so results are exactly the scalar enumeration's.
+/// Returns false when \p Budget expires (same 4096-assignment check
+/// cadence as the scalar loop).
+bool enumeratePacked(const FactorGraph &G, unsigned NumVars,
+                     double Threshold, const Deadline &Budget,
+                     uint64_t &Satisfying,
+                     std::vector<uint64_t> *TrueCounts) {
+  const uint32_t NumFactors = G.factorCount();
+  struct FactorWords {
+    // (variable, scope slot) for scope entries with variable id >= 6.
+    std::vector<std::pair<unsigned, unsigned>> HighSlots;
+    std::vector<uint64_t> Words; // indexed by packed high-slot bits.
+  };
+  std::vector<FactorWords> Packed(NumFactors);
+  for (uint32_t F = 0; F != NumFactors; ++F) {
+    const FactorGraph::Factor &Factor = G.factor(F);
+    FactorWords &P = Packed[F];
+    std::vector<std::pair<unsigned, unsigned>> LowSlots;
+    for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit) {
+      if (Factor.Scope[Bit] < 6)
+        LowSlots.emplace_back(Factor.Scope[Bit],
+                              static_cast<unsigned>(Bit));
+      else
+        P.HighSlots.emplace_back(Factor.Scope[Bit],
+                                 static_cast<unsigned>(Bit));
+    }
+    uint32_t LowIdx[64];
+    for (unsigned J = 0; J != 64; ++J) {
+      uint32_t Idx = 0;
+      for (const auto &Slot : LowSlots)
+        if ((J >> Slot.first) & 1)
+          Idx |= uint32_t{1} << Slot.second;
+      LowIdx[J] = Idx;
+    }
+    P.Words.resize(size_t{1} << P.HighSlots.size());
+    for (size_t H = 0; H != P.Words.size(); ++H) {
+      uint32_t HighIdx = 0;
+      for (size_t I = 0; I != P.HighSlots.size(); ++I)
+        if ((H >> I) & 1)
+          HighIdx |= uint32_t{1} << P.HighSlots[I].second;
+      uint64_t Word = 0;
+      for (unsigned J = 0; J != 64; ++J)
+        if (Factor.Table[LowIdx[J] | HighIdx] > Threshold)
+          Word |= uint64_t{1} << J;
+      P.Words[H] = Word;
+    }
+  }
+  const uint64_t Blocks = uint64_t{1} << (NumVars - 6);
+  for (uint64_t Block = 0; Block != Blocks; ++Block) {
+    if ((Block & 0x3F) == 0 && Budget.expired())
+      return false;
+    const uint64_t BlockBase = Block << 6;
+    uint64_t Acc = ~uint64_t{0};
+    for (uint32_t F = 0; F != NumFactors && Acc; ++F) {
+      const FactorWords &P = Packed[F];
+      size_t H = 0;
+      for (size_t I = 0; I != P.HighSlots.size(); ++I)
+        if ((BlockBase >> P.HighSlots[I].first) & 1)
+          H |= size_t{1} << I;
+      Acc &= P.Words[H];
+    }
+    if (!Acc)
+      continue;
+    const uint64_t Full = static_cast<uint64_t>(std::popcount(Acc));
+    Satisfying += Full;
+    if (TrueCounts) {
+      for (unsigned V = 0; V != 6; ++V)
+        (*TrueCounts)[V] +=
+            static_cast<uint64_t>(std::popcount(Acc & LaneTrue[V]));
+      for (unsigned V = 6; V != NumVars; ++V)
+        if ((BlockBase >> V) & 1)
+          (*TrueCounts)[V] += Full;
+    }
+  }
+  return true;
+}
+
+/// The pre-popcount scalar enumeration, kept for graphs the packed path
+/// declines (fewer than six variables, or a pathological factor).
+bool enumerateSimple(const FactorGraph &G, unsigned NumVars,
+                     double Threshold, const Deadline &Budget,
+                     uint64_t &Satisfying,
+                     std::vector<uint64_t> *TrueCounts) {
+  const uint64_t Count = uint64_t{1} << NumVars;
+  for (uint64_t Index = 0; Index != Count; ++Index) {
+    if ((Index & 0xFFF) == 0 && Budget.expired())
+      return false;
+    bool Ok = true;
+    for (uint32_t F = 0; F != G.factorCount() && Ok; ++F) {
+      const FactorGraph::Factor &Factor = G.factor(F);
+      size_t TableIndex = 0;
+      for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
+        if ((Index >> Factor.Scope[Bit]) & 1)
+          TableIndex |= size_t{1} << Bit;
+      Ok = Factor.Table[TableIndex] > Threshold;
+    }
+    if (!Ok)
+      continue;
+    ++Satisfying;
+    if (TrueCounts)
+      for (unsigned V = 0; V != NumVars; ++V)
+        if ((Index >> V) & 1)
+          ++(*TrueCounts)[V];
+  }
+  return true;
+}
+
+bool enumerateSatisfying(const FactorGraph &G, unsigned NumVars,
+                         double Threshold, const Deadline &Budget,
+                         uint64_t &Satisfying,
+                         std::vector<uint64_t> *TrueCounts) {
+  if (canEnumeratePacked(G, NumVars))
+    return enumeratePacked(G, NumVars, Threshold, Budget, Satisfying,
+                           TrueCounts);
+  return enumerateSimple(G, NumVars, Threshold, Budget, Satisfying,
+                         TrueCounts);
+}
+
+} // namespace
+
 std::optional<uint64_t>
 ExactSolver::countSatisfying(const FactorGraph &G, unsigned VarLimit,
                              double Threshold,
@@ -368,24 +331,9 @@ ExactSolver::countSatisfying(const FactorGraph &G, unsigned VarLimit,
   if (NumVars > VarLimit || NumVars > 62)
     return std::nullopt; // The deterministic solver gives up: DNF.
   uint64_t Satisfying = 0;
-  std::vector<bool> Assignment(NumVars);
-  const uint64_t Count = uint64_t{1} << NumVars;
-  for (uint64_t Index = 0; Index != Count; ++Index) {
-    if ((Index & 0xFFF) == 0 && Budget.expired())
-      return std::nullopt; // Budget expired mid-enumeration: DNF.
-    for (unsigned V = 0; V != NumVars; ++V)
-      Assignment[V] = (Index >> V) & 1;
-    bool Ok = true;
-    for (uint32_t F = 0; F != G.factorCount() && Ok; ++F) {
-      const FactorGraph::Factor &Factor = G.factor(F);
-      size_t TableIndex = 0;
-      for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
-        if (Assignment[Factor.Scope[Bit]])
-          TableIndex |= size_t{1} << Bit;
-      Ok = Factor.Table[TableIndex] > Threshold;
-    }
-    Satisfying += Ok;
-  }
+  if (!enumerateSatisfying(G, NumVars, Threshold, Budget, Satisfying,
+                           nullptr))
+    return std::nullopt; // Budget expired mid-enumeration: DNF.
   return Satisfying;
 }
 
@@ -397,29 +345,9 @@ ExactSolver::solveLogical(const FactorGraph &G, unsigned VarLimit,
     return std::nullopt; // Too large: the deterministic solver gives up.
   uint64_t Satisfying = 0;
   std::vector<uint64_t> TrueCounts(NumVars, 0);
-  std::vector<bool> Assignment(NumVars);
-  const uint64_t Count = uint64_t{1} << NumVars;
-  for (uint64_t Index = 0; Index != Count; ++Index) {
-    if ((Index & 0xFFF) == 0 && Budget.expired())
-      return std::nullopt; // Budget expired mid-enumeration: DNF.
-    for (unsigned V = 0; V != NumVars; ++V)
-      Assignment[V] = (Index >> V) & 1;
-    bool Ok = true;
-    for (uint32_t F = 0; F != G.factorCount() && Ok; ++F) {
-      const FactorGraph::Factor &Factor = G.factor(F);
-      size_t TableIndex = 0;
-      for (size_t Bit = 0; Bit != Factor.Scope.size(); ++Bit)
-        if (Assignment[Factor.Scope[Bit]])
-          TableIndex |= size_t{1} << Bit;
-      Ok = Factor.Table[TableIndex] > Threshold;
-    }
-    if (!Ok)
-      continue;
-    ++Satisfying;
-    for (unsigned V = 0; V != NumVars; ++V)
-      if (Assignment[V])
-        ++TrueCounts[V];
-  }
+  if (!enumerateSatisfying(G, NumVars, Threshold, Budget, Satisfying,
+                           &TrueCounts))
+    return std::nullopt; // Budget expired mid-enumeration: DNF.
   if (Satisfying == 0)
     return std::nullopt; // Unsatisfiable: conflicting constraints.
   Marginals Result(NumVars);
@@ -448,14 +376,19 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
     }
     return {};
   }
-  Rng Random(Opts.Seed);
+  // Raw SplitMix64 state handed to the kernel; kern::rngNext is the
+  // same arithmetic as Rng, so the stream is the one Rng(Seed) yields.
+  uint64_t RngState = Opts.Seed;
   const FactorGraph::EdgeLayout &L = G.edgeLayout();
   const unsigned NumFactors = G.factorCount();
 
   // Initialize from priors.
-  std::vector<uint8_t> State(NumVars);
-  for (unsigned V = 0; V != NumVars; ++V)
-    State[V] = Random.flip(G.variable(V).Prior);
+  std::vector<double> Priors(NumVars);
+  std::vector<uint8_t> Assign(NumVars);
+  for (unsigned V = 0; V != NumVars; ++V) {
+    Priors[V] = G.variable(V).Prior;
+    Assign[V] = kern::rngUniform(RngState) < Priors[V];
+  }
 
   // Incremental conditional evaluation: each factor's current table
   // index is cached and maintained under flips (flipping V XORs V's
@@ -464,13 +397,42 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
   // rebuild over that factor's whole scope.
   std::vector<uint32_t> CurIndex(NumFactors, 0);
   for (uint32_t E = 0; E != L.edgeCount(); ++E)
-    if (State[L.EdgeVar[E]])
+    if (Assign[L.EdgeVar[E]])
       CurIndex[L.EdgeFactor[E]] |= L.EdgeSlotBit[E];
-  // Table base pointers are stable while the graph (and thus the cached
-  // layout) is unmodified.
-  std::vector<const double *> Tables(NumFactors);
-  for (uint32_t F = 0; F != NumFactors; ++F)
-    Tables[F] = G.factor(F).Table.data();
+
+  kern::GibbsView View;
+  View.NumVars = NumVars;
+  View.VarOffset = L.VarOffset.data();
+  View.VmFactor = L.VmFactor.data();
+  View.VmMask = L.VmMask.data();
+  View.VmSlotBit = L.VmSlotBit.data();
+  View.VmTableBase = L.VmTableBase.data();
+  View.TableFlat = L.TableFlat.data();
+  View.Priors = Priors.data();
+  kern::GibbsState KState;
+  KState.CurIndex = CurIndex.data();
+  KState.Assign = Assign.data();
+  KState.RngState = &RngState;
+  // Pair path: seed every position's current pair index from CurIndex
+  // once; the kernel maintains it under flips through the
+  // flip-adjacency CSR (and leaves CurIndex itself untouched — the
+  // sampler reads chain state from Assign only).
+  std::vector<uint32_t> PosIdx;
+  if (!L.PairFlat.empty()) {
+    View.PairFlat = L.PairFlat.data();
+    View.FlipOffset = L.FlipOffset.data();
+    View.FlipPos = L.FlipPos.data();
+    View.FlipDelta = L.FlipDelta.data();
+    PosIdx.resize(L.edgeCount());
+    for (uint32_t I = 0; I != L.edgeCount(); ++I) {
+      const uint32_t Cur = CurIndex[L.VmFactor[I]];
+      const uint32_t Low = L.VmPairLow[I];
+      PosIdx[I] =
+          L.VmPairBase[I] + 2 * ((Cur & Low) | ((Cur >> 1) & ~Low));
+    }
+    KState.PosIdx = PosIdx.data();
+  }
+  const kern::SolverKernels &K = kern::solverKernels();
 
   std::vector<uint32_t> TrueCounts(NumVars, 0);
   unsigned Collected = 0;
@@ -489,45 +451,28 @@ Marginals GibbsSolver::solve(const FactorGraph &G,
       telemetry::counterSample("gibbs.progress",
                                telemetry::TraceLevel::Solver, "solver",
                                "sweep", static_cast<double>(Sweep));
-    for (unsigned V = 0; V != NumVars; ++V) {
-      // On large graphs a single sweep can outlast the whole budget, so
-      // re-check the wall clock every 64 variables; small graphs keep
-      // the exact sweep counts the per-sweep check alone would produce.
-      if ((V & 0x3F) == 0x3F && Opts.Budget.expired(Sweep)) {
+    // The kernel runs the sweep in chunks so the mid-sweep wall-clock
+    // check keeps its cadence (before variables 63, 127, ...): on large
+    // graphs a single sweep can outlast the whole budget, while small
+    // graphs keep the exact sweep counts the per-sweep check alone
+    // would produce.
+    uint32_t ChunkBegin = 0;
+    while (ChunkBegin != NumVars) {
+      const uint32_t ChunkEnd = std::min<uint32_t>(
+          NumVars, ChunkBegin == 0 ? 63u : ChunkBegin + 64);
+      K.GibbsSweep(View, KState, ChunkBegin, ChunkEnd);
+      Updates += ChunkEnd - ChunkBegin;
+      ChunkBegin = ChunkEnd;
+      if (ChunkBegin != NumVars && Opts.Budget.expired(Sweep)) {
         DeadlineExpired = true;
         break;
-      }
-      // Conditional weight of X_V = b given the rest. EdgeVarMask covers
-      // every slot of V in the factor, so a factor whose scope repeats V
-      // still evaluates both occurrences at the same value (and, like
-      // the pre-CSR kernel, contributes one table load per occurrence).
-      double W0 = 1.0 - G.variable(V).Prior;
-      double W1 = G.variable(V).Prior;
-      for (uint32_t I = L.VarOffset[V]; I != L.VarOffset[V + 1]; ++I) {
-        const uint32_t E = L.VarEdges[I];
-        const uint32_t F = L.EdgeFactor[E];
-        const uint32_t Mask = L.EdgeVarMask[E];
-        const uint32_t Base = CurIndex[F] & ~Mask;
-        W0 *= Tables[F][Base];
-        W1 *= Tables[F][Base | Mask];
-      }
-      ++Updates;
-      const double Sum = W0 + W1;
-      const bool NewBit =
-          Sum > 0 ? Random.flip(W1 / Sum) : Random.flip(0.5);
-      if (NewBit != static_cast<bool>(State[V])) {
-        State[V] = NewBit;
-        for (uint32_t I = L.VarOffset[V]; I != L.VarOffset[V + 1]; ++I) {
-          const uint32_t E = L.VarEdges[I];
-          CurIndex[L.EdgeFactor[E]] ^= L.EdgeSlotBit[E];
-        }
       }
     }
     if (DeadlineExpired)
       break; // Do not sample a half-updated sweep.
     if (Sweep >= Opts.BurnIn) {
       for (unsigned V = 0; V != NumVars; ++V)
-        TrueCounts[V] += State[V];
+        TrueCounts[V] += Assign[V];
       ++Collected;
     }
   }

@@ -9,6 +9,7 @@
 #include "infer/AnekInfer.h"
 #include "lang/PrettyPrinter.h"
 #include "lang/Sema.h"
+#include "serve/FusedSolver.h"
 #include "serve/Manifest.h"
 #include "serve/RequestQueue.h"
 #include "support/FaultInject.h"
@@ -132,6 +133,12 @@ Status BatchRunner::runAttempt(const BatchRequest &R, ThreadPool *SharedPool,
   if (Opts.Cache && !CacheDir.empty())
     InferOpts.Cache = Opts.Cache(CacheDir);
 
+  // Fused solving: route this request's BP solves through the shared
+  // rendezvous delegate. Safe unconditionally — deadlined requests carry
+  // a per-solve budget, which the delegate bypasses inline, and the
+  // delegate contract keeps results byte-identical.
+  InferOpts.Bp = FusedBp;
+
   InferResult Inference = runAnekInfer(*Prog, InferOpts, &Diags);
   Res.PeakBytes = std::max(Res.PeakBytes, Charge.peak());
   if (!Inference.Aborted.isOk())
@@ -181,6 +188,7 @@ BatchResult BatchRunner::processOne(const BatchRequest &R,
   Res.Index = R.Index;
   Res.Id = R.Id;
   Res.Input = R.Input;
+  Res.QueueSeconds = secondsSince(R.AdmitTime);
 
   RetryPolicy Policy;
   Policy.MaxAttempts = Opts.MaxAttempts ? Opts.MaxAttempts : 1;
@@ -240,6 +248,17 @@ std::vector<BatchResult> BatchRunner::run(std::vector<BatchRequest> Requests) {
   if (NeedPool)
     OwnedPool = std::make_unique<ThreadPool>(Opts.PoolThreads);
 
+  // The fused-solve rendezvous is shared by all serving workers for the
+  // batch's lifetime; workers join before it is destroyed.
+  std::unique_ptr<FusedBpSolver> FusedSolver;
+  if (Opts.FuseSolves) {
+    FusedBpSolver::Options FuseOpts;
+    FuseOpts.MaxGraphs = Opts.FuseMaxGraphs ? Opts.FuseMaxGraphs : 1;
+    FuseOpts.WindowSeconds = Opts.FuseWindowSeconds;
+    FusedSolver = std::make_unique<FusedBpSolver>(FuseOpts);
+    FusedBp = FusedSolver.get();
+  }
+
   std::vector<BatchResult> Results(Requests.size());
   std::mutex EmitMutex;
   auto Emit = [&](BatchResult Res) {
@@ -278,6 +297,7 @@ std::vector<BatchResult> BatchRunner::run(std::vector<BatchRequest> Requests) {
   // Admission (producer side) runs on the calling thread. Blocking
   // admission backpressures on a full queue; ShedWhenFull floods instead.
   for (BatchRequest &R : Requests) {
+    R.AdmitTime = std::chrono::steady_clock::now();
     // Captured before admit() — admit takes the request by value, so R is
     // moved-from whether or not it was admitted.
     unsigned Index = R.Index;

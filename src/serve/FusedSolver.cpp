@@ -1,0 +1,110 @@
+//===- FusedSolver.cpp - Cross-request BP solve rendezvous -----------------===//
+
+#include "serve/FusedSolver.h"
+
+#include <chrono>
+
+using namespace anek;
+using namespace anek::serve;
+
+namespace {
+
+/// Two solves may share an arena sweep only when every knob the kernel
+/// iteration reads is identical. Budgets are handled separately (they
+/// bypass fusion outright).
+bool sameOptions(const SumProductSolver::Options &A,
+                 const SumProductSolver::Options &B) {
+  return A.MaxIterations == B.MaxIterations && A.Tolerance == B.Tolerance &&
+         A.Damping == B.Damping &&
+         A.ResidualScheduling == B.ResidualScheduling &&
+         A.RefreshInterval == B.RefreshInterval;
+}
+
+} // namespace
+
+Marginals FusedBpSolver::solve(const SumProductSolver::Options &O,
+                               const FactorGraph &G,
+                               Marginals *GraphLikelihood,
+                               SolveReport *Report) {
+  // A budgeted solve must observe its own wall clock, not the batch's:
+  // fusing it would let a slow co-batched request eat its deadline (and
+  // the deadline expire the co-batched requests' solves). Deadlined
+  // serving requests therefore keep the standalone path.
+  if (!O.Budget.unlimited()) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counts.Bypassed;
+    }
+    return SumProductSolver(O).solve(G, GraphLikelihood, Report);
+  }
+
+  Waiter Self;
+  Self.Work.Graph = &G;
+  Self.Work.WantLikelihood = GraphLikelihood != nullptr;
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (FormingActive) {
+    if (!sameOptions(FormingOpts, O) || Forming.size() >= Opts.MaxGraphs) {
+      // Can't join the forming batch; solving inline keeps the window
+      // from serializing unrelated solves behind it.
+      ++Counts.Bypassed;
+      Lock.unlock();
+      return SumProductSolver(O).solve(G, GraphLikelihood, Report);
+    }
+    // Follow: join the batch, wake the leader (it re-checks fullness),
+    // and wait for it to publish our result.
+    Forming.push_back(&Self);
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Self.Done; });
+    ++Counts.Fused;
+    if (GraphLikelihood)
+      *GraphLikelihood = std::move(Self.Work.GraphLikelihood);
+    if (Report)
+      *Report = Self.Work.Report;
+    return std::move(Self.Work.Out);
+  }
+
+  // Lead: open a batch and hold it for the window (or until full).
+  FormingActive = true;
+  FormingOpts = O;
+  Forming.clear();
+  Forming.push_back(&Self);
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(Opts.WindowSeconds));
+  Cv.wait_until(Lock, Deadline,
+                [&] { return Forming.size() >= Opts.MaxGraphs; });
+  // Extract the batch and close it in the same critical section, so the
+  // next arrival opens a fresh batch instead of joining one mid-solve.
+  std::vector<Waiter *> Batch = std::move(Forming);
+  Forming.clear();
+  FormingActive = false;
+  ++Counts.Batches;
+  Counts.Fused += 1; // self; followers count themselves on wake.
+  Lock.unlock();
+
+  std::vector<FusedBpJob> Jobs(Batch.size());
+  for (size_t I = 0; I != Batch.size(); ++I)
+    Jobs[I] = Batch[I]->Work;
+  fusedBpSolve(O, Jobs.data(), Jobs.size());
+
+  Lock.lock();
+  for (size_t I = 1; I != Batch.size(); ++I) {
+    Batch[I]->Work = std::move(Jobs[I]);
+    Batch[I]->Done = true;
+  }
+  Cv.notify_all();
+  Lock.unlock();
+
+  if (GraphLikelihood)
+    *GraphLikelihood = std::move(Jobs[0].GraphLikelihood);
+  if (Report)
+    *Report = Jobs[0].Report;
+  return std::move(Jobs[0].Out);
+}
+
+FusedBpSolver::Stats FusedBpSolver::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counts;
+}

@@ -1,0 +1,93 @@
+//===- FusedSolver.h - Cross-request BP solve rendezvous --------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-side half of fused solving (DESIGN.md, "Solver kernel
+/// layout"): a BpSolveDelegate shared by every serving worker that holds
+/// each arriving sum-product solve for a tiny rendezvous window and
+/// packs the solves that arrive together — typically from different
+/// concurrent requests — into one fusedBpSolve arena sweep.
+///
+/// The first arrival leads: it opens a batch keyed by its solver options
+/// and waits until the batch is full or the window expires, then solves
+/// the whole batch in one call while followers block on their result.
+/// Solves that cannot legally fuse run inline on their own thread:
+/// budgeted solves (a shared sweep would couple unrelated requests'
+/// deadlines) and solves whose options differ from the forming batch's
+/// (one arena sweep has one Options).
+///
+/// Byte-identity with unfused serving is inherited from fusedBpSolve and
+/// guarded by serve_test; only timing can differ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SERVE_FUSEDSOLVER_H
+#define ANEK_SERVE_FUSEDSOLVER_H
+
+#include "factor/Fused.h"
+#include "factor/Solvers.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace anek {
+namespace serve {
+
+class FusedBpSolver : public BpSolveDelegate {
+public:
+  struct Options {
+    /// Largest number of solves packed into one arena.
+    unsigned MaxGraphs = 8;
+    /// How long the leader holds the batch open for stragglers. Zero
+    /// still fuses whatever arrives before the leader re-acquires the
+    /// lock (in practice: nothing — useful to force singleton batches
+    /// in tests).
+    double WindowSeconds = 0.0002;
+  };
+
+  /// Counters for tests and the throughput bench.
+  struct Stats {
+    uint64_t Batches = 0;   ///< fusedBpSolve invocations.
+    uint64_t Fused = 0;     ///< solves that went through a batch.
+    uint64_t Bypassed = 0;  ///< solves that ran inline instead.
+  };
+
+  // Two constructors rather than one defaulted argument: a nested
+  // aggregate's member initializers are not usable in the enclosing
+  // class's default arguments (complete-class context).
+  FusedBpSolver() = default;
+  explicit FusedBpSolver(Options Opts) : Opts(Opts) {}
+
+  Marginals solve(const SumProductSolver::Options &O, const FactorGraph &G,
+                  Marginals *GraphLikelihood, SolveReport *Report) override;
+
+  Stats stats() const;
+
+private:
+  /// One waiting solve. Lives on the calling thread's stack; the leader
+  /// copies Work in and out around the fused call.
+  struct Waiter {
+    FusedBpJob Work;
+    bool Done = false;
+  };
+
+  Options Opts;
+  mutable std::mutex Mutex;
+  std::condition_variable Cv;
+  /// The forming batch and the options it was opened with; empty when no
+  /// leader is collecting.
+  std::vector<Waiter *> Forming;
+  SumProductSolver::Options FormingOpts;
+  bool FormingActive = false;
+  Stats Counts;
+};
+
+} // namespace serve
+} // namespace anek
+
+#endif // ANEK_SERVE_FUSEDSOLVER_H

@@ -40,6 +40,7 @@ std::string BatchResult::jsonLine() const {
     Line += ", \"reason\": " + jsonQuote(Reason);
   Line += ", \"specs\": " + jsonNumber(SpecCount);
   Line += ", \"seconds\": " + jsonNumber(Seconds);
+  Line += ", \"queue_seconds\": " + jsonNumber(QueueSeconds);
   Line += ", \"peak_bytes\": " + jsonNumber(static_cast<double>(PeakBytes));
   if (!Output.empty())
     Line += ", \"output\": " + jsonQuote(Output);

@@ -28,6 +28,7 @@
 #ifndef ANEK_SERVE_SERVE_H
 #define ANEK_SERVE_SERVE_H
 
+#include <chrono>
 #include <string>
 
 namespace anek {
@@ -73,6 +74,10 @@ struct BatchRequest {
   /// deadline implies a per-solve budget, under which the engine disables
   /// caching (timing-dependent results must not be replayed).
   std::string CacheDir;
+  /// When the request entered admission (set by BatchRunner::run just
+  /// before it offers the request to the queue); a worker's dequeue time
+  /// minus this is the request's queue wait.
+  std::chrono::steady_clock::time_point AdmitTime{};
 };
 
 /// Terminal outcome of one request.
@@ -92,6 +97,11 @@ struct BatchResult {
   unsigned SpecCount = 0;
   /// Wall-clock seconds across all attempts (queue wait excluded).
   double Seconds = 0.0;
+  /// Seconds the request waited in the queue before a worker picked it
+  /// up (0 for shed requests — they never reach a worker). QueueSeconds
+  /// + Seconds is the request's total latency, the quantity the
+  /// throughput bench reports p50/p99 over per queue cap.
+  double QueueSeconds = 0.0;
   /// Peak-memory watermark observed by the governor, in bytes.
   long long PeakBytes = 0;
 

@@ -1,0 +1,28 @@
+//===- CpuFeatures.cpp - Runtime CPU capability detection -------------------===//
+
+#include "support/CpuFeatures.h"
+
+namespace anek {
+namespace cpu {
+
+bool hasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/Clang's cpu_supports goes through __cpu_indicator_init, which
+  // checks both the CPUID feature bit and the OS's XCR0 (so AVX state is
+  // actually saved/restored across context switches).
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool hasNeon() {
+#if defined(__aarch64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+} // namespace cpu
+} // namespace anek

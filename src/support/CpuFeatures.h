@@ -1,0 +1,33 @@
+//===- CpuFeatures.h - Runtime CPU capability detection ----------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime detection of the SIMD capabilities the solver kernels can
+/// dispatch to (src/factor/Kernels.h). Detection is a property of the
+/// *host*, not the build: a binary compiled with the AVX2 kernel TU still
+/// runs correctly on a pre-AVX2 machine because dispatch consults these
+/// predicates before ever touching a vector code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_CPUFEATURES_H
+#define ANEK_SUPPORT_CPUFEATURES_H
+
+namespace anek {
+namespace cpu {
+
+/// True when the host CPU (and OS, via XSAVE state) supports AVX2.
+/// Always false off x86-64.
+bool hasAvx2();
+
+/// True on aarch64 (NEON/ASIMD is architecturally mandatory there).
+/// Always false elsewhere.
+bool hasNeon();
+
+} // namespace cpu
+} // namespace anek
+
+#endif // ANEK_SUPPORT_CPUFEATURES_H

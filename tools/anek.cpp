@@ -48,6 +48,7 @@
 #include "analysis/IrBuilder.h"
 #include "cache/SummaryCache.h"
 #include "corpus/ExampleSources.h"
+#include "factor/Kernels.h"
 #include "infer/AnekInfer.h"
 #include "lang/PrettyPrinter.h"
 #include "lang/Sema.h"
@@ -88,13 +89,14 @@ void usage() {
   std::fputs("usage: anek <infer|check|verify|pfg|ir> "
              "<file.mjava | --example spreadsheet|file|field> "
              "[--dot] [--method NAME] [--report] [--fault SPEC] "
-             "[--jobs N | -j N] [--shards N] [--cache DIR] [--trace FILE] "
+             "[--jobs N | -j N] [--shards N] [--cache DIR] "
+             "[--kernel-backend scalar|avx2|neon|auto] [--trace FILE] "
              "[--metrics FILE] [--trace-level off|phase|method|solver]\n"
              "       anek batch <manifest.txt | -> [--workers N] "
              "[--queue-cap N] [--retries N] [--deadline SECS] "
              "[--mem-budget BYTES[k|m|g]] [--jobs N | -j N] [--shards N] "
              "[--cache DIR] [--seed N] [--out FILE] [--shed-when-full] "
-             "[--fault SPEC] "
+             "[--fuse] [--kernel-backend NAME] [--fault SPEC] "
              "[--trace FILE] [--metrics FILE] [--trace-level LEVEL]\n"
              "       anek faults\n"
              "(--fault list prints the fault vocabulary; %p in --out/"
@@ -309,6 +311,8 @@ int runBatch(const std::vector<std::string> &Args) {
         return ExitUsage;
       }
       Opts.DefaultCacheDir = Value;
+    } else if (Args[I] == "--fuse") {
+      Opts.FuseSolves = true;
     } else if (Args[I] == "--shed-when-full") {
       Opts.ShedWhenFull = true;
     } else if (flagValue(Args, I, "--fault", Value)) {
@@ -458,6 +462,28 @@ int runBatch(const std::vector<std::string> &Args) {
 
 int run(int Argc, char **Argv) {
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty()) {
+    usage();
+    return ExitUsage;
+  }
+  // --kernel-backend selects the process-wide solver SIMD dispatch
+  // (scalar|avx2|neon|auto), so it applies to every command; handle and
+  // strip it before command parsing. ANEK_FORCE_SCALAR=1 in the
+  // environment has the same effect as "scalar".
+  for (size_t I = 0; I < Args.size();) {
+    std::string Value;
+    size_t Start = I;
+    if (flagValue(Args, I, "--kernel-backend", Value)) {
+      if (Status S = kern::setKernelBackend(Value); !S) {
+        std::fprintf(stderr, "anek: %s\n", S.str().c_str());
+        return ExitUsage;
+      }
+      Args.erase(Args.begin() + Start, Args.begin() + I + 1);
+      I = Start;
+    } else {
+      ++I;
+    }
+  }
   if (Args.empty()) {
     usage();
     return ExitUsage;
