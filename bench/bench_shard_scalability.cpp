@@ -21,8 +21,11 @@
 #include "shard/ShardCoordinator.h"
 #include "shard/ShardWorker.h"
 #include "support/FaultInject.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -110,6 +113,51 @@ Sample sweepOnce(const std::string &Source, unsigned Workers,
   return S;
 }
 
+/// The distributed-telemetry overhead measurement: collection-off and
+/// collection-on rounds interleaved (so machine drift hits both sides
+/// equally), compared by median. With collection on, every dispatch also
+/// ships a Telemetry frame and the coordinator merges it — the whole
+/// cross-worker pipeline is in the measured path. The gate: collection
+/// must cost at most 5% of median run time, or observability has started
+/// perturbing what it observes.
+struct OverheadSample {
+  double OffMedianSeconds = 0.0;
+  double OnMedianSeconds = 0.0;
+  double ratio() const {
+    return OffMedianSeconds > 0.0 ? OnMedianSeconds / OffMedianSeconds : 0.0;
+  }
+};
+
+OverheadSample measureTelemetryOverhead(const std::string &Source,
+                                        unsigned Workers, unsigned Rounds) {
+  std::vector<double> Off, On;
+  for (unsigned R = 0; R < Rounds; ++R) {
+    {
+      Timer T;
+      runOnce(Source, Workers);
+      Off.push_back(T.seconds());
+    }
+    telemetry::setTraceLevel(telemetry::TraceLevel::Phase);
+    {
+      Timer T;
+      runOnce(Source, Workers);
+      On.push_back(T.seconds());
+    }
+    // Drain the collected round so buffers never grow across rounds.
+    telemetry::setTraceLevel(telemetry::TraceLevel::Off);
+    telemetry::resetTrace();
+    telemetry::resetMetricsForTest();
+  }
+  auto Median = [](std::vector<double> V) {
+    std::sort(V.begin(), V.end());
+    return V[V.size() / 2];
+  };
+  OverheadSample O;
+  O.OffMedianSeconds = Median(Off);
+  O.OnMedianSeconds = Median(On);
+  return O;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -144,6 +192,17 @@ int main(int Argc, char **Argv) {
   }
   rule();
 
+  const OverheadSample Overhead =
+      measureTelemetryOverhead(Source, /*Workers=*/2, Rounds);
+  const double OverheadPct = (Overhead.ratio() - 1.0) * 100.0;
+  const bool GateOk = Overhead.ratio() <= 1.05;
+  std::printf("\nTelemetry overhead (workers=2, interleaved off/on "
+              "rounds, medians)\n");
+  std::printf("  off %.4fs   on %.4fs   overhead %+.1f%%   gate <=+5%% "
+              "[%s]\n",
+              Overhead.OffMedianSeconds, Overhead.OnMedianSeconds,
+              OverheadPct, GateOk ? "ok" : "EXCEEDED");
+
   std::ofstream Json("bench_shard_scalability.json");
   Json << "{\n  \"bench\": \"shard_scalability\",\n"
        << "  \"rounds\": " << Rounds << ",\n"
@@ -160,7 +219,20 @@ int main(int Argc, char **Argv) {
          << ", \"respawn_rate\": " << S.respawnRate() << "}"
          << (I + 1 < Samples.size() ? "," : "") << "\n";
   }
-  Json << "  ]\n}\n";
+  Json << "  ],\n"
+       << "  \"telemetry_overhead\": {\"off_median_s\": "
+       << Overhead.OffMedianSeconds
+       << ", \"on_median_s\": " << Overhead.OnMedianSeconds
+       << ", \"ratio\": " << Overhead.ratio()
+       << ", \"gate_ok\": " << (GateOk ? "true" : "false") << "}\n"
+       << "}\n";
   std::puts("Sweep written to bench_shard_scalability.json");
+  if (!GateOk) {
+    std::fprintf(stderr,
+                 "bench_shard_scalability: telemetry overhead %.1f%% "
+                 "exceeds the 5%% gate\n",
+                 OverheadPct);
+    return 1;
+  }
   return 0;
 }

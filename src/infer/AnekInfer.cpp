@@ -1356,8 +1356,11 @@ InferResult InferEngine::run() {
       if (ShardUsable && !Pending.empty()) {
         telemetry::Span ShardWave("shard.wave", telemetry::TraceLevel::Phase,
                                   "shard");
-        if (ShardWave.active())
+        if (ShardWave.active()) {
+          ShardWave.arg("wave", Result.Shard.WavesRemote +
+                                    Result.Shard.WavesDegraded);
           ShardWave.arg("methods", static_cast<uint64_t>(Pending.size()));
+        }
         std::vector<MethodDecl *> Sub;
         std::vector<unsigned> Indices;
         Sub.reserve(Pending.size());

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -47,6 +48,33 @@ void countTerminal(const BatchResult &Res) {
     telemetry::counter(std::string("serve.state.") +
                        terminalStateName(Res.State))
         .add(1);
+}
+
+/// Renders the slow-request span tree: every complete span the serving
+/// thread recorded inside the request's execution window, indented by
+/// nesting depth. Spans running on pool or shard-dispatch threads belong
+/// to other tids and are deliberately absent — the dump answers "where
+/// did *this* thread's time go", and the full cross-thread picture lives
+/// in the trace file.
+std::string renderSlowRequest(const BatchResult &Res, double Threshold,
+                              unsigned Tid, int64_t FromUs, int64_t ToUs) {
+  std::string Out =
+      formatStr("slow-request id=%s state=%s seconds=%.3f threshold=%.3f",
+                Res.Id.c_str(), terminalStateName(Res.State), Res.Seconds,
+                Threshold);
+  size_t Spans = 0;
+  for (const telemetry::EventRecord &E : telemetry::snapshotEvents()) {
+    if (E.Tid != Tid || E.Phase != 'X' || E.TsUs < FromUs || E.TsUs > ToUs)
+      continue;
+    ++Spans;
+    Out += "\n  " + std::string(E.Depth * 2, ' ') + E.Name;
+    Out += formatStr(" %.3fms", static_cast<double>(E.DurUs) / 1000.0);
+    if (!E.Args.empty())
+      Out += " {" + E.Args + "}";
+  }
+  if (Spans == 0)
+    Out += "\n  (no spans recorded — run with --trace-level to populate)";
+  return Out;
 }
 
 } // namespace
@@ -141,6 +169,10 @@ Status BatchRunner::runAttempt(const BatchRequest &R, ThreadPool *SharedPool,
 
   InferResult Inference = runAnekInfer(*Prog, InferOpts, &Diags);
   Res.PeakBytes = std::max(Res.PeakBytes, Charge.peak());
+  // Cache traffic accumulates across attempts (a retried attempt's hits
+  // are real work saved) and is reported even for failed requests.
+  Res.CacheHits += Inference.Cache.Hits;
+  Res.CacheMisses += Inference.Cache.Misses;
   if (!Inference.Aborted.isOk())
     return Inference.Aborted;
 
@@ -197,6 +229,8 @@ BatchResult BatchRunner::processOne(const BatchRequest &R,
   Policy.Seed = Opts.Seed;
 
   auto Start = std::chrono::steady_clock::now();
+  const int64_t StartUs = telemetry::nowUs();
+  const unsigned Tid = telemetry::currentThreadId();
   for (;;) {
     ++Res.Attempts;
     Status Attempt = runAttempt(R, SharedPool, Res);
@@ -217,6 +251,17 @@ BatchResult BatchRunner::processOne(const BatchRequest &R,
     break;
   }
   Res.Seconds = secondsSince(Start);
+  if (Opts.SlowRequestSeconds > 0.0 &&
+      Res.Seconds >= Opts.SlowRequestSeconds) {
+    if (telemetry::enabled(telemetry::TraceLevel::Phase))
+      telemetry::counter("serve.slow_requests").add(1);
+    std::string Dump = renderSlowRequest(Res, Opts.SlowRequestSeconds, Tid,
+                                         StartUs, telemetry::nowUs());
+    if (Opts.SlowLog)
+      Opts.SlowLog(Dump);
+    else
+      std::fprintf(stderr, "%s\n", Dump.c_str());
+  }
   return Res;
 }
 

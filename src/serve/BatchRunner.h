@@ -118,6 +118,18 @@ struct BatchOptions {
   /// (load tests and the throughput bench; the batch driver keeps the
   /// default blocking admission).
   bool ShedWhenFull = false;
+  /// Slow-request log threshold in seconds; 0 disables the log. A request
+  /// whose execution time (queue wait excluded) reaches the threshold
+  /// emits a span-tree dump — the trace spans its serving thread recorded
+  /// during the request, indented by nesting depth — through SlowLog, so
+  /// a single outlier in a long batch explains itself without re-running
+  /// under a profiler. Purely observational: results are identical with
+  /// the log on or off.
+  double SlowRequestSeconds = 0.0;
+  /// Sink for slow-request dumps (one multi-line string per slow
+  /// request); unset logs to stderr. Called from the serving thread that
+  /// ran the request, unserialized.
+  std::function<void(const std::string &)> SlowLog;
   /// Invoked once per terminal result, in completion order, from the
   /// thread that finished the request (serialized by the runner). The
   /// JSONL stream writer of `anek batch` plugs in here.

@@ -42,6 +42,8 @@ std::string BatchResult::jsonLine() const {
   Line += ", \"seconds\": " + jsonNumber(Seconds);
   Line += ", \"queue_seconds\": " + jsonNumber(QueueSeconds);
   Line += ", \"peak_bytes\": " + jsonNumber(static_cast<double>(PeakBytes));
+  Line += ", \"cache_hits\": " + jsonNumber(CacheHits);
+  Line += ", \"cache_misses\": " + jsonNumber(CacheMisses);
   if (!Output.empty())
     Line += ", \"output\": " + jsonQuote(Output);
   Line += "}";

@@ -104,6 +104,12 @@ struct BatchResult {
   double QueueSeconds = 0.0;
   /// Peak-memory watermark observed by the governor, in bytes.
   long long PeakBytes = 0;
+  /// Summary-cache hits and misses across this request's attempts (both 0
+  /// when the request ran uncached). A warm re-run of an unchanged input
+  /// shows hits == solves and misses == 0, which is how `anek report`
+  /// computes the batch's cache hit rate.
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
 
   /// One `anek-batch-v1` JSONL line (no trailing newline).
   std::string jsonLine() const;

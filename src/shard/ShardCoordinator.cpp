@@ -27,6 +27,33 @@ void bumpCounter(const char *Name) {
     telemetry::counter(Name).add(1);
 }
 
+/// Merges one worker's shipped telemetry into the coordinator-side
+/// stores: events land in the worker's pid lane with the two process
+/// clocks aligned (worker task-start mapped onto coordinator dispatch
+/// time), metrics land under `shard.worker.`. When the dispatch opened a
+/// flow, a synthesized flow-end at task start stitches the worker lane to
+/// the coordinator's dispatch span — the worker itself never learns about
+/// flow events.
+void absorbWorkerTelemetry(const TelemetryBlob &Blob, int64_t DispatchUs) {
+  if (!telemetry::enabled(telemetry::TraceLevel::Phase))
+    return;
+  std::vector<telemetry::EventRecord> Events = Blob.Events;
+  if (Blob.ParentFlowId != 0) {
+    telemetry::EventRecord Flow;
+    Flow.Name = "shard.flow";
+    Flow.Category = "shard";
+    Flow.Phase = 'f';
+    Flow.TsUs = Blob.TaskStartUs;
+    Flow.Tid = 0;
+    Flow.FlowId = Blob.ParentFlowId;
+    Events.push_back(std::move(Flow));
+  }
+  telemetry::addRemoteEvents(Blob.Pid,
+                             formatStr("anek-worker pid %u", Blob.Pid),
+                             Events, DispatchUs - Blob.TaskStartUs);
+  telemetry::absorbMetrics(Blob.Metrics, "shard.worker.");
+}
+
 } // namespace
 
 ShardCoordinator::ShardCoordinator(Program &Prog, std::string Source,
@@ -43,7 +70,12 @@ ShardCoordinator::ShardCoordinator(Program &Prog, std::string Source,
     Co.Workers = 1;
   if (Co.WorkerArgv.empty())
     Co.WorkerArgv = {subprocess::selfExePath("anek"), "--worker"};
-  InitPayload = encodeInit(Source, this->Opts);
+  Co.WorkerArgv.insert(Co.WorkerArgv.end(), Co.WorkerExtraArgv.begin(),
+                       Co.WorkerExtraArgv.end());
+  // Workers collect at (at least) the coordinator's level and ship per
+  // task; level 0 keeps the protocol telemetry-free.
+  InitPayload = encodeInit(Source, this->Opts,
+                           static_cast<uint8_t>(telemetry::traceLevel()));
   Slots.reserve(Co.Workers);
   for (unsigned I = 0; I != Co.Workers; ++I)
     Slots.push_back(std::make_unique<Slot>());
@@ -62,7 +94,7 @@ ShardStats ShardCoordinator::stats() const {
   return Stats;
 }
 
-Status ShardCoordinator::ensureWorker(Slot &S) {
+Status ShardCoordinator::ensureWorker(Slot &S, unsigned SlotIndex) {
   if (S.Ready && S.Child.running() && !S.Child.poll())
     return Status::ok(); // Alive and Init'd from a previous dispatch.
   dropWorker(S);
@@ -73,6 +105,11 @@ Status ShardCoordinator::ensureWorker(Slot &S) {
     ++Stats.WorkersSpawned;
   }
   bumpCounter("shard.workers_spawned");
+  if (telemetry::enabled(telemetry::TraceLevel::Phase))
+    telemetry::instant("shard.worker_spawn", telemetry::TraceLevel::Phase,
+                       "shard",
+                       formatStr("\"slot\": %u, \"pid\": %d", SlotIndex,
+                                 static_cast<int>(S.Child.pid())));
   if (Status Init =
           writeFrame(S.Child.writeFd(), FrameType::Init, InitPayload);
       !Init) {
@@ -92,12 +129,23 @@ void ShardCoordinator::dropWorker(Slot &S) {
 }
 
 Expected<std::vector<summaryio::ShardMethodOutcome>>
-ShardCoordinator::dispatchOnce(Slot &S,
+ShardCoordinator::dispatchOnce(Slot &S, uint32_t Wave,
                                const std::vector<unsigned> &Indices,
                                const std::string &Snapshot,
                                bool &WorkerReported) {
+  TaskMeta Meta;
+  Meta.Wave = Wave;
+  if (telemetry::enabled(telemetry::TraceLevel::Method)) {
+    // Open a flow at dispatch; the matching end is synthesized into the
+    // worker's lane when its telemetry arrives, drawing the arrow from
+    // this dispatch span to the remote task span in the trace viewer.
+    Meta.ParentFlowId = telemetry::newFlowId();
+    telemetry::flowBegin("shard.flow", telemetry::TraceLevel::Method,
+                         "shard", Meta.ParentFlowId);
+  }
+  Meta.DispatchUs = telemetry::nowUs();
   if (Status W = writeFrame(S.Child.writeFd(), FrameType::Task,
-                            encodeTask(Indices, Snapshot));
+                            encodeTask(Indices, Snapshot, Meta));
       !W)
     return W;
   for (;;) {
@@ -110,6 +158,21 @@ ShardCoordinator::dispatchOnce(Slot &S,
     switch (F->Type) {
     case FrameType::Heartbeat:
       continue;
+    case FrameType::Telemetry: {
+      TelemetryBlob Blob;
+      if (Status T = decodeTelemetry(F->Payload, Blob); !T) {
+        // Dropped, counted, never fatal: the dispatch is decided by the
+        // Result frame alone.
+        bumpCounter("shard.telemetry_dropped");
+        telemetry::instant("shard.telemetry_dropped",
+                           telemetry::TraceLevel::Phase, "shard",
+                           "\"reason\": " + telemetry::jsonQuote(T.message()));
+        continue;
+      }
+      bumpCounter("shard.telemetry_frames");
+      absorbWorkerTelemetry(Blob, Meta.DispatchUs);
+      continue;
+    }
     case FrameType::Result: {
       std::string Payload = std::move(F->Payload);
       // The wire-corrupt control point: flip one byte of the received
@@ -143,7 +206,7 @@ ShardCoordinator::dispatchOnce(Slot &S,
 }
 
 Expected<std::vector<summaryio::ShardMethodOutcome>>
-ShardCoordinator::runShard(unsigned SlotIndex,
+ShardCoordinator::runShard(unsigned SlotIndex, uint32_t Wave,
                            const std::vector<unsigned> &Indices,
                            const std::string &Snapshot) {
   Slot &S = *Slots[SlotIndex];
@@ -160,8 +223,15 @@ ShardCoordinator::runShard(unsigned SlotIndex,
         ++Stats.ShardsQuarantined;
       }
       bumpCounter("shard.quarantined");
+      telemetry::instant("shard.quarantine", telemetry::TraceLevel::Phase,
+                         "shard",
+                         formatStr("\"slot\": %u, \"wave\": %u, "
+                                   "\"losses\": %u",
+                                   SlotIndex, Wave, Losses));
       telemetry::Span Q("shard.quarantine", telemetry::TraceLevel::Phase,
                         "shard");
+      if (Q.active())
+        Q.arg("slot", SlotIndex);
       return runShardMethods(Prog, Indices, Snapshot, Opts);
     }
     if (Losses > 0) {
@@ -169,7 +239,7 @@ ShardCoordinator::runShard(unsigned SlotIndex,
       if (Delay > 0.0)
         std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
     }
-    if (Status Up = ensureWorker(S); !Up) {
+    if (Status Up = ensureWorker(S, SlotIndex); !Up) {
       // Spawn/Init failure counts against the same loss budget: a slot
       // that cannot even start a worker must still reach quarantine.
       ++Losses;
@@ -199,17 +269,32 @@ ShardCoordinator::runShard(unsigned SlotIndex,
     }
 
     bool WorkerReported = false;
-    telemetry::Span D("shard.dispatch", telemetry::TraceLevel::Method,
-                      "shard");
-    Expected<std::vector<summaryio::ShardMethodOutcome>> Out =
-        dispatchOnce(S, Indices, Snapshot, WorkerReported);
+    Expected<std::vector<summaryio::ShardMethodOutcome>> Out = [&] {
+      telemetry::Span D("shard.dispatch", telemetry::TraceLevel::Method,
+                        "shard");
+      if (D.active()) {
+        D.arg("slot", SlotIndex);
+        D.arg("wave", Wave);
+        D.arg("methods", static_cast<uint64_t>(Indices.size()));
+      }
+      return dispatchOnce(S, Wave, Indices, Snapshot, WorkerReported);
+    }();
     if (Out)
       return Out;
     if (WorkerReported)
       return Out.status();
     // Crash, hang or corruption: recycle the worker and re-dispatch. The
-    // exit status (when there is one) goes into the breadcrumb trail via
-    // telemetry; the retry itself is silent by design.
+    // failure becomes a trace instant (hang vs. lost distinguished by the
+    // deadline error code); the retry itself is silent by design.
+    telemetry::instant(
+        "shard.worker_lost", telemetry::TraceLevel::Phase, "shard",
+        formatStr("\"slot\": %u, \"wave\": %u, \"kind\": \"%s\", "
+                  "\"message\": ",
+                  SlotIndex, Wave,
+                  Out.status().code() == ErrorCode::DeadlineExceeded
+                      ? "hang"
+                      : "lost") +
+            telemetry::jsonQuote(Out.status().message()));
     dropWorker(S);
     ++Losses;
     {
@@ -226,6 +311,8 @@ ShardCoordinator::executeWave(const std::vector<unsigned> &DeclIndices,
   std::vector<summaryio::ShardMethodOutcome> Merged;
   if (DeclIndices.empty())
     return Merged;
+  const uint32_t Wave =
+      WaveOrdinal.fetch_add(1, std::memory_order_relaxed);
 
   // Contiguous, balanced shards; shard k runs on worker slot k. The
   // partition is a pure function of the wave, so re-running a wave (with
@@ -247,7 +334,7 @@ ShardCoordinator::executeWave(const std::vector<unsigned> &DeclIndices,
   std::vector<Status> Errors(NumShards, Status::ok());
   auto RunOne = [&](size_t K) {
     Expected<std::vector<summaryio::ShardMethodOutcome>> Out =
-        runShard(static_cast<unsigned>(K), Shards[K], Snapshot);
+        runShard(static_cast<unsigned>(K), Wave, Shards[K], Snapshot);
     if (Out)
       Results[K] = Out.take();
     else

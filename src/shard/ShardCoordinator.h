@@ -36,6 +36,15 @@
 /// payload byte), so the failure paths above are exercised by actual
 /// process death, not simulated flags.
 ///
+/// The coordinator is also the telemetry aggregation point (DESIGN.md,
+/// "Distributed telemetry"): Telemetry frames arriving ahead of each
+/// Result are merged into the unified trace as per-worker-pid lanes
+/// (flow-linked to the dispatch span) and into the metrics registry under
+/// the `shard.worker.` prefix; spawns, losses and quarantines become
+/// trace instants. All of it is best-effort and read-only with respect to
+/// results — the merged outcome bytes are identical with collection on or
+/// off.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANEK_SHARD_SHARDCOORDINATOR_H
@@ -45,6 +54,8 @@
 #include "serve/RetryPolicy.h"
 #include "support/Subprocess.h"
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -67,6 +78,11 @@ struct CoordinatorOptions {
   /// Worker command line; empty means {<self-exe>, "--worker"}. Tests
   /// point this at the real `anek` binary.
   std::vector<std::string> WorkerArgv;
+  /// Extra arguments appended to WorkerArgv (whether defaulted or not):
+  /// the driver forwards its own telemetry flags (`--trace-level`, and
+  /// `--trace`/`--metrics` when their paths carry a `%p` pid slot) so
+  /// workers collect what the coordinator collects.
+  std::vector<std::string> WorkerExtraArgv;
   /// Backoff between re-dispatches of a lost shard (the same policy —
   /// and the same deterministic jitter — the serving layer retries with).
   serve::RetryPolicy Retry;
@@ -103,18 +119,21 @@ private:
   };
 
   /// Spawns + Inits the slot's worker if it is not already serving.
-  Status ensureWorker(Slot &S);
+  Status ensureWorker(Slot &S, unsigned SlotIndex);
   /// Kills (SIGKILL), reaps and forgets the slot's worker.
   void dropWorker(Slot &S);
   /// One shard, driven to its terminal state: dispatch / re-dispatch
   /// under the loss budget, then quarantine. Never loses the shard.
   Expected<std::vector<summaryio::ShardMethodOutcome>>
-  runShard(unsigned SlotIndex, const std::vector<unsigned> &Indices,
-           const std::string &Snapshot);
+  runShard(unsigned SlotIndex, uint32_t Wave,
+           const std::vector<unsigned> &Indices, const std::string &Snapshot);
   /// One dispatch attempt. \p WorkerReported is set when the failure is a
-  /// worker Error frame (deterministic, not retryable).
+  /// worker Error frame (deterministic, not retryable). Telemetry frames
+  /// arriving before the Result are merged into the local trace/metrics
+  /// stores here; an undecodable one is dropped and counted, never
+  /// escalated — losing a span must not cost a dispatch.
   Expected<std::vector<summaryio::ShardMethodOutcome>>
-  dispatchOnce(Slot &S, const std::vector<unsigned> &Indices,
+  dispatchOnce(Slot &S, uint32_t Wave, const std::vector<unsigned> &Indices,
                const std::string &Snapshot, bool &WorkerReported);
 
   Program &Prog;
@@ -122,6 +141,7 @@ private:
   CoordinatorOptions Co;
   std::string InitPayload; ///< encodeInit(Source, Opts), sent per spawn.
   std::vector<std::unique_ptr<Slot>> Slots;
+  std::atomic<uint32_t> WaveOrdinal{0}; ///< Stamped into Task frames.
 
   mutable std::mutex StatsMutex;
   ShardStats Stats;

@@ -10,13 +10,17 @@
 #include "lang/Sema.h"
 #include "shard/Wire.h"
 #include "support/Diagnostics.h"
+#include "support/Metrics.h"
 #include "support/Subprocess.h"
+#include "support/Trace.h"
 
 #include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace anek;
 using namespace anek::shard;
@@ -100,10 +104,21 @@ int shard::runWorkerLoop(int InFd, int OutFd) {
   }
   std::string Source;
   InferOptions Opts;
-  if (Status S = decodeInit(InitFrame->Payload, Source, Opts); !S) {
+  uint8_t CollectLevel = 0;
+  if (Status S = decodeInit(InitFrame->Payload, Source, Opts, &CollectLevel);
+      !S) {
     (void)Sender.send(FrameType::Error, S.str());
     return 1;
   }
+  // The coordinator's collection level is a floor, not an override: a
+  // worker started with its own --trace-level (e.g. to debug one shard at
+  // solver depth) keeps the deeper setting.
+  if (CollectLevel > static_cast<uint8_t>(telemetry::traceLevel()))
+    telemetry::setTraceLevel(static_cast<telemetry::TraceLevel>(CollectLevel));
+  const bool ShipTelemetry = CollectLevel != 0;
+  // Draining cursors into the local trace buffers: each task ships only
+  // the events recorded since the previous ship.
+  std::vector<size_t> ShipMarks;
   DiagnosticEngine Diags;
   std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
   if (!Prog) {
@@ -127,15 +142,41 @@ int shard::runWorkerLoop(int InFd, int OutFd) {
     case FrameType::Task: {
       std::vector<unsigned> DeclIndices;
       std::string Snapshot;
-      if (Status S = decodeTask(F->Payload, DeclIndices, Snapshot); !S) {
+      TaskMeta Meta;
+      if (Status S = decodeTask(F->Payload, DeclIndices, Snapshot, &Meta);
+          !S) {
         if (!Sender.send(FrameType::Error, S.str()))
           return 1;
         break;
       }
+      telemetry::MetricsSnapshot Before;
+      if (ShipTelemetry)
+        Before = telemetry::captureMetrics();
+      int64_t TaskStartUs = telemetry::nowUs();
       Expected<std::vector<summaryio::ShardMethodOutcome>> Outcomes = [&] {
         HeartbeatPulse Pulse(Sender);
+        // Scoped so the task span is closed — and therefore collectable —
+        // before telemetry is drained below.
+        telemetry::Span TaskSpan("shard.task", telemetry::TraceLevel::Phase,
+                                 "shard");
+        if (TaskSpan.active()) {
+          TaskSpan.arg("wave", Meta.Wave);
+          TaskSpan.arg("methods", static_cast<uint64_t>(DeclIndices.size()));
+        }
         return runShardMethods(*Prog, DeclIndices, Snapshot, Opts);
       }();
+      if (ShipTelemetry) {
+        // Best-effort by contract: a failed Telemetry write is discovered
+        // (and classified) by the Result write that follows.
+        TelemetryBlob Blob;
+        Blob.Pid = static_cast<uint32_t>(::getpid());
+        Blob.Wave = Meta.Wave;
+        Blob.ParentFlowId = Meta.ParentFlowId;
+        Blob.TaskStartUs = TaskStartUs;
+        Blob.Events = telemetry::collectEventsSince(ShipMarks);
+        Blob.Metrics = telemetry::diffMetrics(Before, telemetry::captureMetrics());
+        (void)Sender.send(FrameType::Telemetry, encodeTelemetry(Blob));
+      }
       Status Sent =
           Outcomes ? Sender.send(FrameType::Result,
                                  summaryio::encodeOutcomes(*Outcomes))

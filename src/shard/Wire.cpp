@@ -27,7 +27,7 @@ Status malformed(const std::string &What) {
 
 bool knownFrameType(uint16_t Raw) {
   return Raw >= static_cast<uint16_t>(FrameType::Init) &&
-         Raw <= static_cast<uint16_t>(FrameType::Error);
+         Raw <= static_cast<uint16_t>(FrameType::Telemetry);
 }
 
 /// Validates a decoded header. \p Available is the payload byte count
@@ -107,6 +107,8 @@ const char *shard::frameTypeName(FrameType Type) {
     return "shutdown";
   case FrameType::Error:
     return "error";
+  case FrameType::Telemetry:
+    return "telemetry";
   }
   return "unknown";
 }
@@ -213,7 +215,8 @@ Expected<Frame> shard::readFrame(int Fd, double TimeoutSeconds) {
 // --- Init ----------------------------------------------------------------
 
 std::string shard::encodeInit(const std::string &Source,
-                              const InferOptions &Opts) {
+                              const InferOptions &Opts,
+                              uint8_t CollectLevel) {
   wire::Writer W;
   W.str(Source);
   W.u32(Opts.MaxIters);
@@ -250,11 +253,12 @@ std::string shard::encodeInit(const std::string &Source,
   W.u8(Toggles);
   W.u8(C.KindMutex ? 1 : 0);
   W.f64(C.KindMutexProb);
+  W.u8(CollectLevel);
   return W.take();
 }
 
 Status shard::decodeInit(std::string_view Payload, std::string &Source,
-                         InferOptions &Opts) {
+                         InferOptions &Opts, uint8_t *CollectLevel) {
   // The source text can legitimately be large; bound it by the frame cap
   // rather than the Reader's conservative string default.
   wire::Reader R(Payload);
@@ -281,8 +285,15 @@ Status shard::decodeInit(std::string_view Payload, std::string &Source,
        R.f64(C.H3Create) && R.f64(C.H4Setter) && R.f64(C.H5Sync) &&
        R.f64(C.H6WeakPre) && R.u8(Toggles) && R.u8(KindMutex) &&
        R.f64(C.KindMutexProb);
-  if (!Ok || !R.done())
+  if (!Ok)
     return malformed("init constraint options");
+  uint8_t Level = 0;
+  if (!R.u8(Level) || !R.done())
+    return malformed("init telemetry level");
+  if (Level > static_cast<uint8_t>(telemetry::TraceLevel::Solver))
+    return malformed("init telemetry level out of range");
+  if (CollectLevel)
+    *CollectLevel = Level;
   C.EnableH1 = (Toggles & (1u << 0)) != 0;
   C.EnableH2 = (Toggles & (1u << 1)) != 0;
   C.EnableH3 = (Toggles & (1u << 2)) != 0;
@@ -298,18 +309,22 @@ Status shard::decodeInit(std::string_view Payload, std::string &Source,
 // --- Task ----------------------------------------------------------------
 
 std::string shard::encodeTask(const std::vector<unsigned> &DeclIndices,
-                              std::string_view Snapshot) {
+                              std::string_view Snapshot,
+                              const TaskMeta &Meta) {
   wire::Writer W;
   W.u32(static_cast<uint32_t>(DeclIndices.size()));
   for (unsigned Index : DeclIndices)
     W.u32(Index);
   W.str(Snapshot);
+  W.u64(Meta.ParentFlowId);
+  W.u32(Meta.Wave);
+  W.u64(static_cast<uint64_t>(Meta.DispatchUs));
   return W.take();
 }
 
 Status shard::decodeTask(std::string_view Payload,
                          std::vector<unsigned> &DeclIndices,
-                         std::string &Snapshot) {
+                         std::string &Snapshot, TaskMeta *Meta) {
   wire::Reader R(Payload);
   uint32_t Count = 0;
   if (!R.count(Count, sizeof(uint32_t)))
@@ -322,7 +337,150 @@ Status shard::decodeTask(std::string_view Payload,
       return malformed("task method index");
     DeclIndices.push_back(Index);
   }
-  if (!R.str(Snapshot, MaxFramePayload) || !R.done())
+  if (!R.str(Snapshot, MaxFramePayload))
     return malformed("task snapshot");
+  TaskMeta M;
+  uint64_t DispatchUs = 0;
+  if (!R.u64(M.ParentFlowId) || !R.u32(M.Wave) || !R.u64(DispatchUs) ||
+      !R.done())
+    return malformed("task dispatch identity");
+  M.DispatchUs = static_cast<int64_t>(DispatchUs);
+  if (Meta)
+    *Meta = M;
+  return Status::ok();
+}
+
+// --- Telemetry -----------------------------------------------------------
+//
+// The blob carries its own version byte so its schema can evolve without
+// another protocol bump; the frame checksum already covers integrity.
+
+namespace {
+constexpr uint8_t TelemetryBlobVersion = 1;
+} // namespace
+
+std::string shard::encodeTelemetry(const TelemetryBlob &Blob) {
+  wire::Writer W;
+  W.u8(TelemetryBlobVersion);
+  W.u32(Blob.Pid);
+  W.u32(Blob.Wave);
+  W.u64(Blob.ParentFlowId);
+  W.u64(static_cast<uint64_t>(Blob.TaskStartUs));
+  W.u32(static_cast<uint32_t>(Blob.Events.size()));
+  for (const telemetry::EventRecord &E : Blob.Events) {
+    W.str(E.Name);
+    W.str(E.Category);
+    W.u8(static_cast<uint8_t>(E.Phase));
+    W.u64(static_cast<uint64_t>(E.TsUs));
+    W.u64(static_cast<uint64_t>(E.DurUs));
+    W.u32(E.Tid);
+    W.u32(E.Depth);
+    W.u64(E.FlowId);
+    W.str(E.Args);
+  }
+  const telemetry::MetricsSnapshot &M = Blob.Metrics;
+  W.u32(static_cast<uint32_t>(M.Counters.size()));
+  for (const auto &[Name, V] : M.Counters) {
+    W.str(Name);
+    W.u64(V);
+  }
+  W.u32(static_cast<uint32_t>(M.Gauges.size()));
+  for (const auto &[Name, V] : M.Gauges) {
+    W.str(Name);
+    W.f64(V);
+  }
+  W.u32(static_cast<uint32_t>(M.Histograms.size()));
+  for (const auto &[Name, H] : M.Histograms) {
+    W.str(Name);
+    W.u64(H.Count);
+    W.f64(H.Sum);
+    W.f64(H.Min);
+    W.f64(H.Max);
+    W.u32(static_cast<uint32_t>(H.Buckets.size()));
+    for (uint64_t B : H.Buckets)
+      W.u64(B);
+  }
+  return W.take();
+}
+
+Status shard::decodeTelemetry(std::string_view Payload, TelemetryBlob &Blob) {
+  wire::Reader R(Payload);
+  uint8_t Version = 0;
+  if (!R.u8(Version))
+    return malformed("telemetry blob header");
+  if (Version != TelemetryBlobVersion)
+    return malformed("unsupported telemetry blob version " +
+                     std::to_string(Version));
+  uint64_t TaskStartUs = 0;
+  if (!R.u32(Blob.Pid) || !R.u32(Blob.Wave) || !R.u64(Blob.ParentFlowId) ||
+      !R.u64(TaskStartUs))
+    return malformed("telemetry blob header");
+  Blob.TaskStartUs = static_cast<int64_t>(TaskStartUs);
+
+  uint32_t NumEvents = 0;
+  // Each event needs at least 3 string length prefixes + the fixed
+  // fields; the per-element floor keeps a corrupt count from driving a
+  // giant reserve.
+  if (!R.count(NumEvents, 3 * sizeof(uint32_t) + 29))
+    return malformed("telemetry event count");
+  Blob.Events.clear();
+  Blob.Events.reserve(NumEvents);
+  for (uint32_t I = 0; I != NumEvents; ++I) {
+    telemetry::EventRecord E;
+    uint8_t Phase = 0;
+    uint64_t TsUs = 0, DurUs = 0;
+    bool Ok = R.str(E.Name) && R.str(E.Category) && R.u8(Phase) &&
+              R.u64(TsUs) && R.u64(DurUs) && R.u32(E.Tid) && R.u32(E.Depth) &&
+              R.u64(E.FlowId) && R.str(E.Args);
+    if (!Ok)
+      return malformed("telemetry event");
+    E.Phase = static_cast<char>(Phase);
+    E.TsUs = static_cast<int64_t>(TsUs);
+    E.DurUs = static_cast<int64_t>(DurUs);
+    Blob.Events.push_back(std::move(E));
+  }
+
+  telemetry::MetricsSnapshot &M = Blob.Metrics;
+  uint32_t N = 0;
+  if (!R.count(N, sizeof(uint32_t) + sizeof(uint64_t)))
+    return malformed("telemetry counter count");
+  M.Counters.clear();
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string Name;
+    uint64_t V = 0;
+    if (!R.str(Name) || !R.u64(V))
+      return malformed("telemetry counter");
+    M.Counters[std::move(Name)] = V;
+  }
+  if (!R.count(N, sizeof(uint32_t) + sizeof(uint64_t)))
+    return malformed("telemetry gauge count");
+  M.Gauges.clear();
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string Name;
+    double V = 0.0;
+    if (!R.str(Name) || !R.f64(V))
+      return malformed("telemetry gauge");
+    M.Gauges[std::move(Name)] = V;
+  }
+  if (!R.count(N, 2 * sizeof(uint32_t) + 4 * sizeof(uint64_t)))
+    return malformed("telemetry histogram count");
+  M.Histograms.clear();
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string Name;
+    telemetry::HistogramSnapshot H;
+    uint32_t NumBuckets = 0;
+    bool Ok = R.str(Name) && R.u64(H.Count) && R.f64(H.Sum) &&
+              R.f64(H.Min) && R.f64(H.Max) &&
+              R.count(NumBuckets, sizeof(uint64_t));
+    if (!Ok || NumBuckets > telemetry::Histogram::NumBuckets)
+      return malformed("telemetry histogram");
+    H.Buckets.resize(NumBuckets);
+    for (uint32_t B = 0; B != NumBuckets; ++B)
+      if (!R.u64(H.Buckets[B]))
+        return malformed("telemetry histogram bucket");
+    M.Histograms[std::move(Name)] = std::move(H);
+  }
+  if (!R.done())
+    return malformed("telemetry blob trailer");
   return Status::ok();
 }

@@ -15,8 +15,13 @@
 /// and a session is:
 ///
 ///   coordinator -> worker   Init      source text + algorithm options
+///                                     + telemetry collection level
 ///   coordinator -> worker   Task      decl indices + summary snapshot
+///                                     + dispatch identity (parent flow
+///                                     id, wave ordinal, dispatch clock)
 ///   worker -> coordinator   Heartbeat every ~200ms while a task runs
+///   worker -> coordinator   Telemetry trace spans + metrics deltas the
+///                                     task produced (collection on only)
 ///   worker -> coordinator   Result    sealed outcomes blob
 ///   worker -> coordinator   Error     message (structural failure)
 ///   coordinator -> worker   Shutdown  drain and exit
@@ -38,7 +43,9 @@
 #define ANEK_SHARD_WIRE_H
 
 #include "infer/AnekInfer.h"
+#include "support/Metrics.h"
 #include "support/Status.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -51,7 +58,11 @@ namespace shard {
 /// "ANKS" little-endian; rejects non-frame bytes immediately.
 constexpr uint32_t FrameMagic = 0x534B4E41u;
 /// The `anek-shard-v1` protocol version; decoders reject all others.
-constexpr uint16_t ProtocolVersion = 1;
+/// Version 2 added the Telemetry frame, the Init collection level and the
+/// Task dispatch-identity fields; v1 peers are rejected outright (both
+/// ends are always the same re-exec'd binary, so a mismatch means a torn
+/// stream or a foreign writer, not a legitimate old peer).
+constexpr uint16_t ProtocolVersion = 2;
 /// Hard cap on a frame's declared payload length. A corrupt length field
 /// must bound allocation, not drive it.
 constexpr uint64_t MaxFramePayload = uint64_t(1) << 30;
@@ -68,6 +79,7 @@ enum class FrameType : uint16_t {
   Heartbeat = 4,
   Shutdown = 5,
   Error = 6,
+  Telemetry = 7,
 };
 
 /// "init" / "task" / ... for diagnostics.
@@ -107,16 +119,54 @@ Expected<Frame> readFrame(int Fd, double TimeoutSeconds);
 /// twin: the program source plus the InferOptions knobs that change what
 /// analysis computes. Scheduling knobs (Parallelism, Pool, governors) are
 /// deliberately absent — a worker always analyzes its shard sequentially.
-std::string encodeInit(const std::string &Source, const InferOptions &Opts);
+/// \p CollectLevel is the coordinator's telemetry::TraceLevel as a raw
+/// byte: non-zero asks the worker to collect at (at least) that level and
+/// ship a Telemetry frame per task. Collection never changes Result
+/// bytes, so this knob cannot perturb the determinism contract.
+std::string encodeInit(const std::string &Source, const InferOptions &Opts,
+                       uint8_t CollectLevel = 0);
 Status decodeInit(std::string_view Payload, std::string &Source,
-                  InferOptions &Opts);
+                  InferOptions &Opts, uint8_t *CollectLevel = nullptr);
+
+/// Identity of one dispatch, carried by the Task frame so the worker's
+/// spans can nest under the coordinator's dispatch span: the
+/// coordinator-side flow id its dispatch span opened (0 = tracing off),
+/// the engine wave ordinal, and the coordinator's trace clock at
+/// dispatch (worker timestamps are shifted by DispatchUs minus the
+/// worker's task-start time, aligning the two process clocks).
+struct TaskMeta {
+  uint64_t ParentFlowId = 0;
+  uint32_t Wave = 0;
+  int64_t DispatchUs = 0;
+};
 
 /// A shard dispatch: which methods (by declaration index, ascending) to
-/// analyze against which summary snapshot (a sealed summaryio blob).
+/// analyze against which summary snapshot (a sealed summaryio blob),
+/// stamped with the dispatch identity above.
 std::string encodeTask(const std::vector<unsigned> &DeclIndices,
-                       std::string_view Snapshot);
+                       std::string_view Snapshot,
+                       const TaskMeta &Meta = {});
 Status decodeTask(std::string_view Payload, std::vector<unsigned> &DeclIndices,
-                  std::string &Snapshot);
+                  std::string &Snapshot, TaskMeta *Meta = nullptr);
+
+/// The telemetry a worker ships alongside each Result when the Init
+/// frame asked for collection: the trace events recorded since the last
+/// ship and the metrics delta this task produced, stamped with the
+/// worker's pid (its coordinator-side lane) and the echo of the Task's
+/// dispatch identity. Loss semantics are best-effort by design: the
+/// coordinator drops an unreadable Telemetry payload (counting it) and
+/// the dispatch succeeds on the Result frame alone.
+struct TelemetryBlob {
+  uint32_t Pid = 0;
+  uint32_t Wave = 0;
+  uint64_t ParentFlowId = 0;
+  int64_t TaskStartUs = 0; ///< Worker trace clock when the task began.
+  std::vector<telemetry::EventRecord> Events;
+  telemetry::MetricsSnapshot Metrics;
+};
+
+std::string encodeTelemetry(const TelemetryBlob &Blob);
+Status decodeTelemetry(std::string_view Payload, TelemetryBlob &Blob);
 
 } // namespace shard
 } // namespace anek

@@ -32,7 +32,9 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace anek {
 namespace telemetry {
@@ -59,11 +61,21 @@ private:
   std::atomic<double> Value{0.0};
 };
 
-/// Streaming count/sum/min/max over recorded samples. Min/max converge
-/// via CAS loops, sum via C++20 atomic<double>::fetch_add; concurrent
+/// Streaming count/sum/min/max plus log-scale bucket counts over recorded
+/// samples. Min/max converge via CAS loops, sum via C++20
+/// atomic<double>::fetch_add, buckets via relaxed increments; concurrent
 /// recording from solver threads is safe and lock-free.
+///
+/// Buckets are powers of two spanning [2^-32, 2^31): bucket 0 collects
+/// everything <= 2^-32 (zeros and negatives included), bucket b covers
+/// [2^(b-32), 2^(b-31)), the last bucket everything above. That gives
+/// percentile estimates with at most one-octave error across the whole
+/// microsecond-to-hours range the pipeline records, at a fixed 64 x u64
+/// footprint per histogram.
 class Histogram {
 public:
+  static constexpr unsigned NumBuckets = 64;
+
   void record(double Sample);
 
   uint64_t count() const { return Count.load(std::memory_order_relaxed); }
@@ -72,6 +84,17 @@ public:
   double min() const;
   double max() const;
   double mean() const;
+  /// Estimated value at quantile \p Q in [0,1] from the bucket counts:
+  /// the geometric midpoint of the bucket holding the rank, clamped into
+  /// [min, max]. 0 when empty. Deterministic for a given sample multiset.
+  double percentile(double Q) const;
+  uint64_t bucketCount(unsigned I) const;
+  /// Folds an externally recorded distribution in (the coordinator
+  /// aggregating a worker's shipped histogram delta): adds count/sum and
+  /// per-bucket counts, converges min/max. \p Buckets may carry fewer
+  /// than NumBuckets entries (the excess is ignored beyond the layout).
+  void absorb(uint64_t AddCount, double AddSum, double SeenMin,
+              double SeenMax, const std::vector<uint64_t> &AddBuckets);
   void reset();
 
 private:
@@ -79,6 +102,7 @@ private:
   std::atomic<double> Sum{0.0};
   std::atomic<double> Min{std::numeric_limits<double>::infinity()};
   std::atomic<double> Max{-std::numeric_limits<double>::infinity()};
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
 };
 
 /// Looks up (registering on first use) the named metric. References stay
@@ -98,6 +122,48 @@ bool writeMetricsFile(const std::string &Path, std::string *Error = nullptr);
 
 /// Zeroes every registered metric without invalidating references.
 void resetMetricsForTest();
+
+//===----------------------------------------------------------------------===//
+// Cross-process aggregation (DESIGN.md, "Distributed telemetry")
+//===----------------------------------------------------------------------===//
+
+/// Point-in-time value of one histogram (counts are snapshots, not
+/// atomics): the portable form a shard worker ships and the coordinator
+/// absorbs.
+struct HistogramSnapshot {
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  std::vector<uint64_t> Buckets; ///< Up to Histogram::NumBuckets entries.
+};
+
+/// A capture of every registered metric by name. Also serves as a
+/// *delta*: diffMetrics subtracts two captures so a worker ships only
+/// what one task recorded.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, HistogramSnapshot> Histograms;
+};
+
+/// Captures every currently registered metric.
+MetricsSnapshot captureMetrics();
+
+/// Now minus Base: counters and histogram counts/sums/buckets subtract
+/// (names missing from Base count from zero); gauges pass through Now's
+/// value; histogram min/max pass through Now's observed extremes (min/max
+/// of a difference is not derivable, and absorbing a lifetime min/max
+/// repeatedly is idempotent). Entries that changed nothing are dropped,
+/// so an idle interval diffs to an empty snapshot.
+MetricsSnapshot diffMetrics(const MetricsSnapshot &Base,
+                            const MetricsSnapshot &Now);
+
+/// Folds \p Delta into the registry with every name prefixed by
+/// \p Prefix: counters add, gauges set, histograms absorb. The
+/// coordinator calls this with prefix "shard.worker." so worker-side
+/// activity aggregates beside (never into) the coordinator's own series.
+void absorbMetrics(const MetricsSnapshot &Delta, const std::string &Prefix);
 
 } // namespace telemetry
 } // namespace anek

@@ -632,7 +632,10 @@ TEST_F(RobustnessTest, ShardWireRejectsCorruptFramesWithStatusErrors) {
       {"truncated header", Good.substr(0, shard::FrameHeaderBytes - 1),
        ErrorCode::InvalidArgument},
       {"bad magic", Flip(0), ErrorCode::InvalidArgument},
-      {"unsupported version", Set(4, 2), ErrorCode::InvalidArgument},
+      // Version 1 predates the Telemetry frame; v2 decoders reject v1
+      // peers outright (same-binary contract, see Wire.h).
+      {"stale protocol version", Set(4, 1), ErrorCode::InvalidArgument},
+      {"future protocol version", Set(4, 3), ErrorCode::InvalidArgument},
       {"frame type zero", Set(6, 0), ErrorCode::InvalidArgument},
       {"unknown frame type", Set(6, 0x7f), ErrorCode::InvalidArgument},
       // Byte 12 is bit 32 of the length field: declares ~4 GiB, far over

@@ -17,6 +17,8 @@
 #include "support/Cancel.h"
 #include "support/FaultInject.h"
 #include "support/MemTrack.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <csignal>
@@ -94,6 +96,8 @@ TEST_F(ServeTest, JsonLineCarriesSchemaAndState) {
   Res.Input = "example:file";
   Res.State = TerminalState::Timeout;
   Res.Attempts = 2;
+  Res.CacheHits = 4;
+  Res.CacheMisses = 1;
   Res.Reason = "run budget expired";
   std::string Line = Res.jsonLine();
   EXPECT_NE(Line.find("\"schema\": \"anek-batch-v1\""), std::string::npos);
@@ -101,6 +105,8 @@ TEST_F(ServeTest, JsonLineCarriesSchemaAndState) {
   EXPECT_NE(Line.find("\"id\": \"req3\""), std::string::npos);
   EXPECT_NE(Line.find("\"attempts\": 2"), std::string::npos);
   EXPECT_NE(Line.find("\"queue_seconds\""), std::string::npos);
+  EXPECT_NE(Line.find("\"cache_hits\": 4"), std::string::npos);
+  EXPECT_NE(Line.find("\"cache_misses\": 1"), std::string::npos);
   EXPECT_EQ(Line.find('\n'), std::string::npos);
 }
 
@@ -470,6 +476,44 @@ TEST_F(ServeTest, BatchCacheProviderWarmsSecondBatch) {
   ASSERT_EQ(DirsSeen.size(), 2u);
   EXPECT_EQ(DirsSeen[0], "default-dir");
   EXPECT_EQ(DirsSeen[1], "request-dir");
+
+  // The per-request rows mirror the cache traffic: the cold run misses
+  // (and may self-hit), the fully warm replay hits without missing.
+  EXPECT_GT(ColdResults[0].CacheMisses, 0u);
+  EXPECT_GT(WarmResults[0].CacheHits, 0u);
+  EXPECT_EQ(WarmResults[0].CacheMisses, 0u);
+}
+
+TEST_F(ServeTest, SlowRequestThresholdDumpsSpanTree) {
+  // Any request over the threshold gets a span-tree dump through the
+  // SlowLog seam; a disabled threshold (the default 0) logs nothing.
+  telemetry::setTraceLevel(telemetry::TraceLevel::Phase);
+  std::vector<std::string> Logs;
+  BatchOptions Opts;
+  Opts.Workers = 1;
+  Opts.SlowRequestSeconds = 1e-9; // Everything is slow.
+  Opts.SlowLog = [&](const std::string &Line) { Logs.push_back(Line); };
+  std::vector<BatchResult> Results =
+      BatchRunner(Opts).run({exampleRequest(0, "file")});
+  telemetry::setTraceLevel(telemetry::TraceLevel::Off);
+  telemetry::resetTrace();
+  telemetry::resetMetricsForTest();
+
+  ASSERT_EQ(Results.size(), 1u);
+  ASSERT_EQ(Logs.size(), 1u);
+  EXPECT_NE(Logs[0].find("slow-request id=req0"), std::string::npos);
+  EXPECT_NE(Logs[0].find("threshold=0.000"), std::string::npos);
+  // The dump carries the request's own span tree (collection was on).
+  EXPECT_NE(Logs[0].find("infer.phase"), std::string::npos) << Logs[0];
+  EXPECT_NE(Logs[0].find("ms"), std::string::npos);
+
+  // Default threshold: the seam stays silent.
+  Logs.clear();
+  BatchOptions Quiet;
+  Quiet.Workers = 1;
+  Quiet.SlowLog = [&](const std::string &Line) { Logs.push_back(Line); };
+  BatchRunner(Quiet).run({exampleRequest(0, "file")});
+  EXPECT_TRUE(Logs.empty());
 }
 
 TEST_F(ServeTest, TransientExhaustionFailsAfterMaxAttempts) {

@@ -298,6 +298,168 @@ TEST_F(ShardTest, TaskCodecRoundTripsAndRejectsTruncation) {
             ErrorCode::InvalidArgument);
 }
 
+TEST_F(ShardTest, InitCodecRoundTripsCollectLevel) {
+  InferOptions Opts;
+  std::string Payload = shard::encodeInit("class A { }", Opts, /*CollectLevel=*/2);
+  std::string Source;
+  InferOptions Got;
+  uint8_t Level = 0;
+  Status S = shard::decodeInit(Payload, Source, Got, &Level);
+  ASSERT_TRUE(S.isOk()) << S.str();
+  EXPECT_EQ(Level, 2);
+
+  // Default encode ships level 0 (collection off), and a decoder that
+  // does not care may pass no out-param.
+  std::string Off = shard::encodeInit("class A { }", Opts);
+  Level = 0xff;
+  ASSERT_TRUE(shard::decodeInit(Off, Source, Got, &Level).isOk());
+  EXPECT_EQ(Level, 0);
+  ASSERT_TRUE(shard::decodeInit(Off, Source, Got).isOk());
+
+  // A level beyond the TraceLevel vocabulary is a structured rejection,
+  // not a silently clamped knob.
+  EXPECT_EQ(shard::decodeInit(shard::encodeInit("x", Opts, 7), Source, Got,
+                              &Level)
+                .code(),
+            ErrorCode::InvalidArgument);
+}
+
+TEST_F(ShardTest, TaskCodecRoundTripsDispatchIdentity) {
+  shard::TaskMeta Sent;
+  Sent.ParentFlowId = 0x1122334455667788ull;
+  Sent.Wave = 9;
+  Sent.DispatchUs = 1234567;
+  std::string Payload = shard::encodeTask({1, 2, 3}, "snapshot", Sent);
+
+  std::vector<unsigned> Indices;
+  std::string Snapshot;
+  shard::TaskMeta Got;
+  Status S = shard::decodeTask(Payload, Indices, Snapshot, &Got);
+  ASSERT_TRUE(S.isOk()) << S.str();
+  EXPECT_EQ(Indices, (std::vector<unsigned>{1, 2, 3}));
+  EXPECT_EQ(Snapshot, "snapshot");
+  EXPECT_EQ(Got.ParentFlowId, Sent.ParentFlowId);
+  EXPECT_EQ(Got.Wave, Sent.Wave);
+  EXPECT_EQ(Got.DispatchUs, Sent.DispatchUs);
+
+  // The dispatch-identity trailer (u64 flow + u32 wave + u64 clock = 20
+  // bytes) is required: cutting anywhere inside it is a structured
+  // rejection even for a decoder that ignores the meta.
+  for (size_t Cut = Payload.size() - 20; Cut != Payload.size(); ++Cut)
+    EXPECT_EQ(
+        shard::decodeTask(Payload.substr(0, Cut), Indices, Snapshot).code(),
+        ErrorCode::InvalidArgument)
+        << "cut at " << Cut;
+}
+
+/// A representative blob: spans with args, an instant, a flow end, plus
+/// counter/gauge/histogram deltas — every field the wire format carries.
+shard::TelemetryBlob sampleTelemetryBlob() {
+  shard::TelemetryBlob Blob;
+  Blob.Pid = 4242;
+  Blob.Wave = 7;
+  Blob.ParentFlowId = 0xfeedbeefu;
+  Blob.TaskStartUs = 123456;
+
+  telemetry::EventRecord Span;
+  Span.Name = "shard.task";
+  Span.Category = "shard";
+  Span.Args = "\"wave\": 7, \"methods\": 3";
+  Span.Phase = 'X';
+  Span.TsUs = 10;
+  Span.DurUs = 250;
+  Span.Tid = 1;
+  Span.Depth = 2;
+  telemetry::EventRecord Instant;
+  Instant.Name = "solver.cascade";
+  Instant.Category = "solver";
+  Instant.Phase = 'i';
+  Instant.TsUs = 40;
+  telemetry::EventRecord Flow;
+  Flow.Name = "shard.flow";
+  Flow.Category = "shard";
+  Flow.Phase = 'f';
+  Flow.TsUs = 5;
+  Flow.FlowId = 0xfeedbeefu;
+  Blob.Events = {Span, Instant, Flow};
+
+  Blob.Metrics.Counters["solver.bp.solves"] = 3;
+  Blob.Metrics.Gauges["solver.bp.residual"] = 0.125;
+  telemetry::HistogramSnapshot H;
+  H.Count = 4;
+  H.Sum = 100.0;
+  H.Min = 10.0;
+  H.Max = 40.0;
+  H.Buckets.assign(telemetry::Histogram::NumBuckets, 0);
+  H.Buckets[35] = 4;
+  Blob.Metrics.Histograms["infer.method_run_us"] = H;
+  return Blob;
+}
+
+TEST_F(ShardTest, TelemetryCodecRoundTripsEventsAndMetrics) {
+  shard::TelemetryBlob Sent = sampleTelemetryBlob();
+  std::string Payload = shard::encodeTelemetry(Sent);
+  shard::TelemetryBlob Got;
+  Status S = shard::decodeTelemetry(Payload, Got);
+  ASSERT_TRUE(S.isOk()) << S.str();
+
+  EXPECT_EQ(Got.Pid, Sent.Pid);
+  EXPECT_EQ(Got.Wave, Sent.Wave);
+  EXPECT_EQ(Got.ParentFlowId, Sent.ParentFlowId);
+  EXPECT_EQ(Got.TaskStartUs, Sent.TaskStartUs);
+
+  ASSERT_EQ(Got.Events.size(), Sent.Events.size());
+  for (size_t I = 0; I != Sent.Events.size(); ++I) {
+    const telemetry::EventRecord &A = Sent.Events[I];
+    const telemetry::EventRecord &B = Got.Events[I];
+    EXPECT_EQ(B.Name, A.Name) << I;
+    EXPECT_EQ(B.Category, A.Category) << I;
+    EXPECT_EQ(B.Args, A.Args) << I;
+    EXPECT_EQ(B.Phase, A.Phase) << I;
+    EXPECT_EQ(B.TsUs, A.TsUs) << I;
+    EXPECT_EQ(B.DurUs, A.DurUs) << I;
+    EXPECT_EQ(B.Tid, A.Tid) << I;
+    EXPECT_EQ(B.Depth, A.Depth) << I;
+    EXPECT_EQ(B.FlowId, A.FlowId) << I;
+  }
+
+  EXPECT_EQ(Got.Metrics.Counters, Sent.Metrics.Counters);
+  EXPECT_EQ(Got.Metrics.Gauges, Sent.Metrics.Gauges);
+  ASSERT_EQ(Got.Metrics.Histograms.size(), 1u);
+  const telemetry::HistogramSnapshot &H =
+      Got.Metrics.Histograms.at("infer.method_run_us");
+  EXPECT_EQ(H.Count, 4u);
+  EXPECT_DOUBLE_EQ(H.Sum, 100.0);
+  EXPECT_DOUBLE_EQ(H.Min, 10.0);
+  EXPECT_DOUBLE_EQ(H.Max, 40.0);
+  ASSERT_EQ(H.Buckets.size(), size_t(telemetry::Histogram::NumBuckets));
+  EXPECT_EQ(H.Buckets[35], 4u);
+}
+
+TEST_F(ShardTest, TelemetryDecodeRejectsTruncationAndCorruption) {
+  std::string Payload = shard::encodeTelemetry(sampleTelemetryBlob());
+  shard::TelemetryBlob Got;
+
+  // Every strict prefix is a structured rejection — the dropped-telemetry
+  // contract starts with "never crash, never accept garbage".
+  for (size_t Cut = 0; Cut != Payload.size(); ++Cut)
+    EXPECT_EQ(shard::decodeTelemetry(Payload.substr(0, Cut), Got).code(),
+              ErrorCode::InvalidArgument)
+        << "cut at " << Cut;
+
+  // Trailing junk after a well-formed blob.
+  EXPECT_EQ(shard::decodeTelemetry(Payload + "x", Got).code(),
+            ErrorCode::InvalidArgument);
+
+  // A blob-version mismatch (leading byte) is rejected outright rather
+  // than misparsed as a different layout.
+  std::string WrongVersion = Payload;
+  WrongVersion[0] = static_cast<char>(WrongVersion[0] ^ 0x40);
+  Status S = shard::decodeTelemetry(WrongVersion, Got);
+  EXPECT_EQ(S.code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(S.str().find("version"), std::string::npos) << S.str();
+}
+
 //===----------------------------------------------------------------------===//
 // Real worker processes: byte-identity and failure recovery
 //===----------------------------------------------------------------------===//
@@ -378,6 +540,83 @@ TEST_F(ShardTest, RelentlessCrashesQuarantineTheShardInProcess) {
   EXPECT_GE(Run.Stats.ShardsQuarantined, 1u);
   EXPECT_GE(Run.Stats.WorkersLost, Co.QuarantineAfter);
   EXPECT_EQ(Run.Stats.WavesDegraded, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Distributed telemetry end to end
+//===----------------------------------------------------------------------===//
+
+/// Turns collection on for one test body and leaves the process clean
+/// (level off, buffers drained, metrics zeroed) however the test exits.
+struct ScopedTelemetry {
+  explicit ScopedTelemetry(telemetry::TraceLevel Level) {
+    telemetry::resetTrace();
+    telemetry::resetMetricsForTest();
+    telemetry::setTraceLevel(Level);
+  }
+  ~ScopedTelemetry() {
+    telemetry::setTraceLevel(telemetry::TraceLevel::Off);
+    telemetry::resetTrace();
+    telemetry::resetMetricsForTest();
+  }
+};
+
+TEST_F(ShardTest, WorkerTelemetryMergesIntoCoordinatorTrace) {
+  // A sharded run with collection on — and a worker crash injected — must
+  // (a) keep the analysis output byte-identical to -j1, (b) land the
+  // workers' spans in this process's trace under their own pid lanes, and
+  // (c) record the loss as a trace instant. Telemetry frames arrive
+  // best-effort but a clean pipe drops none.
+  const std::string Source = fileProtocolSource();
+  std::string Baseline = baselineOutput(Source);
+
+  // Method level so the dispatch flow (Method-gated) is exercised too.
+  ScopedTelemetry Collect(telemetry::TraceLevel::Method);
+  faults::ScopedFault Crash(FaultKind::WorkerCrash, "", 1);
+  ShardRun Run = runSharded(Source, testCoordinatorOptions(2));
+  std::string Trace = telemetry::chromeTraceJson();
+  std::string Metrics = telemetry::metricsJson();
+  uint64_t Frames = telemetry::counter("shard.telemetry_frames").value();
+  uint64_t Dropped = telemetry::counter("shard.telemetry_dropped").value();
+
+  EXPECT_EQ(Run.Output, Baseline);
+  EXPECT_GE(Run.Stats.WorkersLost, 1u);
+
+  // Worker lanes: the merged trace names at least one remote process and
+  // carries the worker-side task span the blob shipped.
+  EXPECT_NE(Trace.find("anek-worker pid"), std::string::npos);
+  EXPECT_NE(Trace.find("shard.task"), std::string::npos);
+  // Lifecycle instants from the coordinator's lane.
+  EXPECT_NE(Trace.find("shard.worker_spawn"), std::string::npos);
+  EXPECT_NE(Trace.find("shard.worker_lost"), std::string::npos);
+  // The dispatch arrow: a flow begin on the coordinator and the matching
+  // synthesized end in the worker lane.
+  EXPECT_NE(Trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"ph\":\"f\""), std::string::npos);
+
+  // Worker metrics aggregate beside the local series, never into them.
+  EXPECT_NE(Metrics.find("shard.worker."), std::string::npos);
+  EXPECT_GE(Frames, 1u);
+  EXPECT_EQ(Dropped, 0u);
+}
+
+TEST_F(ShardTest, TelemetryCollectionPreservesFailureRecovery) {
+  // Collection on must not weaken the failure model: relentless crashes
+  // still quarantine, the output still matches, and the quarantine shows
+  // up as a trace instant.
+  const std::string Source = fileProtocolSource();
+  std::string Baseline = baselineOutput(Source);
+
+  ScopedTelemetry Collect(telemetry::TraceLevel::Phase);
+  faults::ScopedFault Crash(FaultKind::WorkerCrash);
+  shard::CoordinatorOptions Co = testCoordinatorOptions(2);
+  Co.QuarantineAfter = 2;
+  ShardRun Run = runSharded(Source, Co);
+  std::string Trace = telemetry::chromeTraceJson();
+
+  EXPECT_EQ(Run.Output, Baseline);
+  EXPECT_GE(Run.Stats.ShardsQuarantined, 1u);
+  EXPECT_NE(Trace.find("shard.quarantine"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

@@ -563,6 +563,99 @@ TEST_F(TraceTest, MetricsJsonSchemaSelfCheck) {
   EXPECT_EQ(telemetry::metricsJson(), telemetry::metricsJson());
 }
 
+TEST_F(TraceTest, HistogramPercentilesExportOrderedEstimates) {
+  // 100 samples 1..100: the log-scale buckets give percentile estimates
+  // with at most one-octave error, and the estimates must be ordered and
+  // clamped into [min, max].
+  telemetry::Histogram &H = telemetry::histogram("test.pctl");
+  for (int I = 1; I <= 100; ++I)
+    H.record(static_cast<double>(I));
+  double P50 = H.percentile(0.50);
+  double P95 = H.percentile(0.95);
+  double P99 = H.percentile(0.99);
+  EXPECT_GE(P50, H.min());
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+  EXPECT_LE(P99, H.max());
+  // One-octave accuracy: the true p50 is 50, so the estimate lives in
+  // [25, 100]; the true p99 is 99, estimate in [50, 100] (max-clamped).
+  EXPECT_GE(P50, 25.0);
+  EXPECT_LE(P50, 100.0);
+  EXPECT_GE(P99, 50.0);
+
+  // The exporter ships the estimates under pinned keys — this is the
+  // anek-metrics-v1 histogram schema `anek report` consumes.
+  Json Doc = mustParse(telemetry::metricsJson());
+  const Json &HJ = Doc.at("histograms").at("test.pctl");
+  for (const char *Key :
+       {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"})
+    EXPECT_TRUE(HJ.has(Key)) << Key;
+  EXPECT_EQ(HJ.at("p50").N, P50);
+  EXPECT_EQ(HJ.at("p95").N, P95);
+  EXPECT_EQ(HJ.at("p99").N, P99);
+
+  // Empty histograms export zero percentiles, not NaNs.
+  telemetry::histogram("test.pctl.empty");
+  Json EmptyDoc = mustParse(telemetry::metricsJson());
+  const Json &Empty = EmptyDoc.at("histograms").at("test.pctl.empty");
+  EXPECT_EQ(Empty.at("p50").N, 0.0);
+  EXPECT_EQ(Empty.at("p99").N, 0.0);
+}
+
+TEST_F(TraceTest, RemoteEventsExportUnderTheirOwnPidLane) {
+  telemetry::setTraceLevel(TraceLevel::Phase);
+  {
+    telemetry::Span Local("test.local", TraceLevel::Phase, "test");
+  }
+  telemetry::EventRecord Remote;
+  Remote.Name = "shard.task";
+  Remote.Category = "shard";
+  Remote.Phase = 'X';
+  Remote.TsUs = 100;
+  Remote.DurUs = 50;
+  Remote.Tid = 0;
+  Remote.Depth = 0;
+  telemetry::EventRecord Shifted = Remote;
+  Shifted.Name = "shard.early";
+  Shifted.TsUs = 5; // Shift drives this below zero; it must clamp at 0.
+  telemetry::addRemoteEvents(4242, "anek-worker pid 4242",
+                             {Remote, Shifted}, /*ShiftUs=*/-50);
+
+  Json Doc = mustParse(telemetry::chromeTraceJson());
+  bool SawLaneName = false, SawRemoteSpan = false, SawClamped = false;
+  for (const Json &E : events(Doc)) {
+    if (E.at("ph").S == "M" && E.at("name").S == "process_name" &&
+        E.at("pid").N == 4242.0) {
+      SawLaneName = true;
+      EXPECT_EQ(E.at("args").at("name").S, "anek-worker pid 4242");
+    }
+    if (E.at("ph").S == "X" && E.at("name").S == "shard.task" &&
+        E.at("pid").N == 4242.0) {
+      SawRemoteSpan = true;
+      EXPECT_EQ(E.at("ts").N, 50.0); // 100 shifted by -50.
+      EXPECT_EQ(E.at("dur").N, 50.0);
+    }
+    if (E.at("ph").S == "X" && E.at("name").S == "shard.early") {
+      SawClamped = true;
+      EXPECT_EQ(E.at("ts").N, 0.0);
+    }
+  }
+  EXPECT_TRUE(SawLaneName);
+  EXPECT_TRUE(SawRemoteSpan);
+  EXPECT_TRUE(SawClamped);
+
+  // Remote events count toward the buffer and resetTrace drops them too.
+  EXPECT_EQ(telemetry::eventCount(), 3u);
+  telemetry::resetTrace();
+  EXPECT_EQ(telemetry::eventCount(), 0u);
+
+  // Collection off makes injection a no-op (the coordinator calls this
+  // unconditionally; off-mode must stay allocation-free).
+  telemetry::setTraceLevel(TraceLevel::Off);
+  telemetry::addRemoteEvents(4242, "anek-worker pid 4242", {Remote}, 0);
+  EXPECT_EQ(telemetry::eventCount(), 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // The off-mode cost contract
 //===----------------------------------------------------------------------===//
@@ -740,4 +833,56 @@ TEST_F(TraceTest, DriverRejectsBadTraceLevel) {
   ToolRun R = runTool("infer --example spreadsheet --trace-level=verbose");
   EXPECT_EQ(R.Exit, 2);
   EXPECT_NE(R.MaskedOutput.find("bad trace level"), std::string::npos);
+}
+
+TEST_F(TraceTest, DriverReportDigestsRunArtifacts) {
+  // A real run's artifacts, fed back through `anek report`: the text
+  // profile names its sections, and --json emits a parseable
+  // anek-report-v1 document whose numbers reflect the artifacts.
+  TempFile Trace("_rep_trace.json");
+  TempFile Metrics("_rep_metrics.json");
+  ToolRun Run = runTool("infer --example spreadsheet -j2 --trace=" +
+                        Trace.Path.string() +
+                        " --metrics=" + Metrics.Path.string());
+  ASSERT_EQ(Run.Exit, 0) << Run.MaskedOutput;
+
+  ToolRun Text = runTool("report --trace " + Trace.Path.string() +
+                         " --metrics " + Metrics.Path.string());
+  ASSERT_EQ(Text.Exit, 0) << Text.MaskedOutput;
+  EXPECT_NE(Text.MaskedOutput.find("anek run profile"), std::string::npos);
+  EXPECT_NE(Text.MaskedOutput.find("phases (top-level spans)"),
+            std::string::npos);
+  EXPECT_NE(Text.MaskedOutput.find("top "), std::string::npos);
+
+  ToolRun JsonRun = runTool("report --json --top 3 --trace " +
+                            Trace.Path.string() +
+                            " --metrics " + Metrics.Path.string());
+  ASSERT_EQ(JsonRun.Exit, 0) << JsonRun.MaskedOutput;
+  Json Doc = mustParse(JsonRun.MaskedOutput);
+  EXPECT_EQ(Doc.at("schema").S, "anek-report-v1");
+  EXPECT_GE(Doc.at("trace").at("events").N, 1.0);
+  EXPECT_LE(Doc.at("trace").at("top_spans").Items.size(), 3u);
+  ASSERT_TRUE(Doc.has("metrics"));
+  EXPECT_GE(Doc.at("metrics").at("method_run_us").N, 0.0);
+}
+
+TEST_F(TraceTest, DriverReportErrorsFollowTheExitCodeContract) {
+  // No artifact at all is a usage error (exit 2, usage text); an
+  // artifact path that does not exist or does not parse is a
+  // diagnostics-level failure (exit 1), never a crash.
+  ToolRun None = runTool("report");
+  EXPECT_EQ(None.Exit, 2);
+  EXPECT_NE(None.MaskedOutput.find("usage"), std::string::npos);
+
+  ToolRun Missing = runTool("report --trace /nonexistent/trace.json");
+  EXPECT_EQ(Missing.Exit, 1);
+
+  TempFile Garbage("_rep_garbage.json");
+  {
+    std::ofstream Out(Garbage.Path);
+    Out << "{\"traceEvents\": [";
+  }
+  ToolRun Malformed = runTool("report --trace " + Garbage.Path.string());
+  EXPECT_EQ(Malformed.Exit, 1);
+  EXPECT_NE(Malformed.MaskedOutput.find("malformed"), std::string::npos);
 }

@@ -9,6 +9,7 @@
 //   anek pfg    <file.mjava | --example NAME> [--dot] [--method M]
 //   anek ir     <file.mjava | --example NAME>
 //   anek batch  <manifest.txt | ->              serve a request stream
+//   anek report [--trace F] [--metrics F] [--batch F]   profile a run
 //   anek faults                                 list injectable faults
 //
 // `anek batch` reads one request per manifest line ("-" = stdin; see
@@ -35,6 +36,19 @@
 // unless --trace-level {off,phase,method,solver} narrows the collection.
 // Telemetry never changes the inferred specs (see DESIGN.md, Telemetry).
 //
+// Under --shards the telemetry is distributed: workers collect at the
+// coordinator's level, ship spans and metric deltas over the wire, and
+// the single --trace file shows every worker as its own pid lane nested
+// under the coordinator's dispatch spans (DESIGN.md, "Distributed
+// telemetry"). The driver also forwards --trace-level — and --trace/
+// --metrics when their paths carry a %p pid slot — to worker argv, so
+// workers can additionally write their own artifact files.
+//
+// `anek report` digests the artifacts a run wrote (--trace/--metrics
+// files, a batch JSONL) into a profile: per-phase time, top spans, cache
+// hit rate, shard-tier effort, queue-wait vs solve split, per-request
+// outcomes. --json emits the machine-readable anek-report-v1 document.
+//
 // Built-in examples: spreadsheet, file, field.
 //
 // Exit codes (the driver contract, see DESIGN.md):
@@ -54,6 +68,7 @@
 #include "lang/Sema.h"
 #include "pfg/PfgBuilder.h"
 #include "plural/Checker.h"
+#include "report/Report.h"
 #include "serve/BatchRunner.h"
 #include "serve/Manifest.h"
 #include "shard/ShardCoordinator.h"
@@ -97,7 +112,10 @@ void usage() {
              "[--mem-budget BYTES[k|m|g]] [--jobs N | -j N] [--shards N] "
              "[--cache DIR] [--seed N] [--out FILE] [--shed-when-full] "
              "[--fuse] [--kernel-backend NAME] [--fault SPEC] "
+             "[--slow-request SECS] "
              "[--trace FILE] [--metrics FILE] [--trace-level LEVEL]\n"
+             "       anek report [--trace FILE] [--metrics FILE] "
+             "[--batch FILE] [--json] [--top N]\n"
              "       anek faults\n"
              "(--fault list prints the fault vocabulary; %p in --out/"
              "--trace/--metrics paths expands to the pid)\n",
@@ -163,6 +181,102 @@ bool flagValue(const std::vector<std::string> &Args, size_t &I,
   return false;
 }
 
+/// The telemetry flags the driver forwards to `anek --worker` child
+/// processes (S1 of the distributed-telemetry design): the effective
+/// collection level always (so a worker's *own* spans exist to ship), and
+/// the artifact paths only when they carry a %p pid slot — without one,
+/// every worker would clobber the coordinator's file.
+std::vector<std::string> workerTelemetryArgv(const std::string &RawTracePath,
+                                             const std::string &RawMetricsPath) {
+  std::vector<std::string> Out;
+  telemetry::TraceLevel Level = telemetry::traceLevel();
+  if (Level == telemetry::TraceLevel::Off)
+    return Out;
+  Out.push_back("--trace-level");
+  Out.push_back(telemetry::traceLevelName(Level));
+  if (RawTracePath.find("%p") != std::string::npos) {
+    Out.push_back("--trace");
+    Out.push_back(RawTracePath);
+  }
+  if (RawMetricsPath.find("%p") != std::string::npos) {
+    Out.push_back("--metrics");
+    Out.push_back(RawMetricsPath);
+  }
+  return Out;
+}
+
+/// The hidden `anek --worker [telemetry flags]` mode: parse the flags the
+/// coordinator forwarded (each worker expands %p to its own pid), then
+/// serve the anek-shard-v1 protocol over stdin/stdout. Unknown flags are
+/// ignored rather than fatal — both ends are the same binary, so a
+/// mismatch is a bug to survive, not hostile input to reject.
+int runWorkerMode(int Argc, char **Argv) {
+  TelemetryFlusher Telemetry;
+  std::vector<std::string> Args(Argv + 2, Argv + Argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    std::string Value;
+    if (flagValue(Args, I, "--trace", Value)) {
+      Telemetry.TracePath = expandPathTemplate(Value);
+    } else if (flagValue(Args, I, "--metrics", Value)) {
+      Telemetry.MetricsPath = expandPathTemplate(Value);
+    } else if (flagValue(Args, I, "--trace-level", Value)) {
+      telemetry::TraceLevel Level;
+      if (telemetry::parseTraceLevel(Value, Level))
+        telemetry::setTraceLevel(Level);
+    }
+  }
+  return shard::runWorkerLoop(STDIN_FILENO, STDOUT_FILENO);
+}
+
+/// `anek report`: profile a finished run from its artifact files.
+int runReport(const std::vector<std::string> &Args) {
+  std::string TracePath, MetricsPath, BatchPath;
+  bool Json = false;
+  unsigned TopK = report::DefaultTopK;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    std::string Value;
+    if (flagValue(Args, I, "--trace", Value)) {
+      TracePath = Value;
+    } else if (flagValue(Args, I, "--metrics", Value)) {
+      MetricsPath = Value;
+    } else if (flagValue(Args, I, "--batch", Value)) {
+      BatchPath = Value;
+    } else if (Args[I] == "--json") {
+      Json = true;
+    } else if (flagValue(Args, I, "--top", Value)) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Value.c_str(), &End, 10);
+      if (!End || *End != '\0' || Value.empty() || V == 0) {
+        std::fprintf(stderr, "anek: bad top-k '%s'\n", Value.c_str());
+        return ExitUsage;
+      }
+      TopK = static_cast<unsigned>(V);
+    } else {
+      std::fprintf(stderr, "anek: unknown report argument '%s'\n",
+                   Args[I].c_str());
+      usage();
+      return ExitUsage;
+    }
+  }
+  if (TracePath.empty() && MetricsPath.empty() && BatchPath.empty()) {
+    std::fprintf(stderr,
+                 "anek: report needs at least one of --trace, --metrics, "
+                 "--batch\n");
+    usage();
+    return ExitUsage;
+  }
+  Expected<report::Profile> P =
+      report::buildProfile(TracePath, MetricsPath, BatchPath);
+  if (!P) {
+    std::fprintf(stderr, "anek: %s\n", P.status().str().c_str());
+    return ExitDiagnostics;
+  }
+  std::string Rendered =
+      Json ? report::renderJson(*P, TopK) : report::renderText(*P, TopK);
+  std::fputs(Rendered.c_str(), stdout);
+  return ExitOk;
+}
+
 bool loadSource(const std::string &Arg, bool IsExample, std::string &Out) {
   if (IsExample) {
     if (Arg == "spreadsheet") {
@@ -221,6 +335,9 @@ int runBatch(const std::vector<std::string> &Args) {
   serve::BatchOptions Opts;
   std::string ManifestPath, OutPath;
   TelemetryFlusher Telemetry;
+  // Raw (unexpanded) artifact paths, kept for worker propagation: each
+  // worker expands %p against its *own* pid.
+  std::string RawTracePath, RawMetricsPath;
   bool HaveTraceLevel = false;
 
   auto ParseUnsigned = [](const std::string &Value, unsigned &Out) {
@@ -236,8 +353,10 @@ int runBatch(const std::vector<std::string> &Args) {
     std::string Value;
     unsigned Parsed = 0;
     if (flagValue(Args, I, "--trace", Value)) {
+      RawTracePath = Value;
       Telemetry.TracePath = expandPathTemplate(Value);
     } else if (flagValue(Args, I, "--metrics", Value)) {
+      RawMetricsPath = Value;
       Telemetry.MetricsPath = expandPathTemplate(Value);
     } else if (flagValue(Args, I, "--trace-level", Value)) {
       telemetry::TraceLevel Level;
@@ -247,6 +366,15 @@ int runBatch(const std::vector<std::string> &Args) {
       }
       telemetry::setTraceLevel(Level);
       HaveTraceLevel = true;
+    } else if (flagValue(Args, I, "--slow-request", Value)) {
+      char *End = nullptr;
+      Opts.SlowRequestSeconds = std::strtod(Value.c_str(), &End);
+      if (!End || *End != '\0' || Value.empty() ||
+          Opts.SlowRequestSeconds < 0.0) {
+        std::fprintf(stderr, "anek: bad slow-request threshold '%s'\n",
+                     Value.c_str());
+        return ExitUsage;
+      }
     } else if (flagValue(Args, I, "--out", Value)) {
       OutPath = expandPathTemplate(Value);
     } else if (flagValue(Args, I, "--workers", Value)) {
@@ -390,13 +518,17 @@ int runBatch(const std::vector<std::string> &Args) {
   // runs. Serve stays shard-agnostic — this injection is its only path
   // to src/shard/.
   uint64_t BatchSeed = Opts.Seed;
-  Opts.Shards = [BatchSeed](Program &Prog, const std::string &Source,
-                            const InferOptions &InferOpts,
-                            unsigned Shards)
+  std::vector<std::string> WorkerTelemetry =
+      workerTelemetryArgv(RawTracePath, RawMetricsPath);
+  Opts.Shards = [BatchSeed, WorkerTelemetry](Program &Prog,
+                                             const std::string &Source,
+                                             const InferOptions &InferOpts,
+                                             unsigned Shards)
       -> std::unique_ptr<WaveShardExecutor> {
     shard::CoordinatorOptions Co;
     Co.Workers = Shards;
     Co.Retry.Seed = BatchSeed;
+    Co.WorkerExtraArgv = WorkerTelemetry;
     return std::make_unique<shard::ShardCoordinator>(Prog, Source,
                                                      InferOpts, Co);
   };
@@ -495,6 +627,8 @@ int run(int Argc, char **Argv) {
   }
   if (Command == "batch")
     return runBatch(Args);
+  if (Command == "report")
+    return runReport(Args);
   if (Command != "infer" && Command != "check" && Command != "verify" &&
       Command != "pfg" && Command != "ir") {
     std::fprintf(stderr, "anek: unknown command '%s'\n", Command.c_str());
@@ -514,14 +648,18 @@ int run(int Argc, char **Argv) {
   std::string CacheDir;
   std::string MethodFilter;
   TelemetryFlusher Telemetry;
+  // Raw (unexpanded) artifact paths, kept for worker propagation.
+  std::string RawTracePath, RawMetricsPath;
   bool HaveTraceLevel = false;
   for (size_t I = 1; I < Args.size(); ++I) {
     std::string Value;
     if (flagValue(Args, I, "--trace", Value)) {
+      RawTracePath = Value;
       Telemetry.TracePath = expandPathTemplate(Value);
       continue;
     }
     if (flagValue(Args, I, "--metrics", Value)) {
+      RawMetricsPath = Value;
       Telemetry.MetricsPath = expandPathTemplate(Value);
       continue;
     }
@@ -668,6 +806,8 @@ int run(int Argc, char **Argv) {
     if (ShardWorkers > 0) {
       shard::CoordinatorOptions CoOpts;
       CoOpts.Workers = ShardWorkers;
+      CoOpts.WorkerExtraArgv =
+          workerTelemetryArgv(RawTracePath, RawMetricsPath);
       Coordinator = std::make_unique<shard::ShardCoordinator>(
           *Prog, Source, InferOpts, CoOpts);
       InferOpts.ShardExec = Coordinator.get();
@@ -747,10 +887,12 @@ int main(int Argc, char **Argv) {
   // "bad input" (1) and "bad invocation" (2).
   try {
     // Hidden worker mode: a shard coordinator re-execs this binary as
-    // `anek --worker` and speaks anek-shard-v1 over its stdin/stdout.
-    // Dispatched before flag parsing so no other flag can perturb it.
+    // `anek --worker [telemetry flags]` and speaks anek-shard-v1 over its
+    // stdin/stdout. Dispatched before general flag parsing so no other
+    // flag can perturb it; the worker mode parses only the telemetry
+    // flags the coordinator forwarded.
     if (Argc > 1 && std::strcmp(Argv[1], "--worker") == 0)
-      return shard::runWorkerLoop(STDIN_FILENO, STDOUT_FILENO);
+      return runWorkerMode(Argc, Argv);
     return run(Argc, Argv);
   } catch (const std::exception &E) {
     std::fprintf(stderr, "anek: internal error: %s\n", E.what());
