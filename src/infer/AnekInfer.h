@@ -69,6 +69,16 @@ struct ShardStats {
   /// in-process sequential execution (terminal state
   /// degraded(shard-quarantine); the work is never lost).
   unsigned ShardsQuarantined = 0;
+  /// Dispatches served over a socket transport (remote worker daemons);
+  /// the rest ran over local fork/exec pipes.
+  unsigned RemoteDispatches = 0;
+  /// Socket sessions opened to an endpoint that had been connected
+  /// before — the reconnect-after-loss (or after-refusal) path.
+  unsigned Reconnects = 0;
+  /// Remote endpoints that exhausted their reconnect credit and were
+  /// quarantined for the run; dispatches fall down the ladder to local
+  /// fork/exec workers (and ultimately in-process).
+  unsigned EndpointsQuarantined = 0;
 };
 
 /// Executes wave batches outside the engine's own process. The engine

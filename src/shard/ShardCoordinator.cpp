@@ -14,7 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <csignal>
+#include <cstring>
 #include <thread>
 
 using namespace anek;
@@ -54,14 +54,19 @@ void absorbWorkerTelemetry(const TelemetryBlob &Blob, int64_t DispatchUs) {
   telemetry::absorbMetrics(Blob.Metrics, "shard.worker.");
 }
 
+bool isSocket(const Transport &T) {
+  return std::strcmp(T.kind(), "socket") == 0;
+}
+
 } // namespace
 
 ShardCoordinator::ShardCoordinator(Program &Prog, std::string Source,
                                    InferOptions Opts,
                                    CoordinatorOptions CoOpts)
-    : Prog(Prog), Opts(std::move(Opts)), Co(std::move(CoOpts)) {
-  // The coordinator writes to pipes whose peer may be freshly dead; EPIPE
-  // must arrive as a Status, not SIGPIPE.
+    : Prog(Prog), Opts(std::move(Opts)), Co(std::move(CoOpts)),
+      Endpoints(Co.EndpointReconnectAttempts) {
+  // The coordinator writes to pipes/sockets whose peer may be freshly
+  // dead; EPIPE must arrive as a Status, not SIGPIPE.
   subprocess::ignoreSigpipe();
   // Quarantine fallback and workers both run leaf analyses; neither may
   // recurse into sharding.
@@ -77,16 +82,21 @@ ShardCoordinator::ShardCoordinator(Program &Prog, std::string Source,
   InitPayload = encodeInit(Source, this->Opts,
                            static_cast<uint8_t>(telemetry::traceLevel()));
   Slots.reserve(Co.Workers);
-  for (unsigned I = 0; I != Co.Workers; ++I)
-    Slots.push_back(std::make_unique<Slot>());
+  for (unsigned I = 0; I != Co.Workers; ++I) {
+    auto S = std::make_unique<Slot>();
+    if (!Co.Endpoints.empty())
+      S->Endpoint = Co.Endpoints[I % Co.Endpoints.size()];
+    Slots.push_back(std::move(S));
+  }
 }
 
 ShardCoordinator::~ShardCoordinator() {
-  // Best-effort graceful shutdown; the ChildProcess destructors SIGKILL
-  // and reap whatever ignores it (a SIGSTOPped straggler included).
+  // Best-effort graceful shutdown: a pipe worker exits, a daemon session
+  // ends (the daemon itself returns to accept). The transport destructors
+  // kill/close whatever ignores it (a SIGSTOPped straggler included).
   for (std::unique_ptr<Slot> &S : Slots)
-    if (S->Ready && S->Child.running())
-      (void)writeFrame(S->Child.writeFd(), FrameType::Shutdown, {});
+    if (S->Conn && S->Conn->healthy())
+      (void)S->Conn->send(FrameType::Shutdown, {});
 }
 
 ShardStats ShardCoordinator::stats() const {
@@ -94,12 +104,62 @@ ShardStats ShardCoordinator::stats() const {
   return Stats;
 }
 
-Status ShardCoordinator::ensureWorker(Slot &S, unsigned SlotIndex) {
-  if (S.Ready && S.Child.running() && !S.Child.poll())
+void ShardCoordinator::noteEndpointFailure(const std::string &Endpoint) {
+  if (!Endpoints.recordFailure(Endpoint))
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.EndpointsQuarantined;
+  }
+  bumpCounter("shard.endpoints_quarantined");
+  telemetry::instant("shard.endpoint_quarantine",
+                     telemetry::TraceLevel::Phase, "shard",
+                     "\"endpoint\": " + telemetry::jsonQuote(Endpoint));
+}
+
+Status ShardCoordinator::ensureWorker(Slot &S, unsigned SlotIndex,
+                                      bool &RemoteAttempt) {
+  RemoteAttempt = false;
+  if (S.Conn && S.Conn->healthy())
     return Status::ok(); // Alive and Init'd from a previous dispatch.
   dropWorker(S);
-  if (Status Sp = S.Child.spawn(Co.WorkerArgv); !Sp)
-    return Sp;
+
+  // Ladder rung 1: the slot's remote endpoint, while it has credit.
+  if (!S.Endpoint.empty() && !Endpoints.quarantined(S.Endpoint)) {
+    RemoteAttempt = true;
+    auto T = std::make_unique<SocketTransport>(
+        S.Endpoint, InitPayload, Co.ConnectTimeoutSeconds, Co.MaxFrameBytes,
+        Opts.FaultScope);
+    if (Status Up = T->open(); !Up) {
+      noteEndpointFailure(S.Endpoint);
+      return Up;
+    }
+    Endpoints.recordSuccess(S.Endpoint);
+    bool Reconnect;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      Reconnect = EndpointConnects[S.Endpoint]++ > 0;
+      if (Reconnect)
+        ++Stats.Reconnects;
+    }
+    bumpCounter(Reconnect ? "shard.reconnects" : "shard.remote_connects");
+    if (telemetry::enabled(telemetry::TraceLevel::Phase))
+      telemetry::instant("shard.remote_connect", telemetry::TraceLevel::Phase,
+                         "shard",
+                         formatStr("\"slot\": %u, \"reconnect\": %s, "
+                                   "\"endpoint\": ",
+                                   SlotIndex, Reconnect ? "true" : "false") +
+                             telemetry::jsonQuote(S.Endpoint));
+    S.Conn = std::move(T);
+    return Status::ok();
+  }
+
+  // Ladder rung 2: a local fork/exec worker.
+  RemoteAttempt = false;
+  auto P = std::make_unique<PipeTransport>(Co.WorkerArgv, InitPayload,
+                                           Co.MaxFrameBytes);
+  if (Status Up = P->open(); !Up)
+    return Up;
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Stats.WorkersSpawned;
@@ -109,27 +169,15 @@ Status ShardCoordinator::ensureWorker(Slot &S, unsigned SlotIndex) {
     telemetry::instant("shard.worker_spawn", telemetry::TraceLevel::Phase,
                        "shard",
                        formatStr("\"slot\": %u, \"pid\": %d", SlotIndex,
-                                 static_cast<int>(S.Child.pid())));
-  if (Status Init =
-          writeFrame(S.Child.writeFd(), FrameType::Init, InitPayload);
-      !Init) {
-    dropWorker(S);
-    return Init;
-  }
-  S.Ready = true;
+                                 static_cast<int>(P->pid())));
+  S.Conn = std::move(P);
   return Status::ok();
 }
 
-void ShardCoordinator::dropWorker(Slot &S) {
-  // Move-assigning a fresh ChildProcess SIGKILLs, reaps and closes pipes;
-  // SIGKILL terminates even a SIGSTOPped worker, so a hung child cannot
-  // wedge the reap.
-  S.Child = subprocess::ChildProcess();
-  S.Ready = false;
-}
+void ShardCoordinator::dropWorker(Slot &S) { S.Conn.reset(); }
 
 Expected<std::vector<summaryio::ShardMethodOutcome>>
-ShardCoordinator::dispatchOnce(Slot &S, uint32_t Wave,
+ShardCoordinator::dispatchOnce(Transport &T, uint32_t Wave,
                                const std::vector<unsigned> &Indices,
                                const std::string &Snapshot,
                                bool &WorkerReported) {
@@ -144,15 +192,13 @@ ShardCoordinator::dispatchOnce(Slot &S, uint32_t Wave,
                          "shard", Meta.ParentFlowId);
   }
   Meta.DispatchUs = telemetry::nowUs();
-  if (Status W = writeFrame(S.Child.writeFd(), FrameType::Task,
-                            encodeTask(Indices, Snapshot, Meta));
+  if (Status W = T.send(FrameType::Task, encodeTask(Indices, Snapshot, Meta));
       !W)
     return W;
   for (;;) {
     // Any frame — heartbeats included — proves liveness and re-arms the
     // deadline; a worker silent for the whole window is declared hung.
-    Expected<Frame> F =
-        readFrame(S.Child.readFd(), Co.HeartbeatTimeoutSeconds);
+    Expected<Frame> F = T.recv(Co.HeartbeatTimeoutSeconds);
     if (!F)
       return F.status();
     switch (F->Type) {
@@ -160,13 +206,13 @@ ShardCoordinator::dispatchOnce(Slot &S, uint32_t Wave,
       continue;
     case FrameType::Telemetry: {
       TelemetryBlob Blob;
-      if (Status T = decodeTelemetry(F->Payload, Blob); !T) {
+      if (Status S = decodeTelemetry(F->Payload, Blob); !S) {
         // Dropped, counted, never fatal: the dispatch is decided by the
         // Result frame alone.
         bumpCounter("shard.telemetry_dropped");
         telemetry::instant("shard.telemetry_dropped",
                            telemetry::TraceLevel::Phase, "shard",
-                           "\"reason\": " + telemetry::jsonQuote(T.message()));
+                           "\"reason\": " + telemetry::jsonQuote(S.message()));
         continue;
       }
       bumpCounter("shard.telemetry_frames");
@@ -176,7 +222,7 @@ ShardCoordinator::dispatchOnce(Slot &S, uint32_t Wave,
     case FrameType::Result: {
       std::string Payload = std::move(F->Payload);
       // The wire-corrupt control point: flip one byte of the received
-      // result exactly as a torn pipe would. The outcome blob's own
+      // result exactly as a torn stream would. The outcome blob's own
       // checksum rejects it, which classifies as a lost worker.
       if (faults::anyActive() &&
           faults::consumeFire(FaultKind::WireCorrupt, Opts.FaultScope) &&
@@ -212,9 +258,14 @@ ShardCoordinator::runShard(unsigned SlotIndex, uint32_t Wave,
   Slot &S = *Slots[SlotIndex];
   const std::string RetryLabel =
       Opts.FaultScope + "/shard" + std::to_string(SlotIndex);
-  unsigned Losses = 0;
+  // Two loss budgets implement the ladder's bottom: remote losses charge
+  // the endpoint ledger (shared across slots; quarantine drops the slot
+  // to the pipe rung), local losses count here toward the shard's
+  // in-process quarantine. Attempts pace the shared backoff.
+  unsigned LocalLosses = 0;
+  unsigned Attempt = 0;
   for (;;) {
-    if (Losses >= Co.QuarantineAfter) {
+    if (LocalLosses >= Co.QuarantineAfter) {
       // Quarantine: this shard keeps killing workers, so it degrades to
       // in-process sequential execution. Same snapshot, same options,
       // same bytes — the shard is slower, never lost.
@@ -227,22 +278,27 @@ ShardCoordinator::runShard(unsigned SlotIndex, uint32_t Wave,
                          "shard",
                          formatStr("\"slot\": %u, \"wave\": %u, "
                                    "\"losses\": %u",
-                                   SlotIndex, Wave, Losses));
+                                   SlotIndex, Wave, LocalLosses));
       telemetry::Span Q("shard.quarantine", telemetry::TraceLevel::Phase,
                         "shard");
       if (Q.active())
         Q.arg("slot", SlotIndex);
       return runShardMethods(Prog, Indices, Snapshot, Opts);
     }
-    if (Losses > 0) {
-      double Delay = Co.Retry.delaySeconds(RetryLabel, Losses + 1);
+    if (Attempt > 0) {
+      double Delay = Co.Retry.delaySeconds(RetryLabel, Attempt + 1);
       if (Delay > 0.0)
         std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
     }
-    if (Status Up = ensureWorker(S, SlotIndex); !Up) {
-      // Spawn/Init failure counts against the same loss budget: a slot
+    bool RemoteAttempt = false;
+    if (Status Up = ensureWorker(S, SlotIndex, RemoteAttempt); !Up) {
+      // Session-establishment failure: a refused/reset/skewed connect
+      // already charged its endpoint inside ensureWorker; a failed local
+      // spawn counts against the same budget as a local loss — a slot
       // that cannot even start a worker must still reach quarantine.
-      ++Losses;
+      ++Attempt;
+      if (!RemoteAttempt)
+        ++LocalLosses;
       {
         std::lock_guard<std::mutex> Lock(StatsMutex);
         ++Stats.WorkersLost;
@@ -250,22 +306,25 @@ ShardCoordinator::runShard(unsigned SlotIndex, uint32_t Wave,
       bumpCounter("shard.workers_lost");
       continue;
     }
+    const bool Remote = isSocket(*S.Conn);
     {
       std::lock_guard<std::mutex> Lock(StatsMutex);
       ++Stats.ShardsDispatched;
-      if (Losses > 0)
+      if (Remote)
+        ++Stats.RemoteDispatches;
+      if (Attempt > 0)
         ++Stats.Redispatches;
     }
-    bumpCounter(Losses > 0 ? "shard.redispatches" : "shard.dispatches");
+    bumpCounter(Attempt > 0 ? "shard.redispatches" : "shard.dispatches");
 
     // Chaos control points, applied with real kernel effects the instant
-    // the shard is dispatched: a SIGKILLed worker crashes under the task
-    // (EOF on its pipe), a SIGSTOPped one hangs (heartbeat silence).
+    // the shard is dispatched: a killed worker crashes under the task
+    // (EOF/RST on its stream), a stopped one hangs (heartbeat silence).
     if (faults::anyActive()) {
       if (faults::consumeFire(FaultKind::WorkerCrash, Opts.FaultScope))
-        S.Child.kill(SIGKILL);
+        S.Conn->injectCrash();
       else if (faults::consumeFire(FaultKind::WorkerHang, Opts.FaultScope))
-        S.Child.kill(SIGSTOP);
+        S.Conn->injectHang();
     }
 
     bool WorkerReported = false;
@@ -277,26 +336,30 @@ ShardCoordinator::runShard(unsigned SlotIndex, uint32_t Wave,
         D.arg("wave", Wave);
         D.arg("methods", static_cast<uint64_t>(Indices.size()));
       }
-      return dispatchOnce(S, Wave, Indices, Snapshot, WorkerReported);
+      return dispatchOnce(*S.Conn, Wave, Indices, Snapshot, WorkerReported);
     }();
     if (Out)
       return Out;
     if (WorkerReported)
       return Out.status();
-    // Crash, hang or corruption: recycle the worker and re-dispatch. The
+    // Crash, hang or corruption: recycle the session and re-dispatch. The
     // failure becomes a trace instant (hang vs. lost distinguished by the
     // deadline error code); the retry itself is silent by design.
     telemetry::instant(
         "shard.worker_lost", telemetry::TraceLevel::Phase, "shard",
-        formatStr("\"slot\": %u, \"wave\": %u, \"kind\": \"%s\", "
-                  "\"message\": ",
-                  SlotIndex, Wave,
+        formatStr("\"slot\": %u, \"wave\": %u, \"transport\": \"%s\", "
+                  "\"kind\": \"%s\", \"message\": ",
+                  SlotIndex, Wave, S.Conn->kind(),
                   Out.status().code() == ErrorCode::DeadlineExceeded
                       ? "hang"
                       : "lost") +
             telemetry::jsonQuote(Out.status().message()));
+    if (Remote)
+      noteEndpointFailure(S.Endpoint);
+    else
+      ++LocalLosses;
     dropWorker(S);
-    ++Losses;
+    ++Attempt;
     {
       std::lock_guard<std::mutex> Lock(StatsMutex);
       ++Stats.WorkersLost;

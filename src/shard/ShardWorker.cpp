@@ -27,24 +27,6 @@ using namespace anek::shard;
 
 namespace {
 
-/// Serializes every frame the worker emits: the heartbeat thread and the
-/// task loop share one pipe, and an interleaved write would hand the
-/// coordinator a torn frame (which it must — and does — treat as a lost
-/// worker, wasting a perfectly good attempt).
-class FrameSender {
-public:
-  explicit FrameSender(int Fd) : Fd(Fd) {}
-
-  Status send(FrameType Type, std::string_view Payload) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return writeFrame(Fd, Type, Payload);
-  }
-
-private:
-  int Fd;
-  std::mutex Mutex;
-};
-
 /// Emits Heartbeat frames every HeartbeatIntervalSeconds until stopped.
 /// Write failures are ignored here: if the coordinator is gone the task
 /// loop's own Result write will discover it.
@@ -87,6 +69,105 @@ private:
 
 } // namespace
 
+SessionResult shard::serveSession(int InFd, FrameSender &Sender,
+                                  Program &Prog, const InferOptions &Opts,
+                                  uint8_t CollectLevel,
+                                  const SessionLimits &Limits) {
+  SessionResult R;
+  // The coordinator's collection level is a floor, not an override: a
+  // worker started with its own --trace-level (e.g. to debug one shard at
+  // solver depth) keeps the deeper setting.
+  if (CollectLevel > static_cast<uint8_t>(telemetry::traceLevel()))
+    telemetry::setTraceLevel(static_cast<telemetry::TraceLevel>(CollectLevel));
+  const bool ShipTelemetry = CollectLevel != 0;
+  // Draining cursors into the local trace buffers: each task ships only
+  // the events recorded since the previous ship.
+  std::vector<size_t> ShipMarks;
+
+  // Task service loop. The session is stateless across tasks; each Task
+  // frame carries its own snapshot, so a respawned worker — or another
+  // daemon session — picking up a re-dispatched shard starts from
+  // identical inputs.
+  for (;;) {
+    Expected<Frame> F =
+        readFrame(InFd, Limits.IdleTimeoutSeconds, Limits.MaxFrameBytes);
+    if (!F) {
+      // EOF = peer gone (or shutting down without ceremony) and an idle
+      // timeout is a session that earned its keep; a malformed frame from
+      // the peer is unrecoverable — its stream can no longer be trusted.
+      R.Clean = F.status().code() == ErrorCode::WorkerLost ||
+                F.status().code() == ErrorCode::DeadlineExceeded;
+      return R;
+    }
+    switch (F->Type) {
+    case FrameType::Shutdown:
+      return R;
+    case FrameType::Task: {
+      std::vector<unsigned> DeclIndices;
+      std::string Snapshot;
+      TaskMeta Meta;
+      if (Status S = decodeTask(F->Payload, DeclIndices, Snapshot, &Meta);
+          !S) {
+        if (!Sender.send(FrameType::Error, S.str())) {
+          R.Clean = false;
+          return R;
+        }
+        break;
+      }
+      telemetry::MetricsSnapshot Before;
+      if (ShipTelemetry)
+        Before = telemetry::captureMetrics();
+      int64_t TaskStartUs = telemetry::nowUs();
+      Expected<std::vector<summaryio::ShardMethodOutcome>> Outcomes = [&] {
+        HeartbeatPulse Pulse(Sender);
+        // Scoped so the task span is closed — and therefore collectable —
+        // before telemetry is drained below.
+        telemetry::Span TaskSpan("shard.task", telemetry::TraceLevel::Phase,
+                                 "shard");
+        if (TaskSpan.active()) {
+          TaskSpan.arg("wave", Meta.Wave);
+          TaskSpan.arg("methods", static_cast<uint64_t>(DeclIndices.size()));
+        }
+        return runShardMethods(Prog, DeclIndices, Snapshot, Opts);
+      }();
+      if (ShipTelemetry) {
+        // Best-effort by contract: a failed Telemetry write is discovered
+        // (and classified) by the Result write that follows.
+        TelemetryBlob Blob;
+        Blob.Pid = static_cast<uint32_t>(::getpid());
+        Blob.Wave = Meta.Wave;
+        Blob.ParentFlowId = Meta.ParentFlowId;
+        Blob.TaskStartUs = TaskStartUs;
+        Blob.Events = telemetry::collectEventsSince(ShipMarks);
+        Blob.Metrics =
+            telemetry::diffMetrics(Before, telemetry::captureMetrics());
+        (void)Sender.send(FrameType::Telemetry, encodeTelemetry(Blob));
+      }
+      Status Sent =
+          Outcomes ? Sender.send(FrameType::Result,
+                                 summaryio::encodeOutcomes(*Outcomes))
+                   : Sender.send(FrameType::Error, Outcomes.status().str());
+      if (!Sent) {
+        R.Clean = false;
+        return R;
+      }
+      ++R.TasksServed;
+      break;
+    }
+    default:
+      // Heartbeats flow worker -> coordinator only; anything else here is
+      // a protocol bug worth reporting but not dying over.
+      if (!Sender.send(FrameType::Error,
+                       std::string("unexpected frame type ") +
+                           frameTypeName(F->Type))) {
+        R.Clean = false;
+        return R;
+      }
+      break;
+    }
+  }
+}
+
 int shard::runWorkerLoop(int InFd, int OutFd) {
   subprocess::ignoreSigpipe();
   FrameSender Sender(OutFd);
@@ -110,15 +191,6 @@ int shard::runWorkerLoop(int InFd, int OutFd) {
     (void)Sender.send(FrameType::Error, S.str());
     return 1;
   }
-  // The coordinator's collection level is a floor, not an override: a
-  // worker started with its own --trace-level (e.g. to debug one shard at
-  // solver depth) keeps the deeper setting.
-  if (CollectLevel > static_cast<uint8_t>(telemetry::traceLevel()))
-    telemetry::setTraceLevel(static_cast<telemetry::TraceLevel>(CollectLevel));
-  const bool ShipTelemetry = CollectLevel != 0;
-  // Draining cursors into the local trace buffers: each task ships only
-  // the events recorded since the previous ship.
-  std::vector<size_t> ShipMarks;
   DiagnosticEngine Diags;
   std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
   if (!Prog) {
@@ -127,72 +199,6 @@ int shard::runWorkerLoop(int InFd, int OutFd) {
     return 1;
   }
 
-  // Task service loop. The worker is stateless across tasks; each Task
-  // frame carries its own snapshot, so a respawned worker picking up a
-  // re-dispatched shard starts from identical inputs.
-  for (;;) {
-    Expected<Frame> F = readFrame(InFd, /*TimeoutSeconds=*/-1.0);
-    if (!F)
-      // EOF = coordinator gone (or shutting down without ceremony); a
-      // malformed frame from the coordinator is equally unrecoverable.
-      return F.status().code() == ErrorCode::WorkerLost ? 0 : 1;
-    switch (F->Type) {
-    case FrameType::Shutdown:
-      return 0;
-    case FrameType::Task: {
-      std::vector<unsigned> DeclIndices;
-      std::string Snapshot;
-      TaskMeta Meta;
-      if (Status S = decodeTask(F->Payload, DeclIndices, Snapshot, &Meta);
-          !S) {
-        if (!Sender.send(FrameType::Error, S.str()))
-          return 1;
-        break;
-      }
-      telemetry::MetricsSnapshot Before;
-      if (ShipTelemetry)
-        Before = telemetry::captureMetrics();
-      int64_t TaskStartUs = telemetry::nowUs();
-      Expected<std::vector<summaryio::ShardMethodOutcome>> Outcomes = [&] {
-        HeartbeatPulse Pulse(Sender);
-        // Scoped so the task span is closed — and therefore collectable —
-        // before telemetry is drained below.
-        telemetry::Span TaskSpan("shard.task", telemetry::TraceLevel::Phase,
-                                 "shard");
-        if (TaskSpan.active()) {
-          TaskSpan.arg("wave", Meta.Wave);
-          TaskSpan.arg("methods", static_cast<uint64_t>(DeclIndices.size()));
-        }
-        return runShardMethods(*Prog, DeclIndices, Snapshot, Opts);
-      }();
-      if (ShipTelemetry) {
-        // Best-effort by contract: a failed Telemetry write is discovered
-        // (and classified) by the Result write that follows.
-        TelemetryBlob Blob;
-        Blob.Pid = static_cast<uint32_t>(::getpid());
-        Blob.Wave = Meta.Wave;
-        Blob.ParentFlowId = Meta.ParentFlowId;
-        Blob.TaskStartUs = TaskStartUs;
-        Blob.Events = telemetry::collectEventsSince(ShipMarks);
-        Blob.Metrics = telemetry::diffMetrics(Before, telemetry::captureMetrics());
-        (void)Sender.send(FrameType::Telemetry, encodeTelemetry(Blob));
-      }
-      Status Sent =
-          Outcomes ? Sender.send(FrameType::Result,
-                                 summaryio::encodeOutcomes(*Outcomes))
-                   : Sender.send(FrameType::Error, Outcomes.status().str());
-      if (!Sent)
-        return 1;
-      break;
-    }
-    default:
-      // Heartbeats flow worker -> coordinator only; anything else here is
-      // a protocol bug worth reporting but not dying over.
-      if (!Sender.send(FrameType::Error,
-                       std::string("unexpected frame type ") +
-                           frameTypeName(F->Type)))
-        return 1;
-      break;
-    }
-  }
+  SessionResult R = serveSession(InFd, Sender, *Prog, Opts, CollectLevel);
+  return R.Clean ? 0 : 1;
 }

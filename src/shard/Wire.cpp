@@ -27,7 +27,16 @@ Status malformed(const std::string &What) {
 
 bool knownFrameType(uint16_t Raw) {
   return Raw >= static_cast<uint16_t>(FrameType::Init) &&
-         Raw <= static_cast<uint16_t>(FrameType::Telemetry);
+         Raw <= static_cast<uint16_t>(FrameType::InitAck);
+}
+
+/// The effective payload cap for a connection: 0 means the protocol
+/// default, anything else is clamped into [floor, default] so a mis-set
+/// knob can neither disable the bound nor starve the protocol.
+uint64_t effectiveCap(uint64_t MaxPayload) {
+  if (MaxPayload == 0 || MaxPayload > MaxFramePayload)
+    return MaxFramePayload;
+  return std::max(MaxPayload, MinConfigurableFramePayload);
 }
 
 /// Validates a decoded header. \p Available is the payload byte count
@@ -35,7 +44,7 @@ bool knownFrameType(uint16_t Raw) {
 /// declared length through after the cap check and validates the checksum
 /// once the payload has been read.
 Status checkHeader(uint32_t Magic, uint16_t Version, uint16_t RawType,
-                   uint64_t PayloadLen) {
+                   uint64_t PayloadLen, uint64_t MaxPayload) {
   if (Magic != FrameMagic)
     return malformed("bad magic");
   if (Version != ProtocolVersion)
@@ -43,7 +52,7 @@ Status checkHeader(uint32_t Magic, uint16_t Version, uint16_t RawType,
                      std::to_string(Version));
   if (!knownFrameType(RawType))
     return malformed("unknown frame type " + std::to_string(RawType));
-  if (PayloadLen > MaxFramePayload)
+  if (PayloadLen > effectiveCap(MaxPayload))
     return Status::error(ErrorCode::ResourceExhausted,
                          "shard frame rejected: declared payload of " +
                              std::to_string(PayloadLen) +
@@ -109,14 +118,25 @@ const char *shard::frameTypeName(FrameType Type) {
     return "error";
   case FrameType::Telemetry:
     return "telemetry";
+  case FrameType::InitDigest:
+    return "init-digest";
+  case FrameType::InitNeeded:
+    return "init-needed";
+  case FrameType::InitAck:
+    return "init-ack";
   }
   return "unknown";
 }
 
 std::string shard::encodeFrame(FrameType Type, std::string_view Payload) {
+  return encodeFrame(Type, Payload, ProtocolVersion);
+}
+
+std::string shard::encodeFrame(FrameType Type, std::string_view Payload,
+                               uint16_t Version) {
   wire::Writer W;
   W.u32(FrameMagic);
-  W.u16(ProtocolVersion);
+  W.u16(Version);
   W.u16(static_cast<uint16_t>(Type));
   W.u64(Payload.size());
   W.u64(wire::fnv1a64(Payload));
@@ -125,7 +145,8 @@ std::string shard::encodeFrame(FrameType Type, std::string_view Payload) {
   return Out;
 }
 
-Expected<Frame> shard::parseFrame(std::string_view Bytes) {
+Expected<Frame> shard::parseFrame(std::string_view Bytes,
+                                  uint64_t MaxPayload) {
   if (Bytes.size() < FrameHeaderBytes)
     return malformed("truncated header (" + std::to_string(Bytes.size()) +
                      " of " + std::to_string(FrameHeaderBytes) + " bytes)");
@@ -140,7 +161,8 @@ Expected<Frame> shard::parseFrame(std::string_view Bytes) {
   R.u64(Checksum);
   if (!R.done())
     return malformed("unreadable header");
-  if (Status S = checkHeader(Magic, Version, RawType, PayloadLen); !S)
+  if (Status S = checkHeader(Magic, Version, RawType, PayloadLen, MaxPayload);
+      !S)
     return S;
   if (Bytes.size() - FrameHeaderBytes != PayloadLen)
     return malformed("declared payload of " + std::to_string(PayloadLen) +
@@ -160,7 +182,8 @@ Status shard::writeFrame(int Fd, FrameType Type, std::string_view Payload) {
   return subprocess::writeFull(Fd, Bytes.data(), Bytes.size());
 }
 
-Expected<Frame> shard::readFrame(int Fd, double TimeoutSeconds) {
+Expected<Frame> shard::readFrame(int Fd, double TimeoutSeconds,
+                                 uint64_t MaxPayload) {
   bool Unlimited = TimeoutSeconds < 0.0;
   auto DeadlineAt =
       std::chrono::steady_clock::now() +
@@ -183,7 +206,8 @@ Expected<Frame> shard::readFrame(int Fd, double TimeoutSeconds) {
   R.u64(Checksum);
   if (!R.done())
     return malformed("unreadable header");
-  if (Status S = checkHeader(Magic, Version, RawType, PayloadLen); !S)
+  if (Status S = checkHeader(Magic, Version, RawType, PayloadLen, MaxPayload);
+      !S)
     return S;
 
   Frame F;
@@ -303,6 +327,23 @@ Status shard::decodeInit(std::string_view Payload, std::string &Source,
   C.LogicalOnly = (Toggles & (1u << 6)) != 0;
   C.EnableExclusivity = (Toggles & (1u << 7)) != 0;
   C.KindMutex = KindMutex != 0;
+  return Status::ok();
+}
+
+uint64_t shard::initDigest(std::string_view InitPayload) {
+  return wire::fnv1a64(InitPayload);
+}
+
+std::string shard::encodeInitDigest(uint64_t Digest) {
+  wire::Writer W;
+  W.u64(Digest);
+  return W.take();
+}
+
+Status shard::decodeInitDigest(std::string_view Payload, uint64_t &Digest) {
+  wire::Reader R(Payload);
+  if (!R.u64(Digest) || !R.done())
+    return malformed("init digest");
   return Status::ok();
 }
 

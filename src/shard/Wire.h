@@ -16,6 +16,13 @@
 ///
 ///   coordinator -> worker   Init      source text + algorithm options
 ///                                     + telemetry collection level
+///   (socket sessions open with an Init-by-digest handshake instead:
+///    InitDigest carries the fnv1a64 of the Init payload the coordinator
+///    would send; a daemon that already holds that program answers
+///    InitAck straight away, otherwise InitNeeded asks for the full Init
+///    — so re-connects to a persistent worker daemon ship 32 bytes, not
+///    the whole program, and a stale daemon can never serve an edited
+///    program by accident because the digest is the content.)
 ///   coordinator -> worker   Task      decl indices + summary snapshot
 ///                                     + dispatch identity (parent flow
 ///                                     id, wave ordinal, dispatch clock)
@@ -63,9 +70,15 @@ constexpr uint32_t FrameMagic = 0x534B4E41u;
 /// ends are always the same re-exec'd binary, so a mismatch means a torn
 /// stream or a foreign writer, not a legitimate old peer).
 constexpr uint16_t ProtocolVersion = 2;
-/// Hard cap on a frame's declared payload length. A corrupt length field
-/// must bound allocation, not drive it.
+/// Default hard cap on a frame's declared payload length. A corrupt
+/// length field must bound allocation, not drive it. readFrame and
+/// parseFrame accept a tighter per-connection cap (the driver's
+/// `--shard-max-frame-bytes`); this constant is the ceiling and the
+/// default.
 constexpr uint64_t MaxFramePayload = uint64_t(1) << 30;
+/// Floor for a configured frame cap: a header plus a small payload must
+/// always fit, or the protocol cannot even carry its own Error frames.
+constexpr uint64_t MinConfigurableFramePayload = 4096;
 /// Fixed header size (see file comment for the layout).
 constexpr size_t FrameHeaderBytes = 24;
 /// How often a busy worker emits Heartbeat frames. Protocol-level so
@@ -80,6 +93,12 @@ enum class FrameType : uint16_t {
   Shutdown = 5,
   Error = 6,
   Telemetry = 7,
+  // Socket-session handshake (see the file comment). Pipe sessions keep
+  // the bare Init — their worker was just spawned, so it can never
+  // already hold the program.
+  InitDigest = 8, ///< coordinator -> daemon: fnv1a64 of the Init payload
+  InitNeeded = 9, ///< daemon -> coordinator: unknown digest, send Init
+  InitAck = 10,   ///< daemon -> coordinator: program resident, send Tasks
 };
 
 /// "init" / "task" / ... for diagnostics.
@@ -93,12 +112,21 @@ struct Frame {
 /// Renders the header + payload of one frame.
 std::string encodeFrame(FrameType Type, std::string_view Payload);
 
+/// encodeFrame with an explicit protocol version stamp. Only the
+/// version-skew fault and the handshake-rejection tests write anything
+/// but ProtocolVersion — a frame carrying the wrong version is exactly
+/// what a mismatched coordinator/daemon pair would exchange, and the
+/// receiver must reject it.
+std::string encodeFrame(FrameType Type, std::string_view Payload,
+                        uint16_t Version);
+
 /// Decodes one complete frame from \p Bytes (tests and fuzz-style corrupt
 /// suites; the pipe path below shares the same validation). Errors:
 /// truncated header, bad magic, unsupported version, unknown type,
-/// payload length over MaxFramePayload or disagreeing with the bytes
-/// present, checksum mismatch.
-Expected<Frame> parseFrame(std::string_view Bytes);
+/// payload length over the cap or disagreeing with the bytes present,
+/// checksum mismatch. \p MaxPayload = 0 means the MaxFramePayload
+/// default; smaller values tighten the allocation bound per connection.
+Expected<Frame> parseFrame(std::string_view Bytes, uint64_t MaxPayload = 0);
 
 /// Writes one frame to \p Fd (EINTR-safe, EPIPE -> WorkerLost).
 Status writeFrame(int Fd, FrameType Type, std::string_view Payload);
@@ -106,7 +134,19 @@ Status writeFrame(int Fd, FrameType Type, std::string_view Payload);
 /// Reads one frame from \p Fd with \p TimeoutSeconds covering the whole
 /// frame (< 0 = never time out). Errors: DeadlineExceeded on timeout,
 /// WorkerLost on EOF, and the parseFrame vocabulary for malformed bytes.
-Expected<Frame> readFrame(int Fd, double TimeoutSeconds);
+/// \p MaxPayload as in parseFrame.
+Expected<Frame> readFrame(int Fd, double TimeoutSeconds,
+                          uint64_t MaxPayload = 0);
+
+/// The content digest the Init-by-digest handshake exchanges: fnv1a64
+/// over the exact encodeInit payload bytes, so "same digest" means "same
+/// source, same algorithm options, same collection level".
+uint64_t initDigest(std::string_view InitPayload);
+
+/// InitDigest payload codec (a bare u64; InitNeeded and InitAck carry no
+/// payload).
+std::string encodeInitDigest(uint64_t Digest);
+Status decodeInitDigest(std::string_view Payload, uint64_t &Digest);
 
 // --- Payload codecs ------------------------------------------------------
 //

@@ -38,6 +38,15 @@
 ///                   goes silent (hang-detection probe)
 ///   wire-corrupt    a received shard-result frame has a byte flipped, so
 ///                   its checksum fails (corrupt-frame probe)
+///   net-refuse      a socket transport's connect attempt is refused
+///                   before it reaches the daemon (refusal probe)
+///   net-reset-midframe  a socket transport hard-resets (RST) halfway
+///                   through writing a frame (torn-connection probe)
+///   net-stall       a socket transport goes silent mid-read so the
+///                   heartbeat deadline must trip (stall probe)
+///   net-handshake-skew  the Init-by-digest handshake is stamped with the
+///                   wrong protocol version, so the daemon rejects the
+///                   session (version-mismatch probe)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,8 +73,12 @@ enum class FaultKind : unsigned {
   WorkerCrash,
   WorkerHang,
   WireCorrupt,
+  NetRefuse,
+  NetResetMidframe,
+  NetStall,
+  NetHandshakeSkew,
 };
-constexpr unsigned NumFaultKinds = 10;
+constexpr unsigned NumFaultKinds = 14;
 
 /// Spec name of a fault kind ("bp-nonconverge", ...).
 const char *faultKindName(FaultKind Kind);
@@ -106,8 +119,8 @@ bool consumeFire(FaultKind Kind, const std::string &Label = std::string());
 /// Convenience: an error Status naming the fault, for sites that surface
 /// the fault as a Status. Transient kinds map to the retryable classes —
 /// transient-solve yields ErrorCode::Unavailable; worker-crash,
-/// worker-hang and wire-corrupt yield ErrorCode::WorkerLost — all others
-/// ErrorCode::FaultInjected.
+/// worker-hang, wire-corrupt and the net-* kinds yield
+/// ErrorCode::WorkerLost — all others ErrorCode::FaultInjected.
 Status injectedError(FaultKind Kind, const std::string &Label);
 
 /// Activates \p Spec ("name[*N][:filter][,...]") on top of the current

@@ -1,0 +1,373 @@
+//===- Socket.cpp - Stream sockets for the shard transport ------------------===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace anek;
+using namespace anek::sock;
+
+namespace {
+
+Status syscallError(const std::string &What) {
+  return Status::error(ErrorCode::Internal,
+                       What + ": " + std::strerror(errno));
+}
+
+/// Refusal, reset, and unreachability are the transient class: the daemon
+/// behind the address may be restarting, and the coordinator's ladder
+/// decides how long to keep trying.
+Status connectError(const std::string &Address) {
+  return Status::error(ErrorCode::WorkerLost,
+                       "cannot connect to '" + Address +
+                           "': " + std::strerror(errno));
+}
+
+void setCloexec(int Fd) { ::fcntl(Fd, F_SETFD, FD_CLOEXEC); }
+
+Status setNonblocking(int Fd, bool On) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return syscallError("fcntl(F_GETFL)");
+  Flags = On ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  if (::fcntl(Fd, F_SETFL, Flags) < 0)
+    return syscallError("fcntl(F_SETFL)");
+  return Status::ok();
+}
+
+/// Splits "host:port" at the last colon (leaving room for future
+/// bracketed-IPv6 growth without eating today's "127.0.0.1:0").
+Status splitHostPort(const std::string &Address, std::string &Host,
+                     std::string &Port) {
+  size_t Colon = Address.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 == Address.size())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad socket address '" + Address +
+                             "' (want host:port or unix:/path)");
+  Host = Address.substr(0, Colon);
+  Port = Address.substr(Colon + 1);
+  return Status::ok();
+}
+
+Status fillUnixAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return Status::error(ErrorCode::InvalidArgument,
+                         "unix socket path '" + Path +
+                             "' is empty or too long");
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return Status::ok();
+}
+
+/// getaddrinfo for one host:port; the first result wins. Numeric hosts
+/// and ports never block on a resolver.
+Status resolveTcp(const std::string &Address, addrinfo **Out) {
+  std::string Host, Port;
+  if (Status S = splitHostPort(Address, Host, Port); !S)
+    return S;
+  addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  int Rc = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, Out);
+  if (Rc != 0)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "cannot resolve '" + Address +
+                             "': " + ::gai_strerror(Rc));
+  return Status::ok();
+}
+
+/// "ip:port" of a bound TCP socket, resolving a requested port 0.
+std::string describeBound(int Fd, const std::string &Requested) {
+  sockaddr_storage Ss;
+  socklen_t Len = sizeof(Ss);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Ss), &Len) != 0)
+    return Requested;
+  char Host[INET6_ADDRSTRLEN] = {0};
+  unsigned Port = 0;
+  if (Ss.ss_family == AF_INET) {
+    auto *In = reinterpret_cast<sockaddr_in *>(&Ss);
+    ::inet_ntop(AF_INET, &In->sin_addr, Host, sizeof(Host));
+    Port = ntohs(In->sin_port);
+  } else if (Ss.ss_family == AF_INET6) {
+    auto *In6 = reinterpret_cast<sockaddr_in6 *>(&Ss);
+    ::inet_ntop(AF_INET6, &In6->sin6_addr, Host, sizeof(Host));
+    Port = ntohs(In6->sin6_port);
+  } else {
+    return Requested;
+  }
+  return std::string(Host) + ":" + std::to_string(Port);
+}
+
+} // namespace
+
+bool sock::isUnixAddress(const std::string &Address) {
+  return Address.rfind("unix:", 0) == 0 ||
+         Address.find('/') != std::string::npos;
+}
+
+std::string sock::unixPath(const std::string &Address) {
+  return Address.rfind("unix:", 0) == 0 ? Address.substr(5) : Address;
+}
+
+// --- ListenSocket --------------------------------------------------------
+
+ListenSocket::~ListenSocket() { close(); }
+
+ListenSocket::ListenSocket(ListenSocket &&Other) noexcept
+    : Fd(std::exchange(Other.Fd, -1)), Bound(std::move(Other.Bound)),
+      UnlinkPath(std::move(Other.UnlinkPath)) {
+  Other.Bound.clear();
+  Other.UnlinkPath.clear();
+}
+
+ListenSocket &ListenSocket::operator=(ListenSocket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = std::exchange(Other.Fd, -1);
+    Bound = std::move(Other.Bound);
+    UnlinkPath = std::move(Other.UnlinkPath);
+    Other.Bound.clear();
+    Other.UnlinkPath.clear();
+  }
+  return *this;
+}
+
+Status ListenSocket::listen(const std::string &Address) {
+  close();
+  if (isUnixAddress(Address)) {
+    const std::string Path = unixPath(Address);
+    sockaddr_un Addr;
+    if (Status S = fillUnixAddr(Path, Addr); !S)
+      return S;
+    int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (S < 0)
+      return syscallError("socket(AF_UNIX)");
+    setCloexec(S);
+    // A previous daemon that died without cleanup leaves the path behind;
+    // rebinding over it is the restart story, not an error.
+    ::unlink(Path.c_str());
+    if (::bind(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+        ::listen(S, 16) != 0) {
+      Status E = syscallError("bind/listen on '" + Address + "'");
+      ::close(S);
+      return E;
+    }
+    Fd = S;
+    Bound = "unix:" + Path;
+    UnlinkPath = Path;
+    return Status::ok();
+  }
+
+  addrinfo *Info = nullptr;
+  if (Status S = resolveTcp(Address, &Info); !S)
+    return S;
+  Status LastErr = Status::error(ErrorCode::Internal, "no usable address");
+  for (addrinfo *Ai = Info; Ai; Ai = Ai->ai_next) {
+    int S = ::socket(Ai->ai_family, Ai->ai_socktype, Ai->ai_protocol);
+    if (S < 0) {
+      LastErr = syscallError("socket");
+      continue;
+    }
+    setCloexec(S);
+    int One = 1;
+    ::setsockopt(S, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(S, Ai->ai_addr, Ai->ai_addrlen) != 0 ||
+        ::listen(S, 16) != 0) {
+      LastErr = syscallError("bind/listen on '" + Address + "'");
+      ::close(S);
+      continue;
+    }
+    Fd = S;
+    Bound = describeBound(S, Address);
+    ::freeaddrinfo(Info);
+    return Status::ok();
+  }
+  ::freeaddrinfo(Info);
+  return LastErr;
+}
+
+Expected<int> ListenSocket::accept(double TimeoutSeconds) {
+  if (Fd < 0)
+    return Status::error(ErrorCode::WorkerLost, "listening socket closed");
+  if (Status S = subprocess::waitReadable(Fd, TimeoutSeconds); !S)
+    return S;
+  for (;;) {
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn >= 0) {
+      setCloexec(Conn);
+      int One = 1;
+      ::setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      return Conn;
+    }
+    if (errno == EINTR)
+      continue;
+    // A peer that connected and reset before we accepted costs nothing
+    // but this attempt.
+    if (errno == ECONNABORTED)
+      return Status::error(ErrorCode::WorkerLost,
+                           "connection aborted before accept");
+    return syscallError("accept");
+  }
+}
+
+void ListenSocket::close() {
+  if (Fd >= 0) {
+    // shutdown() wakes any thread parked in accept()'s poll; close alone
+    // would leave it blocked until the next connection.
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!UnlinkPath.empty()) {
+    ::unlink(UnlinkPath.c_str());
+    UnlinkPath.clear();
+  }
+  Bound.clear();
+}
+
+// --- connectTo -----------------------------------------------------------
+
+namespace {
+
+/// Non-blocking connect driven to completion under a deadline: start the
+/// connect, poll for writability with the remaining budget (EINTR-safe),
+/// then read the final verdict from SO_ERROR.
+Status finishConnect(int S, double TimeoutSeconds,
+                     const std::string &Address) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(
+                      TimeoutSeconds < 0.0 ? 0.0 : TimeoutSeconds);
+  for (;;) {
+    pollfd Pfd{S, POLLOUT, 0};
+    int Ms = -1;
+    if (TimeoutSeconds >= 0.0) {
+      double Left = std::chrono::duration<double>(
+                        Deadline - std::chrono::steady_clock::now())
+                        .count();
+      if (Left <= 0.0)
+        return Status::error(ErrorCode::DeadlineExceeded,
+                             "connect to '" + Address + "' timed out");
+      Ms = static_cast<int>(Left * 1000.0) + 1;
+    }
+    int Rc = ::poll(&Pfd, 1, Ms);
+    if (Rc < 0) {
+      if (errno == EINTR)
+        continue;
+      return syscallError("poll(connect)");
+    }
+    if (Rc == 0)
+      return Status::error(ErrorCode::DeadlineExceeded,
+                           "connect to '" + Address + "' timed out");
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    if (::getsockopt(S, SOL_SOCKET, SO_ERROR, &Err, &Len) != 0)
+      return syscallError("getsockopt(SO_ERROR)");
+    if (Err != 0) {
+      errno = Err;
+      return connectError(Address);
+    }
+    return Status::ok();
+  }
+}
+
+Expected<int> connectOne(int Family, int Type, int Protocol,
+                         const sockaddr *Addr, socklen_t AddrLen,
+                         double TimeoutSeconds, const std::string &Address) {
+  int S = ::socket(Family, Type, Protocol);
+  if (S < 0)
+    return syscallError("socket");
+  setCloexec(S);
+  if (Status St = setNonblocking(S, true); !St) {
+    ::close(S);
+    return St;
+  }
+  int Rc;
+  do {
+    Rc = ::connect(S, Addr, AddrLen);
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    Status E = connectError(Address);
+    ::close(S);
+    return E;
+  }
+  if (Rc != 0) {
+    if (Status St = finishConnect(S, TimeoutSeconds, Address); !St) {
+      ::close(S);
+      return St;
+    }
+  }
+  if (Status St = setNonblocking(S, false); !St) {
+    ::close(S);
+    return St;
+  }
+  if (Family != AF_UNIX) {
+    int One = 1;
+    ::setsockopt(S, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  }
+  return S;
+}
+
+} // namespace
+
+Expected<int> sock::connectTo(const std::string &Address,
+                              double TimeoutSeconds) {
+  if (isUnixAddress(Address)) {
+    sockaddr_un Addr;
+    if (Status S = fillUnixAddr(unixPath(Address), Addr); !S)
+      return S;
+    return connectOne(AF_UNIX, SOCK_STREAM, 0,
+                      reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr),
+                      TimeoutSeconds, Address);
+  }
+  addrinfo *Info = nullptr;
+  if (Status S = resolveTcp(Address, &Info); !S)
+    return S;
+  Status LastErr = Status::error(ErrorCode::WorkerLost,
+                                 "cannot connect to '" + Address +
+                                     "': no usable address");
+  for (addrinfo *Ai = Info; Ai; Ai = Ai->ai_next) {
+    Expected<int> S =
+        connectOne(Ai->ai_family, Ai->ai_socktype, Ai->ai_protocol,
+                   Ai->ai_addr, Ai->ai_addrlen, TimeoutSeconds, Address);
+    if (S) {
+      ::freeaddrinfo(Info);
+      return S;
+    }
+    LastErr = S.status();
+  }
+  ::freeaddrinfo(Info);
+  return LastErr;
+}
+
+void sock::resetClose(int Fd) {
+  if (Fd < 0)
+    return;
+  linger Lin;
+  Lin.l_onoff = 1;
+  Lin.l_linger = 0;
+  ::setsockopt(Fd, SOL_SOCKET, SO_LINGER, &Lin, sizeof(Lin));
+  ::close(Fd);
+}

@@ -1,0 +1,106 @@
+//===- Socket.h - Stream sockets for the shard transport ---------*- C++ -*-===//
+//
+// Part of the ANEK reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket substrate of the networked shard tier (DESIGN.md, "Sharded
+/// execution and failure model"). It lives beside Subprocess because the
+/// two are the same abstraction at different distances: a connected
+/// stream socket is a pipe whose peer can also refuse, reset, and stall,
+/// and the framed protocol above (shard/Wire.h) reads both through the
+/// same EINTR-safe readFull/writeFull/waitReadable calls.
+///
+/// Address grammar, shared by `anek workerd --listen` and `--workers`:
+///
+///   host:port       TCP (numeric host or name; port 0 = kernel-assigned,
+///                   the bound address reports the real port)
+///   unix:/some/path Unix-domain stream socket at that path
+///   /some/path      shorthand for the same (a '/' anywhere marks a path)
+///
+/// Everything returns Status/Expected, never throws, and maps the
+/// connection-level failure modes onto the shard tier's vocabulary:
+/// refusal and reset are ErrorCode::WorkerLost (transient — the peer may
+/// come back), a connect that outlives its timeout is DeadlineExceeded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANEK_SUPPORT_SOCKET_H
+#define ANEK_SUPPORT_SOCKET_H
+
+#include "support/Status.h"
+
+#include <string>
+
+namespace anek {
+namespace sock {
+
+/// True when \p Address names a Unix-domain socket (a "unix:" prefix or
+/// any '/'); false means host:port TCP.
+bool isUnixAddress(const std::string &Address);
+
+/// The filesystem path of a Unix-domain address ("unix:" stripped).
+std::string unixPath(const std::string &Address);
+
+/// A listening socket bound to \p Address. Owns the fd and (for
+/// Unix-domain sockets) the filesystem entry, both released on close /
+/// destruction. Movable, not copyable.
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket();
+  ListenSocket(ListenSocket &&Other) noexcept;
+  ListenSocket &operator=(ListenSocket &&Other) noexcept;
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  /// Binds and listens on \p Address. A stale Unix-socket path from a
+  /// crashed previous daemon is unlinked first; TCP sockets take
+  /// SO_REUSEADDR for the same reason. Errors: InvalidArgument for an
+  /// unparseable address, Internal for every syscall failure.
+  Status listen(const std::string &Address);
+
+  bool listening() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// The actual bound address: for TCP this resolves a requested port 0
+  /// to the kernel-assigned one, so tests and the soak can listen on
+  /// "127.0.0.1:0" and tell coordinators the real endpoint.
+  const std::string &boundAddress() const { return Bound; }
+
+  /// Accepts one connection, waiting at most \p TimeoutSeconds (< 0 =
+  /// forever). EINTR-safe. Returns the connected fd; DeadlineExceeded on
+  /// timeout, Internal on accept failure, WorkerLost when the listening
+  /// socket was shut down under us (the daemon's stop path).
+  Expected<int> accept(double TimeoutSeconds);
+
+  /// Stops accepting: shuts the socket down so a blocked accept returns,
+  /// then closes and (for Unix sockets) unlinks. Idempotent.
+  void close();
+
+private:
+  int Fd = -1;
+  std::string Bound;
+  std::string UnlinkPath; ///< Non-empty for Unix sockets we bound.
+};
+
+/// Connects a stream socket to \p Address, waiting at most
+/// \p TimeoutSeconds for the connect to complete (< 0 = the system
+/// default). The returned fd is blocking, close-on-exec, and (TCP)
+/// TCP_NODELAY — frames are latency-bound, not bandwidth-bound. Errors:
+/// WorkerLost for refusal/reset/unreachable (the transient class — the
+/// daemon may be restarting), DeadlineExceeded for a connect timeout,
+/// InvalidArgument for an unparseable address.
+Expected<int> connectTo(const std::string &Address, double TimeoutSeconds);
+
+/// Hard-closes a connected socket so the peer sees RST instead of an
+/// orderly FIN (SO_LINGER with a zero timeout, then close). The
+/// mid-frame-reset fault uses this to produce a real kernel reset, not a
+/// simulated one. No-op for fds that are not sockets.
+void resetClose(int Fd);
+
+} // namespace sock
+} // namespace anek
+
+#endif // ANEK_SUPPORT_SOCKET_H

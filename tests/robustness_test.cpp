@@ -18,16 +18,26 @@
 #include "support/FaultInject.h"
 #include "support/Rational.h"
 #include "support/Status.h"
+#include "support/Subprocess.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <set>
 #include <sstream>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
+#include <vector>
 
 using namespace anek;
 
@@ -483,7 +493,7 @@ TEST_F(RobustnessTest, FaultVocabularyIsCompleteAndListed) {
   // The static_assert in FaultInject.cpp keeps the table in sync at
   // compile time; this checks the runtime surface: every kind has a
   // distinct name, a description, and shows up in `anek faults`.
-  ASSERT_EQ(NumFaultKinds, 10u);
+  ASSERT_EQ(NumFaultKinds, 14u);
   std::string FaultsOutput;
   EXPECT_EQ(runTool("faults", &FaultsOutput), 0);
   std::string ListOutput;
@@ -519,13 +529,22 @@ TEST_F(RobustnessTest, NewFaultKindsActivateAndClassify) {
 }
 
 TEST_F(RobustnessTest, ShardFaultKindsClassifyAsWorkerLost) {
-  // The three worker-chaos kinds all surface as a lost worker — the
-  // retryable class the shard coordinator re-dispatches under.
+  // The worker-chaos kinds — pipe-era and network alike — all surface as
+  // a lost worker: the retryable class the shard coordinator
+  // re-dispatches under.
   EXPECT_EQ(faults::injectedError(FaultKind::WorkerCrash, "s0").code(),
             ErrorCode::WorkerLost);
   EXPECT_EQ(faults::injectedError(FaultKind::WorkerHang, "s0").code(),
             ErrorCode::WorkerLost);
   EXPECT_EQ(faults::injectedError(FaultKind::WireCorrupt, "s0").code(),
+            ErrorCode::WorkerLost);
+  EXPECT_EQ(faults::injectedError(FaultKind::NetRefuse, "s0").code(),
+            ErrorCode::WorkerLost);
+  EXPECT_EQ(faults::injectedError(FaultKind::NetResetMidframe, "s0").code(),
+            ErrorCode::WorkerLost);
+  EXPECT_EQ(faults::injectedError(FaultKind::NetStall, "s0").code(),
+            ErrorCode::WorkerLost);
+  EXPECT_EQ(faults::injectedError(FaultKind::NetHandshakeSkew, "s0").code(),
             ErrorCode::WorkerLost);
   Status Ok = faults::activateSpec("worker-crash*2:s1, worker-hang, "
                                    "wire-corrupt:s2");
@@ -534,6 +553,16 @@ TEST_F(RobustnessTest, ShardFaultKindsClassifyAsWorkerLost) {
   EXPECT_FALSE(faults::active(FaultKind::WorkerCrash, "s9"));
   EXPECT_TRUE(faults::active(FaultKind::WorkerHang, "anything"));
   EXPECT_TRUE(faults::active(FaultKind::WireCorrupt, "s2"));
+
+  Status Net = faults::activateSpec(
+      "net-refuse*1:e0, net-reset-midframe*2, net-stall, "
+      "net-handshake-skew:e1");
+  ASSERT_TRUE(Net.isOk()) << Net.str();
+  EXPECT_TRUE(faults::active(FaultKind::NetRefuse, "e0"));
+  EXPECT_FALSE(faults::active(FaultKind::NetRefuse, "e9"));
+  EXPECT_TRUE(faults::active(FaultKind::NetResetMidframe, "anything"));
+  EXPECT_TRUE(faults::active(FaultKind::NetStall, "anything"));
+  EXPECT_TRUE(faults::active(FaultKind::NetHandshakeSkew, "e1"));
 }
 
 TEST_F(RobustnessTest, FireBudgetConsumesAndExhausts) {
@@ -657,6 +686,135 @@ TEST_F(RobustnessTest, ShardWireRejectsCorruptFramesWithStatusErrors) {
               std::string::npos)
         << C.Name << ": " << F.status().str();
   }
+}
+
+TEST_F(RobustnessTest, ParseFrameHonorsConfigurableCap) {
+  // --shard-max-frame-bytes plumbs down to this parameter: a frame whose
+  // declared payload exceeds the configured cap is refused before any
+  // allocation, and a cap below the protocol floor silently clamps up so
+  // heartbeat-sized frames always fit.
+  std::string Payload(10000, 'x');
+  const std::string Big = shard::encodeFrame(shard::FrameType::Result, Payload);
+  EXPECT_TRUE(shard::parseFrame(Big).hasValue());
+  EXPECT_TRUE(shard::parseFrame(Big, 16384).hasValue());
+  Expected<shard::Frame> Capped = shard::parseFrame(Big, 8192);
+  ASSERT_FALSE(Capped.hasValue());
+  EXPECT_EQ(Capped.status().code(), ErrorCode::ResourceExhausted);
+  // Below the floor: clamps to MinConfigurableFramePayload, not to 1.
+  const std::string Small = shard::encodeFrame(shard::FrameType::Result, "ok");
+  EXPECT_TRUE(shard::parseFrame(Small, 1).hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// EINTR robustness of the shard tier's blocking I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<unsigned> UsrSignalsSeen{0};
+void countUsrSignal(int) {
+  UsrSignalsSeen.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Installs a non-SA_RESTART SIGUSR1 handler for the test's lifetime, so
+/// every delivery interrupts a blocking syscall with EINTR instead of
+/// the kernel transparently restarting it.
+struct InterruptingHandler {
+  struct sigaction Old;
+  InterruptingHandler() {
+    struct sigaction Sa;
+    std::memset(&Sa, 0, sizeof(Sa));
+    Sa.sa_handler = countUsrSignal;
+    sigemptyset(&Sa.sa_mask);
+    Sa.sa_flags = 0; // Deliberately no SA_RESTART.
+    ::sigaction(SIGUSR1, &Sa, &Old);
+  }
+  ~InterruptingHandler() { ::sigaction(SIGUSR1, &Old, nullptr); }
+};
+
+} // namespace
+
+TEST_F(RobustnessTest, WriteFullSurvivesEintrStormAndPartialWrites) {
+  // A coordinator writing a Task frame while the soak harness's chaos
+  // signals land must never see a spurious short write. Storm a thread
+  // blocked in writeFull with non-restarting signals while draining its
+  // pipe slowly, so the call eats both EINTR and partial writes.
+  InterruptingHandler Guard;
+  UsrSignalsSeen.store(0);
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+#ifdef F_SETPIPE_SZ
+  // Shrink the pipe so a 1 MiB payload needs many kernel-level writes.
+  ::fcntl(Fds[1], F_SETPIPE_SZ, 4096);
+#endif
+  const size_t Size = 1 << 20;
+  std::vector<unsigned char> Payload(Size);
+  for (size_t I = 0; I != Size; ++I)
+    Payload[I] = static_cast<unsigned char>(I * 131 + 7);
+
+  Status WriteResult = Status::ok();
+  std::thread Writer([&] {
+    WriteResult = subprocess::writeFull(Fds[1], Payload.data(), Size);
+  });
+  std::vector<unsigned char> Received;
+  Received.reserve(Size);
+  unsigned char Buf[8192];
+  while (Received.size() < Size) {
+    pthread_kill(Writer.native_handle(), SIGUSR1);
+    Status Ready = subprocess::waitReadable(Fds[0], 10.0);
+    ASSERT_TRUE(Ready.isOk()) << Ready.str();
+    ssize_t N = ::read(Fds[0], Buf, sizeof(Buf));
+    if (N < 0 && errno == EINTR)
+      continue;
+    ASSERT_GT(N, 0);
+    Received.insert(Received.end(), Buf, Buf + N);
+  }
+  Writer.join();
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+  ASSERT_TRUE(WriteResult.isOk()) << WriteResult.str();
+  ASSERT_EQ(Received.size(), Size);
+  EXPECT_TRUE(std::equal(Received.begin(), Received.end(), Payload.begin()));
+  // The storm must actually have landed for the test to mean anything.
+  EXPECT_GT(UsrSignalsSeen.load(), 0u);
+}
+
+TEST_F(RobustnessTest, WaitReadableSurvivesEintrStorm) {
+  InterruptingHandler Guard;
+  UsrSignalsSeen.store(0);
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+
+  // (a) Interrupted polls must not stretch the deadline: a storm that
+  // outlives the timeout still gets DeadlineExceeded about on time —
+  // a naive full-timeout retry after each EINTR would hang here.
+  Status WaitResult = Status::ok();
+  std::thread Waiter(
+      [&] { WaitResult = subprocess::waitReadable(Fds[0], 0.3); });
+  for (int I = 0; I != 60; ++I) {
+    pthread_kill(Waiter.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Waiter.join();
+  EXPECT_EQ(WaitResult.code(), ErrorCode::DeadlineExceeded)
+      << WaitResult.str();
+  EXPECT_GT(UsrSignalsSeen.load(), 0u);
+
+  // (b) Data arriving mid-storm is still seen: the retry must re-poll,
+  // not give up on the interruption.
+  Status WaitResult2 = Status::ok();
+  std::thread Waiter2(
+      [&] { WaitResult2 = subprocess::waitReadable(Fds[0], 10.0); });
+  for (int I = 0; I != 10; ++I) {
+    pthread_kill(Waiter2.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(::write(Fds[1], "x", 1), 1);
+  Waiter2.join();
+  EXPECT_TRUE(WaitResult2.isOk()) << WaitResult2.str();
+
+  ::close(Fds[0]);
+  ::close(Fds[1]);
 }
 
 TEST_F(RobustnessTest, DriverAcceptsJoinedFaultSpelling) {
